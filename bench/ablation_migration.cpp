@@ -1,0 +1,63 @@
+/// \file ablation_migration.cpp
+/// \brief E11 / DRM design-knob ablation.
+///
+/// The paper fixes chain length 1 and compares hops 1 vs unlimited; here we
+/// also sweep longer chains and victim-selection strategies to show the
+/// paper's cheapest settings already capture nearly all of the benefit.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vodsim;
+  bench::print_scale_banner("E11 / migration ablation",
+                            "chain length, hop limits and victim selection");
+
+  const BenchScale scale = bench_scale();
+  const double theta = 0.0;  // classic Zipf: migration has work to do
+
+  for (const SystemConfig& system :
+       {SystemConfig::large_system(), SystemConfig::small_system()}) {
+    struct Variant {
+      std::string label;
+      int chain;
+      int hops;
+      VictimStrategy victim;
+    };
+    const std::vector<Variant> variants = {
+        {"no migration", 0, 0, VictimStrategy::kFirstFit},
+        {"chain 1, hops 1", 1, 1, VictimStrategy::kFirstFit},
+        {"chain 1, hops 2", 1, 2, VictimStrategy::kFirstFit},
+        {"chain 1, unlimited", 1, -1, VictimStrategy::kFirstFit},
+        {"chain 2, hops 1", 2, 1, VictimStrategy::kFirstFit},
+        {"chain 3, hops 1", 3, 1, VictimStrategy::kFirstFit},
+        {"victim least-remaining", 1, 1, VictimStrategy::kLeastRemaining},
+        {"victim most-remaining", 1, 1, VictimStrategy::kMostRemaining},
+        {"victim most-buffered", 1, 1, VictimStrategy::kMostBuffered},
+    };
+
+    std::vector<SimulationConfig> configs;
+    for (const Variant& variant : variants) {
+      SimulationConfig config = bench::base_config(system);
+      config.zipf_theta = theta;
+      config.client.staging_fraction = 0.2;
+      config.client.receive_bandwidth = 30.0;
+      config.admission.migration.enabled = variant.chain > 0;
+      config.admission.migration.max_chain_length = std::max(variant.chain, 1);
+      config.admission.migration.max_hops_per_request = variant.hops;
+      config.admission.migration.victim = variant.victim;
+      configs.push_back(config);
+    }
+    ExperimentRunner runner;
+    const auto points = runner.run_sweep(configs, scale.trials);
+
+    TablePrinter table({"variant", "utilization", "migr/arrival"});
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      table.add_row({variants[i].label, format_mean_ci(points[i].utilization),
+                     TablePrinter::num(points[i].migrations_per_arrival.mean(), 4)});
+    }
+    std::cout << "-- " << system.name << " system (theta = " << theta << ") --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

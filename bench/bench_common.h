@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file bench_common.h
+/// \brief Shared plumbing for the figure/table reproduction benches.
+///
+/// Every bench prints the series the corresponding paper artifact reports,
+/// as mean ± 95% CI over the configured number of trials. Scale is
+/// controlled by the environment (see util/env.h): the default is a reduced
+/// grid for a 1-core box; REPRO_FULL=1 restores paper scale (5 trials x
+/// 1000 simulated hours).
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "vodsim/engine/experiment.h"
+#include "vodsim/util/env.h"
+#include "vodsim/util/table.h"
+
+namespace vodsim::bench {
+
+/// Zipf skew grid matching the paper's x-axis (theta from -1.5 to 1).
+inline std::vector<double> theta_grid() {
+  if (repro_full()) {
+    return {-1.5, -1.25, -1.0, -0.75, -0.5, -0.25, 0.0, 0.25, 0.5, 0.75, 1.0};
+  }
+  return {-1.5, -1.0, -0.5, -0.25, 0.0, 0.25, 0.5, 0.75, 1.0};
+}
+
+/// Base simulation config for a bench: given system, bench-scale horizon.
+inline SimulationConfig base_config(const SystemConfig& system) {
+  const BenchScale scale = bench_scale();
+  SimulationConfig config;
+  config.system = system;
+  config.duration = hours(scale.sim_hours);
+  config.warmup = hours(scale.warmup_hours);
+  return config;
+}
+
+inline void print_scale_banner(const std::string& experiment_id,
+                               const std::string& title) {
+  const BenchScale scale = bench_scale();
+  std::cout << "=== " << experiment_id << ": " << title << " ===\n"
+            << "scale: " << scale.trials << " trials x " << scale.sim_hours
+            << " simulated hours"
+            << (repro_full() ? " (paper scale)"
+                             : " (reduced; set REPRO_FULL=1 for paper scale)")
+            << "\n\n";
+}
+
+/// Runs |labels| series over the theta grid and prints one table per call.
+/// \p make_config builds the config for (series index, theta).
+inline void run_theta_sweep(
+    const std::string& heading, const std::vector<std::string>& labels,
+    const std::function<SimulationConfig(std::size_t, double)>& make_config) {
+  const BenchScale scale = bench_scale();
+  const std::vector<double> thetas = theta_grid();
+
+  // Flatten (series x theta) into one paired sweep.
+  std::vector<SimulationConfig> configs;
+  configs.reserve(labels.size() * thetas.size());
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    for (double theta : thetas) configs.push_back(make_config(s, theta));
+  }
+  ExperimentRunner runner;
+  const auto points = runner.run_sweep(configs, scale.trials);
+
+  std::vector<std::string> headers = {"zipf theta"};
+  for (const std::string& label : labels) headers.push_back(label);
+  TablePrinter table(headers);
+  for (std::size_t t = 0; t < thetas.size(); ++t) {
+    std::vector<std::string> row = {TablePrinter::num(thetas[t], 2)};
+    for (std::size_t s = 0; s < labels.size(); ++s) {
+      row.push_back(format_mean_ci(points[s * thetas.size() + t].utilization));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "-- " << heading << " (bandwidth utilization) --\n";
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace vodsim::bench

@@ -1,0 +1,53 @@
+/// \file drm_vs_replication.cpp
+/// \brief E14 / paper §3.1 comparison: DRM vs dynamic replication.
+///
+/// The paper proposes DRM precisely because "more resource intensive
+/// solutions perform dynamic replication". This bench quantifies that
+/// trade: at moderate skew DRM alone suffices (replication only burns
+/// bandwidth); at extreme skew (negative theta, even placement) replication
+/// is the only mechanism that can fix the copy shortage, and the two
+/// compose.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vodsim;
+  bench::print_scale_banner("E14 / DRM vs dynamic replication",
+                            "migration, replication, or both?");
+
+  struct Variant {
+    std::string label;
+    bool drm;
+    bool replication;
+  };
+  const std::vector<Variant> variants = {
+      {"neither", false, false},
+      {"DRM only", true, false},
+      {"replication only", false, true},
+      {"DRM + replication", true, true},
+  };
+  std::vector<std::string> labels;
+  for (const Variant& variant : variants) labels.push_back(variant.label);
+
+  for (const SystemConfig& system :
+       {SystemConfig::large_system(), SystemConfig::small_system()}) {
+    bench::run_theta_sweep(
+        system.name + " system (even placement, 20% staging)", labels,
+        [&](std::size_t series, double theta) {
+          SimulationConfig config = bench::base_config(system);
+          config.zipf_theta = theta;
+          config.placement.kind = PlacementKind::kEven;
+          config.client.staging_fraction = 0.2;
+          config.client.receive_bandwidth = 30.0;
+          config.admission.migration.enabled = variants[series].drm;
+          config.admission.migration.max_hops_per_request = 1;
+          config.replication.enabled = variants[series].replication;
+          config.replication.rejection_threshold = 5;
+          config.replication.window = 600.0;
+          config.replication.transfer_bandwidth = 30.0;
+          config.replication.max_concurrent = 2;
+          return config;
+        });
+  }
+  return 0;
+}

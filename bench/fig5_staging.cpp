@@ -1,0 +1,34 @@
+/// \file fig5_staging.cpp
+/// \brief E3 / paper Figure 5: the effect of client staging.
+///
+/// Even placement, NO migration, client receive bandwidth capped at
+/// 30 Mb/s. Series: staging buffers of 0%, 2%, 20% and 100% of the average
+/// video size, for both systems across the Zipf-theta sweep.
+///
+/// Expected shape (paper §4.3): 20% captures almost all of 100%'s benefit;
+/// gains are larger on the small system (smaller SVBR leaves more room for
+/// smoothing to help).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vodsim;
+  bench::print_scale_banner("E3 / Figure 5", "effect of client staging");
+
+  const std::vector<double> buffers = {0.0, 0.02, 0.20, 1.00};
+  const std::vector<std::string> labels = {"0% buffer", "2% buffer", "20% buffer",
+                                           "100% buffer"};
+  for (const SystemConfig& system :
+       {SystemConfig::large_system(), SystemConfig::small_system()}) {
+    bench::run_theta_sweep(
+        system.name + " system", labels, [&](std::size_t series, double theta) {
+          SimulationConfig config = bench::base_config(system);
+          config.zipf_theta = theta;
+          config.placement.kind = PlacementKind::kEven;
+          config.client.staging_fraction = buffers[series];
+          config.client.receive_bandwidth = 30.0;  // paper's client cap
+          return config;
+        });
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+/// \file fig7_policies.cpp
+/// \brief E5 / paper Figure 7: integrated policy comparison P1..P8.
+///
+/// The full cross of {even, predictive} placement x {no migration,
+/// migration (chain 1, 1 hop)} x {0%, 20%} staging, receive cap 30 Mb/s,
+/// both systems, theta sweep.
+///
+/// Expected shape (paper §4.5): for theta in [0, 1], P4 (even + both
+/// mechanisms) performs comparably to P8 (perfect prediction + both) and
+/// beats the others — placement knowledge is unnecessary. For negative
+/// theta the allocation scheme dominates and P5-P8 win.
+
+#include "bench_common.h"
+
+#include "vodsim/engine/policy_matrix.h"
+
+int main() {
+  using namespace vodsim;
+  bench::print_scale_banner("E5 / Figure 7",
+                            "semi-continuous transmission: policies P1..P8");
+
+  std::cout << "policy key:\n";
+  for (const PolicySpec& policy : figure6_policies()) {
+    std::cout << "  " << policy.label << " = " << policy.description() << "\n";
+  }
+  std::cout << "\n";
+
+  std::vector<std::string> labels;
+  for (const PolicySpec& policy : figure6_policies()) labels.push_back(policy.label);
+
+  for (const SystemConfig& system :
+       {SystemConfig::large_system(), SystemConfig::small_system()}) {
+    bench::run_theta_sweep(
+        system.name + " system", labels, [&](std::size_t series, double theta) {
+          SimulationConfig config = bench::base_config(system);
+          config.zipf_theta = theta;
+          config.client.receive_bandwidth = 30.0;
+          return apply_policy(config, figure6_policies()[series]);
+        });
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// \file interactivity.cpp
+/// \brief E15 / paper §6 extension: VCR pause/resume under semi-continuous
+/// transmission.
+///
+/// Theorem 1's optimality proof assumes videos are never paused. This bench
+/// measures how the full system (even placement, 20% staging, DRM) degrades
+/// as viewers pause more aggressively: paused viewers hold their admission
+/// slot longer (their deadline shifts right), but their staging buffers
+/// keep filling while paused, which softens the cost.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vodsim;
+  bench::print_scale_banner("E15 / interactivity",
+                            "viewer pause/resume vs utilization");
+
+  const BenchScale scale = bench_scale();
+  struct Level {
+    std::string label;
+    double pauses_per_hour;
+    double mean_pause_s;
+  };
+  const std::vector<Level> levels = {
+      {"no pauses", 0.0, 0.0},
+      {"light (1/h x 60 s)", 1.0, 60.0},
+      {"moderate (4/h x 180 s)", 4.0, 180.0},
+      {"heavy (12/h x 300 s)", 12.0, 300.0},
+  };
+
+  for (const SystemConfig& system :
+       {SystemConfig::large_system(), SystemConfig::small_system()}) {
+    std::vector<SimulationConfig> configs;
+    for (const Level& level : levels) {
+      SimulationConfig config = bench::base_config(system);
+      config.zipf_theta = 0.271;
+      config.client.staging_fraction = 0.2;
+      config.client.receive_bandwidth = 30.0;
+      config.admission.migration.enabled = true;
+      config.admission.migration.max_hops_per_request = 1;
+      if (level.pauses_per_hour > 0.0) {
+        config.interactivity.enabled = true;
+        config.interactivity.pauses_per_hour = level.pauses_per_hour;
+        config.interactivity.mean_pause_duration = level.mean_pause_s;
+      }
+      configs.push_back(config);
+    }
+    ExperimentRunner runner;
+    const auto points = runner.run_sweep(configs, scale.trials);
+
+    TablePrinter table({"pause behaviour", "utilization", "rejection"});
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      table.add_row({levels[i].label, format_mean_ci(points[i].utilization),
+                     format_mean_ci(points[i].rejection_ratio)});
+    }
+    std::cout << "-- " << system.name
+              << " system (even placement, 20% staging, DRM) --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// \file micro.cpp
+/// \brief M1: microbenchmarks of the simulator's hot paths
+/// (google-benchmark). These guard the performance properties that make
+/// paper-scale runs (5 x 1000 h) cheap: O(log n) event handling, near-linear
+/// EFTF recomputation, O(log n) Zipf sampling.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "vodsim/des/event_queue.h"
+#include "vodsim/des/simulator.h"
+#include "vodsim/engine/vod_simulation.h"
+#include "vodsim/sched/eftf.h"
+#include "vodsim/util/rng.h"
+#include "vodsim/workload/zipf.h"
+
+namespace {
+
+using namespace vodsim;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue queue;
+    for (std::size_t i = 0; i < n; ++i) {
+      queue.schedule(rng.uniform(0.0, 1000.0), [](Seconds) {});
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop().first);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // The engine's dominant pattern: schedule a predicted event, cancel it,
+  // reschedule.
+  Rng rng(2);
+  for (auto _ : state) {
+    EventQueue queue;
+    for (int i = 0; i < 10000; ++i) {
+      const EventId id = queue.schedule(rng.uniform(0.0, 1000.0), [](Seconds) {});
+      queue.cancel(id);
+    }
+    benchmark::DoNotOptimize(queue.empty());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
+void BM_EftfAllocate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Video video;
+  video.id = 0;
+  video.duration = 3600.0;
+  video.view_bandwidth = 3.0;
+  ClientProfile client{1000.0, 30.0};
+  std::vector<std::unique_ptr<Request>> owner;
+  std::vector<Request*> active;
+  for (std::size_t i = 0; i < n; ++i) {
+    owner.push_back(std::make_unique<Request>(static_cast<RequestId>(i), video,
+                                              0.0, client));
+    owner.back()->begin_streaming(0.0, 0);
+    owner.back()->set_allocation(0.0, 3.0);
+    owner.back()->advance(rng.uniform(1.0, 600.0));  // spread remaining data
+    active.push_back(owner.back().get());
+  }
+  EftfScheduler scheduler;
+  std::vector<Mbps> rates;
+  for (auto _ : state) {
+    scheduler.allocate(600.0, 3.0 * n + 60.0, active, rates);
+    benchmark::DoNotOptimize(rates.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EftfAllocate)->Arg(10)->Arg(33)->Arg(100)->Arg(300);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.271);
+  Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.sample(rng));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(200)->Arg(2000);
+
+void BM_EndToEndSmallSystemHour(benchmark::State& state) {
+  // Whole-engine throughput: one simulated hour of the paper's small
+  // system per iteration, with migration and staging enabled.
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SimulationConfig config;
+    config.system = SystemConfig::small_system();
+    config.zipf_theta = 0.271;
+    config.client.staging_fraction = 0.2;
+    config.client.receive_bandwidth = 30.0;
+    config.admission.migration.enabled = true;
+    config.duration = hours(1);
+    config.warmup = 0.0;
+    config.seed = seed++;
+    VodSimulation simulation(config);
+    simulation.run();
+    events += simulation.simulator().executed_count();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_EndToEndSmallSystemHour)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

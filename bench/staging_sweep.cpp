@@ -1,0 +1,52 @@
+/// \file staging_sweep.cpp
+/// \brief E6 / paper §4.3 claim: a 20% staging buffer is near-optimal.
+///
+/// Fine-grained sweep of the staging fraction at fixed skew on both
+/// systems, no migration, receive cap 30 Mb/s. The knee of the curve should
+/// sit at roughly 20% of the average video size — the paper's headline
+/// provisioning guideline.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vodsim;
+  bench::print_scale_banner("E6 / staging sweep",
+                            "how much client disk is worth allocating?");
+
+  const std::vector<double> fractions = {0.0,  0.01, 0.02, 0.05, 0.10,
+                                         0.15, 0.20, 0.30, 0.50, 1.00};
+  const BenchScale scale = bench_scale();
+  const double theta = 0.271;
+
+  for (const SystemConfig& system :
+       {SystemConfig::large_system(), SystemConfig::small_system()}) {
+    std::vector<SimulationConfig> configs;
+    for (double fraction : fractions) {
+      SimulationConfig config = bench::base_config(system);
+      config.zipf_theta = theta;
+      config.placement.kind = PlacementKind::kEven;
+      config.client.staging_fraction = fraction;
+      config.client.receive_bandwidth = 30.0;
+      configs.push_back(config);
+    }
+    ExperimentRunner runner;
+    const auto points = runner.run_sweep(configs, scale.trials);
+
+    // Gain captured relative to the 0% -> 100% span.
+    const double floor_u = points.front().utilization.mean();
+    const double ceil_u = points.back().utilization.mean();
+    TablePrinter table({"staging buffer", "utilization", "benefit captured"});
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      const double mean = points[i].utilization.mean();
+      const double captured =
+          ceil_u > floor_u ? (mean - floor_u) / (ceil_u - floor_u) : 1.0;
+      table.add_row({TablePrinter::pct(fractions[i], 0),
+                     format_mean_ci(points[i].utilization),
+                     TablePrinter::pct(captured, 1)});
+    }
+    std::cout << "-- " << system.name << " system (theta = " << theta << ") --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

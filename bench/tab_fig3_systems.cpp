@@ -1,0 +1,81 @@
+/// \file tab_fig3_systems.cpp
+/// \brief E1 / paper Figure 3 (table): the two system configurations, plus
+/// derived quantities (SVBR, arrival rate, storage feasibility) and a
+/// placement dry-run validating that the replica budget fits on disk.
+
+#include <iostream>
+
+#include "vodsim/engine/config.h"
+#include "vodsim/engine/vod_simulation.h"
+#include "vodsim/util/table.h"
+
+int main() {
+  using namespace vodsim;
+  std::cout << "=== E1 / Figure 3: video server system parameters ===\n\n";
+
+  const SystemConfig small = SystemConfig::small_system();
+  const SystemConfig large = SystemConfig::large_system();
+
+  TablePrinter table({"parameter", "small", "large"});
+  table.set_align(1, Align::kRight);
+  table.set_align(2, Align::kRight);
+  auto row = [&](const std::string& name, const std::string& s, const std::string& l) {
+    table.add_row({name, s, l});
+  };
+  row("number of servers", std::to_string(small.num_servers),
+      std::to_string(large.num_servers));
+  row("server bandwidth (Mb/s)", TablePrinter::num(small.server_bandwidth, 0),
+      TablePrinter::num(large.server_bandwidth, 0));
+  row("video length (min)",
+      TablePrinter::num(small.video_min_duration / 60, 0) + "-" +
+          TablePrinter::num(small.video_max_duration / 60, 0),
+      TablePrinter::num(large.video_min_duration / 60, 0) + "-" +
+          TablePrinter::num(large.video_max_duration / 60, 0));
+  row("number of videos (assumed)", std::to_string(small.num_videos),
+      std::to_string(large.num_videos));
+  row("avg copies per video", TablePrinter::num(small.avg_copies, 1),
+      TablePrinter::num(large.avg_copies, 1));
+  row("disk capacity (GB)", TablePrinter::num(to_gigabytes(small.server_storage), 0),
+      TablePrinter::num(to_gigabytes(large.server_storage), 0));
+  row("view bandwidth (Mb/s)", TablePrinter::num(small.view_bandwidth, 0),
+      TablePrinter::num(large.view_bandwidth, 0));
+  row("derived: SVBR (streams/server)", TablePrinter::num(small.svbr(), 1),
+      TablePrinter::num(large.svbr(), 1));
+  row("derived: aggregate bandwidth (Mb/s)",
+      TablePrinter::num(small.total_bandwidth(), 0),
+      TablePrinter::num(large.total_bandwidth(), 0));
+
+  SimulationConfig sc;
+  sc.system = small;
+  SimulationConfig lc;
+  lc.system = large;
+  row("derived: arrivals/hour @100% load",
+      TablePrinter::num(sc.arrival_rate() * 3600, 0),
+      TablePrinter::num(lc.arrival_rate() * 3600, 0));
+  row("derived: mean video size (GB)",
+      TablePrinter::num(to_gigabytes(small.mean_video_size()), 2),
+      TablePrinter::num(to_gigabytes(large.mean_video_size()), 2));
+  table.print(std::cout);
+
+  // Placement feasibility dry-run: construct each world and verify the full
+  // replica budget lands on disk.
+  std::cout << "\nplacement feasibility (even allocation):\n";
+  for (const SystemConfig& system : {small, large}) {
+    SimulationConfig config;
+    config.system = system;
+    config.duration = hours(1);
+    config.warmup = 0.0;
+    VodSimulation simulation(config);
+    const PlacementResult& placement = simulation.placement_result();
+    double used = 0.0;
+    double capacity = 0.0;
+    for (const Server& server : simulation.servers()) {
+      used += server.storage_used();
+      capacity += server.storage_capacity();
+    }
+    std::cout << "  " << system.name << ": " << placement.placed_total
+              << " replicas placed, shortfall " << placement.shortfall
+              << ", disk used " << TablePrinter::pct(used / capacity) << "\n";
+  }
+  return 0;
+}

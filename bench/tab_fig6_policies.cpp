@@ -1,0 +1,51 @@
+/// \file tab_fig6_policies.cpp
+/// \brief E4 / paper Figure 6 (table): the policy matrix P1..P8, plus a
+/// one-point measurement of each policy at the paper's canonical skew
+/// (theta = 0.271) on both systems.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "vodsim/engine/policy_matrix.h"
+
+int main() {
+  using namespace vodsim;
+  bench::print_scale_banner("E4 / Figure 6", "policies evaluated");
+
+  TablePrinter matrix(
+      {"policy", "allocation", "migration", "client staging"});
+  for (const PolicySpec& policy : figure6_policies()) {
+    matrix.add_row({policy.label, to_string(policy.placement),
+                    policy.migration ? "migr" : "no migr",
+                    TablePrinter::pct(policy.staging_fraction, 0) + " buffer"});
+  }
+  matrix.print(std::cout);
+
+  const BenchScale scale = bench_scale();
+  std::cout << "\nutilization at theta = 0.271 (the canonical Zipf skew of "
+               "prior VoD studies):\n\n";
+  for (const SystemConfig& system :
+       {SystemConfig::large_system(), SystemConfig::small_system()}) {
+    std::vector<SimulationConfig> configs;
+    for (const PolicySpec& policy : figure6_policies()) {
+      SimulationConfig config = bench::base_config(system);
+      config.zipf_theta = 0.271;
+      config.client.receive_bandwidth = 30.0;
+      configs.push_back(apply_policy(config, policy));
+    }
+    ExperimentRunner runner;
+    const auto points = runner.run_sweep(configs, scale.trials);
+
+    TablePrinter table({"policy", "utilization", "rejection", "migr/arrival"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      table.add_row({figure6_policies()[i].label,
+                     format_mean_ci(points[i].utilization),
+                     format_mean_ci(points[i].rejection_ratio),
+                     TablePrinter::num(points[i].migrations_per_arrival.mean(), 4)});
+    }
+    std::cout << "-- " << system.name << " system --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

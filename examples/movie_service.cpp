@@ -1,0 +1,82 @@
+/// \file movie_service.cpp
+/// \brief Capacity planning for a feature-film service (the paper's large
+/// system): how much load can the cluster take while keeping the rejection
+/// ratio under an SLO, with and without semi-continuous transmission?
+///
+/// This is the workload the paper's introduction motivates: a video-on-
+/// demand operator serving 1-2 hour movies to the desktop. The example
+/// sweeps the offered load and reports the highest load meeting the SLO.
+///
+/// Usage:
+///   movie_service [--slo 0.02] [--hours 60] [--theta 0.271] [--trials 2]
+
+#include <iostream>
+
+#include "vodsim/engine/experiment.h"
+#include "vodsim/util/cli.h"
+#include "vodsim/util/table.h"
+
+int main(int argc, char** argv) {
+  vodsim::CliParser cli("movie_service",
+                        "capacity planning for a feature-film VoD cluster");
+  cli.add_flag("slo", "0.02", "maximum acceptable rejection ratio");
+  cli.add_flag("hours", "60", "simulated hours per trial");
+  cli.add_flag("theta", "0.271", "Zipf skew of movie popularity");
+  cli.add_flag("trials", "2", "trials per load level");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  const double slo = cli.get_double("slo");
+  const int trials = static_cast<int>(cli.get_long("trials"));
+
+  auto base = [&](bool semi_continuous) {
+    vodsim::SimulationConfig config;
+    config.system = vodsim::SystemConfig::large_system();
+    config.zipf_theta = cli.get_double("theta");
+    config.duration = vodsim::hours(cli.get_double("hours"));
+    config.warmup = config.duration / 12.0;
+    if (semi_continuous) {
+      config.client.staging_fraction = 0.2;
+      config.client.receive_bandwidth = 30.0;
+      config.admission.migration.enabled = true;
+      config.admission.migration.max_hops_per_request = 1;
+    }
+    return config;
+  };
+
+  const std::vector<double> loads = {0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10};
+
+  std::cout << "movie_service — paper's large system, rejection SLO "
+            << vodsim::TablePrinter::pct(slo) << "\n\n";
+
+  for (bool semi : {false, true}) {
+    std::vector<vodsim::SimulationConfig> configs;
+    for (double load : loads) {
+      auto config = base(semi);
+      config.load_factor = load;
+      configs.push_back(config);
+    }
+    vodsim::ExperimentRunner runner;
+    const auto points = runner.run_sweep(configs, trials);
+
+    vodsim::TablePrinter table({"offered load", "utilization", "rejection",
+                                "meets SLO"});
+    double best_load = 0.0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      const bool ok = points[i].rejection_ratio.mean() <= slo;
+      if (ok) best_load = loads[i];
+      table.add_row({vodsim::TablePrinter::pct(loads[i], 0),
+                     vodsim::format_mean_ci(points[i].utilization),
+                     vodsim::format_mean_ci(points[i].rejection_ratio),
+                     ok ? "yes" : "no"});
+    }
+    std::cout << "-- " << (semi ? "semi-continuous (20% staging + DRM)"
+                                : "continuous transmission (baseline)")
+              << " --\n";
+    table.print(std::cout);
+    std::cout << "  highest load meeting the SLO: "
+              << vodsim::TablePrinter::pct(best_load, 0) << "\n\n";
+  }
+  std::cout << "Semi-continuous transmission lets the same hardware carry a "
+               "higher offered load at the same rejection SLO.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "vodsim/admission/controller.h"
+
+#include <cassert>
+
+namespace vodsim {
+
+ReplicaDirectory::ReplicaDirectory(std::size_t num_videos,
+                                   const std::vector<Server>& servers) {
+  holders_.assign(num_videos, {});
+  for (const Server& server : servers) {
+    for (VideoId video : server.replicas()) {
+      holders_[static_cast<std::size_t>(video)].push_back(server.id());
+    }
+  }
+  for (const auto& list : holders_) {
+    if (list.empty()) ++orphans_;
+  }
+}
+
+void ReplicaDirectory::add_holder(VideoId video, ServerId server) {
+  auto& list = holders_[static_cast<std::size_t>(video)];
+  for (ServerId existing : list) {
+    if (existing == server) return;
+  }
+  if (list.empty() && orphans_ > 0) --orphans_;
+  list.push_back(server);
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         const ReplicaDirectory& directory)
+    : config_(config), directory_(directory) {}
+
+bool AdmissionController::feasible(const Server& server,
+                                   Mbps view_bandwidth) const {
+  if (!config_.buffer_aware) return server.can_admit(view_bandwidth);
+  if (!server.available()) return false;
+  // Near-term need: streams coasting on more than `horizon` seconds of
+  // staged data are ignored (buffer levels are as of each stream's last
+  // fluid update — a slightly stale but cheap estimate).
+  Mbps need = view_bandwidth + server.reserved_bandwidth();
+  for (const Request* request : server.active_requests()) {
+    if (request->buffer().playback_cover(request->view_bandwidth()) <
+        config_.buffer_aware_horizon) {
+      need += request->view_bandwidth();
+    }
+  }
+  return need <= server.bandwidth() + 1e-9;
+}
+
+AdmissionDecision AdmissionController::decide(VideoId video, Mbps view_bandwidth,
+                                              const std::vector<Server>& servers,
+                                              Rng& rng) const {
+  AdmissionDecision decision;
+
+  // Step 1: direct assignment to a feasible replica holder.
+  std::vector<ServerId> candidates;
+  for (ServerId holder : directory_.holders(video)) {
+    if (feasible(servers[static_cast<std::size_t>(holder)], view_bandwidth)) {
+      candidates.push_back(holder);
+    }
+  }
+  if (!candidates.empty()) {
+    decision.accepted = true;
+    decision.server = pick_server(config_.assignment, candidates, servers, rng);
+    return decision;
+  }
+
+  // Step 2: all holders full — try dynamic request migration.
+  auto plan = find_migration_plan(video, view_bandwidth, config_.migration, servers,
+                                  directory_.all());
+  if (plan) {
+    decision.accepted = true;
+    decision.server = plan->admit_on;
+    decision.migrations = std::move(plan->steps);
+    return decision;
+  }
+
+  // Step 3: reject.
+  return decision;
+}
+
+}  // namespace vodsim

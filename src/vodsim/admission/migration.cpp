@@ -1,0 +1,171 @@
+#include "vodsim/admission/migration.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace vodsim {
+
+VictimStrategy victim_strategy_from_string(const std::string& name) {
+  if (name == "first-fit") return VictimStrategy::kFirstFit;
+  if (name == "least-remaining") return VictimStrategy::kLeastRemaining;
+  if (name == "most-remaining") return VictimStrategy::kMostRemaining;
+  if (name == "most-buffered") return VictimStrategy::kMostBuffered;
+  throw std::invalid_argument("unknown victim strategy: " + name);
+}
+
+std::string to_string(VictimStrategy strategy) {
+  switch (strategy) {
+    case VictimStrategy::kFirstFit:
+      return "first-fit";
+    case VictimStrategy::kLeastRemaining:
+      return "least-remaining";
+    case VictimStrategy::kMostRemaining:
+      return "most-remaining";
+    case VictimStrategy::kMostBuffered:
+      return "most-buffered";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Search context shared across the DFS.
+struct SearchContext {
+  const MigrationConfig& config;
+  const std::vector<Server>& servers;
+  const std::vector<std::vector<ServerId>>& holders_of;
+  /// Hypothetical committed-bandwidth deltas from steps already in the plan.
+  std::vector<Mbps> delta;
+  /// Requests already chosen as victims (a request moves at most once per
+  /// plan).
+  std::vector<const Request*> used;
+  /// Remaining (victim, target) pairs this search may still examine.
+  int budget = 0;
+};
+
+bool hypothetically_admits(const SearchContext& ctx, ServerId server, Mbps rate) {
+  const Server& s = ctx.servers[static_cast<std::size_t>(server)];
+  if (!s.available()) return false;
+  return s.committed_bandwidth() + s.reserved_bandwidth() +
+             ctx.delta[static_cast<std::size_t>(server)] + rate <=
+         s.bandwidth() + 1e-9;
+}
+
+bool victim_eligible(const SearchContext& ctx, const Request& request) {
+  if (request.state() != RequestState::kStreaming) return false;
+  if (ctx.config.max_hops_per_request >= 0 &&
+      request.hops() >= ctx.config.max_hops_per_request) {
+    return false;
+  }
+  if (ctx.config.switch_latency > 0.0 &&
+      request.buffer().playback_cover(request.view_bandwidth()) <
+          ctx.config.switch_latency) {
+    return false;
+  }
+  return std::find(ctx.used.begin(), ctx.used.end(), &request) == ctx.used.end();
+}
+
+std::vector<Request*> ordered_victims(const SearchContext& ctx, const Server& server) {
+  std::vector<Request*> victims;
+  victims.reserve(server.active_count());
+  for (Request* request : server.active_requests()) {
+    if (victim_eligible(ctx, *request)) victims.push_back(request);
+  }
+  auto by = [&](auto key) {
+    std::stable_sort(victims.begin(), victims.end(),
+                     [&](Request* a, Request* b) { return key(*a) < key(*b); });
+  };
+  switch (ctx.config.victim) {
+    case VictimStrategy::kFirstFit:
+      break;  // active order
+    case VictimStrategy::kLeastRemaining:
+      by([](const Request& r) { return r.remaining(); });
+      break;
+    case VictimStrategy::kMostRemaining:
+      by([](const Request& r) { return -r.remaining(); });
+      break;
+    case VictimStrategy::kMostBuffered:
+      by([](const Request& r) { return -r.buffer().level(); });
+      break;
+  }
+  return victims;
+}
+
+/// Tries to free \p rate Mb/s on \p server by migrating one of its active
+/// requests away (possibly recursively freeing room on the target).
+/// Appends steps to \p plan in execution order. \p depth counts migrations
+/// already in the plan.
+bool free_room(SearchContext& ctx, ServerId server, Mbps rate,
+               std::vector<MigrationStep>& plan, int depth) {
+  if (depth >= ctx.config.max_chain_length) return false;
+  const Server& s = ctx.servers[static_cast<std::size_t>(server)];
+
+  for (Request* victim : ordered_victims(ctx, s)) {
+    // Candidate targets: other holders of the victim's video.
+    for (ServerId target : ctx.holders_of[static_cast<std::size_t>(victim->video_id())]) {
+      if (target == server) continue;
+      if (--ctx.budget < 0) return false;
+      const std::size_t plan_before = plan.size();
+      const std::size_t used_before = ctx.used.size();
+      // Claim the victim BEFORE recursing: the recursion may revisit this
+      // server (migration cycles are legal) and must not pick the same
+      // request twice — a plan may move each request at most once.
+      ctx.used.push_back(victim);
+      if (hypothetically_admits(ctx, target, victim->view_bandwidth())) {
+        // Direct move.
+      } else if (!free_room(ctx, target, victim->view_bandwidth(), plan, depth + 1)) {
+        ctx.used.resize(used_before);
+        continue;
+      }
+      // Commit this step on top of whatever the recursion freed.
+      plan.push_back(MigrationStep{victim, server, target});
+      ctx.delta[static_cast<std::size_t>(server)] -= victim->view_bandwidth();
+      ctx.delta[static_cast<std::size_t>(target)] += victim->view_bandwidth();
+      if (hypothetically_admits(ctx, server, rate)) return true;
+      // Not enough (can only happen with heterogeneous view rates); undo
+      // this step and everything the recursion added for it. The loop
+      // covers our own step too — it is plan.back() at this point.
+      for (std::size_t i = plan_before; i < plan.size(); ++i) {
+        ctx.delta[static_cast<std::size_t>(plan[i].from)] +=
+            plan[i].request->view_bandwidth();
+        ctx.delta[static_cast<std::size_t>(plan[i].to)] -=
+            plan[i].request->view_bandwidth();
+      }
+      plan.resize(plan_before);
+      ctx.used.resize(used_before);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<MigrationPlan> find_migration_plan(
+    VideoId video, Mbps view_bandwidth, const MigrationConfig& config,
+    const std::vector<Server>& servers,
+    const std::vector<std::vector<ServerId>>& holders_of) {
+  if (!config.enabled || config.max_chain_length <= 0) return std::nullopt;
+
+  // Try holders in least-loaded order: the cheapest slot to free.
+  std::vector<ServerId> holders = holders_of[static_cast<std::size_t>(video)];
+  std::stable_sort(holders.begin(), holders.end(), [&](ServerId a, ServerId b) {
+    return servers[static_cast<std::size_t>(a)].active_count() <
+           servers[static_cast<std::size_t>(b)].active_count();
+  });
+
+  for (ServerId holder : holders) {
+    if (!servers[static_cast<std::size_t>(holder)].available()) continue;
+    SearchContext ctx{config, servers, holders_of,
+                      std::vector<Mbps>(servers.size(), 0.0), {},
+                      config.max_search_nodes};
+    std::vector<MigrationStep> steps;
+    if (free_room(ctx, holder, view_bandwidth, steps, 0)) {
+      return MigrationPlan{std::move(steps), holder};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vodsim

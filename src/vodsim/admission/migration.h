@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file migration.h
+/// \brief Dynamic request migration (DRM, paper §3.1).
+///
+/// When every server holding a replica of an incoming request's video is
+/// full, DRM looks for an *active* request on such a server that can itself
+/// move to a different holder of *its* video with headroom — freeing a slot
+/// for the newcomer. The paper caps the migration chain length at 1 (one
+/// migration per arrival) and studies hops-per-request of 1 vs unlimited;
+/// both are knobs here, and chains longer than 1 are supported via
+/// depth-limited search for the ablation bench.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vodsim/cluster/request.h"
+#include "vodsim/cluster/server.h"
+#include "vodsim/util/rng.h"
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+/// Which active request to move off a full server first.
+enum class VictimStrategy {
+  kFirstFit,        ///< first eligible in active order (cheapest)
+  kLeastRemaining,  ///< closest to finishing (frees the slot soonest anyway)
+  kMostRemaining,   ///< farthest from finishing
+  kMostBuffered,    ///< largest staged reserve (most jitter headroom)
+};
+
+VictimStrategy victim_strategy_from_string(const std::string& name);
+std::string to_string(VictimStrategy strategy);
+
+struct MigrationConfig {
+  bool enabled = false;
+
+  /// Maximum number of requests migrated to admit one arrival ("migration
+  /// chain length"); the paper uses 1 everywhere.
+  int max_chain_length = 1;
+
+  /// Maximum times any one request may migrate during its lifetime
+  /// ("hops per request"); -1 = unlimited.
+  int max_hops_per_request = 1;
+
+  VictimStrategy victim = VictimStrategy::kFirstFit;
+
+  /// Upper bound on (victim, target) pairs examined per admission attempt.
+  /// Chains longer than 1 explore a tree whose fan-out is the per-server
+  /// active count times the replica degree; the budget keeps worst-case
+  /// admission latency bounded (a real controller would, too). Chain-1
+  /// searches rarely hit the default.
+  int max_search_nodes = 1024;
+
+  /// Stream pause while switching servers. A victim is only eligible if its
+  /// staged data covers the pause (otherwise the viewer would see jitter —
+  /// exactly why DRM needs client staging). 0 = instantaneous switch.
+  Seconds switch_latency = 0.0;
+};
+
+/// One migration step: move \p request from \p from to \p to.
+struct MigrationStep {
+  Request* request = nullptr;
+  ServerId from = kNoServer;
+  ServerId to = kNoServer;
+};
+
+/// A feasible admission-with-migration plan: execute `steps` in order (each
+/// step's destination has headroom once earlier steps have run), then admit
+/// the newcomer on `admit_on`.
+struct MigrationPlan {
+  std::vector<MigrationStep> steps;
+  ServerId admit_on = kNoServer;
+};
+
+/// Searches for a plan to admit a request for \p video of rate
+/// \p view_bandwidth. Preconditions: no holder of \p video can currently
+/// admit it directly (the controller checks that first).
+///
+/// \param holders_of maps VideoId -> server ids holding a replica.
+/// Returns nullopt when no chain within the configured length exists.
+std::optional<MigrationPlan> find_migration_plan(
+    VideoId video, Mbps view_bandwidth, const MigrationConfig& config,
+    const std::vector<Server>& servers,
+    const std::vector<std::vector<ServerId>>& holders_of);
+
+}  // namespace vodsim

@@ -1,0 +1,22 @@
+#include "vodsim/analysis/erlang.h"
+
+#include <cassert>
+
+namespace vodsim {
+
+double erlang_b_blocking(int channels, double offered_erlangs) {
+  assert(channels >= 0);
+  assert(offered_erlangs >= 0.0);
+  if (offered_erlangs == 0.0) return channels == 0 ? 1.0 : 0.0;
+  double b = 1.0;  // B(0, a) = 1
+  for (int k = 1; k <= channels; ++k) {
+    b = offered_erlangs * b / (static_cast<double>(k) + offered_erlangs * b);
+  }
+  return b;
+}
+
+double erlang_b_carried(int channels, double offered_erlangs) {
+  return offered_erlangs * (1.0 - erlang_b_blocking(channels, offered_erlangs));
+}
+
+}  // namespace vodsim

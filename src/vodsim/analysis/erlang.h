@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file erlang.h
+/// \brief Erlang-B loss formula.
+///
+/// A single video server without staging or migration is exactly an
+/// M/G/c/c loss system: c = floor(server bandwidth / view bandwidth)
+/// concurrent streams, Poisson arrivals, arbitrary (here uniform) service
+/// times — Erlang-B blocking is insensitive to the service distribution.
+/// The paper's full version uses this analytical utilization-vs-SVBR curve
+/// to validate the simulator; bench E9 reproduces that cross-check.
+
+#include <cstdint>
+
+namespace vodsim {
+
+/// Blocking probability B(c, a): c servers (channels), offered load a
+/// erlangs. Computed by the numerically stable forward recursion
+/// B_k = a B_{k-1} / (k + a B_{k-1}). Requires c >= 0, a >= 0.
+double erlang_b_blocking(int channels, double offered_erlangs);
+
+/// Carried load a (1 - B(c, a)) in erlangs.
+double erlang_b_carried(int channels, double offered_erlangs);
+
+}  // namespace vodsim

@@ -1,0 +1,22 @@
+#include "vodsim/analysis/svbr.h"
+
+#include <cassert>
+
+#include "vodsim/analysis/erlang.h"
+
+namespace vodsim {
+
+double analytical_utilization(int svbr, double load_factor) {
+  assert(svbr >= 1);
+  assert(load_factor >= 0.0);
+  const double offered = load_factor * static_cast<double>(svbr);
+  return erlang_b_carried(svbr, offered) / static_cast<double>(svbr);
+}
+
+double analytical_rejection(int svbr, double load_factor) {
+  assert(svbr >= 1);
+  const double offered = load_factor * static_cast<double>(svbr);
+  return erlang_b_blocking(svbr, offered);
+}
+
+}  // namespace vodsim

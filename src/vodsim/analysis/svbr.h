@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file svbr.h
+/// \brief Analytical utilization vs. server-to-view-bandwidth ratio.
+///
+/// The server-to-view bandwidth ratio (SVBR, paper §3.2) is the number of
+/// concurrent streams one server sustains. For a one-server system with
+/// continuous transmission the expected utilization at a given offered load
+/// follows directly from Erlang-B; this module packages that expression.
+/// The paper's observation — "values of the SVBR consistent with current
+/// technology make it difficult for a system to perform poorly" — is the
+/// statement that this curve approaches 1 as SVBR grows at fixed offered
+/// load.
+
+namespace vodsim {
+
+/// Expected bandwidth utilization of a single server that can carry
+/// \p svbr concurrent streams under Poisson offered load
+/// \p load_factor x capacity (1.0 = the paper's 100% stress load).
+/// Utilization = carried erlangs / svbr.
+double analytical_utilization(int svbr, double load_factor = 1.0);
+
+/// Expected rejection (blocking) probability in the same model.
+double analytical_rejection(int svbr, double load_factor = 1.0);
+
+}  // namespace vodsim

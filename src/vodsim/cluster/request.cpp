@@ -1,0 +1,131 @@
+#include "vodsim/cluster/request.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vodsim {
+
+Request::Request(RequestId id, const Video& video, Seconds arrival,
+                 const ClientProfile& client)
+    : id_(id),
+      video_id_(video.id),
+      arrival_(arrival),
+      playback_end_(arrival + video.duration),
+      view_bandwidth_(video.view_bandwidth),
+      receive_bandwidth_(client.receive_bandwidth),
+      total_size_(video.size()),
+      remaining_(video.size()),
+      last_update_(arrival),
+      buffer_(client.buffer_capacity) {}
+
+Seconds Request::projected_finish(Seconds now) const {
+  return now + remaining_ / view_bandwidth_;
+}
+
+Megabits Request::advance(Seconds now) {
+  assert(now >= last_update_ - 1e-9);
+  const Seconds dt = now - last_update_;
+  if (dt <= 0.0) {
+    last_update_ = now;
+    return 0.0;
+  }
+
+  const Megabits inflow = allocation_ * dt;
+  remaining_ = std::max(0.0, remaining_ - inflow);
+
+  // Playback consumes view_bandwidth over the part of [last_update, now]
+  // that overlaps [arrival, playback_end] — unless paused. The engine
+  // advances exactly at pause/resume instants, so the paused flag is
+  // constant across any integrated interval.
+  Megabits outflow = 0.0;
+  if (!viewing_paused_) {
+    const Seconds play_lo = std::max(last_update_, arrival_);
+    const Seconds play_hi = std::min(now, playback_end_);
+    if (play_hi > play_lo) outflow = view_bandwidth_ * (play_hi - play_lo);
+  }
+
+  last_update_ = now;
+  return buffer_.apply(inflow, outflow);
+}
+
+Mbps Request::drain_rate(Seconds now) const {
+  if (viewing_paused_) return 0.0;
+  return (now >= arrival_ && now < playback_end_) ? view_bandwidth_ : 0.0;
+}
+
+Mbps Request::minimum_rate() const {
+  if (viewing_paused_ && buffer_.full()) return 0.0;
+  return view_bandwidth_;
+}
+
+void Request::pause_viewing(Seconds now) {
+  assert(!viewing_paused_);
+  assert(std::abs(now - last_update_) < 1e-9 && "advance() before pause");
+  viewing_paused_ = true;
+  pause_started_ = now;
+  ++pause_count_;
+}
+
+void Request::resume_viewing(Seconds now) {
+  assert(viewing_paused_);
+  assert(std::abs(now - last_update_) < 1e-9 && "advance() before resume");
+  viewing_paused_ = false;
+  playback_end_ += now - pause_started_;
+}
+
+void Request::set_allocation(Seconds now, Mbps rate) {
+  assert(std::abs(now - last_update_) < 1e-9 && "advance() before set_allocation()");
+  assert(rate >= -1e-12);
+  assert(rate <= receive_bandwidth_ + 1e-9);
+  (void)now;
+  allocation_ = std::max(rate, 0.0);
+}
+
+void Request::begin_streaming(Seconds now, ServerId server) {
+  assert(state_ == RequestState::kStreaming || state_ == RequestState::kMigrating);
+  state_ = RequestState::kStreaming;
+  server_ = server;
+  last_update_ = std::max(last_update_, now);
+}
+
+void Request::begin_migration(Seconds now) {
+  assert(state_ == RequestState::kStreaming);
+  (void)now;
+  state_ = RequestState::kMigrating;
+  server_ = kNoServer;
+  allocation_ = 0.0;
+  ++hops_;
+}
+
+void Request::complete_migration(Seconds now, ServerId new_server) {
+  assert(state_ == RequestState::kMigrating);
+  state_ = RequestState::kStreaming;
+  server_ = new_server;
+  last_update_ = std::max(last_update_, now);
+}
+
+void Request::mark_tx_complete(Seconds now) {
+  assert(state_ == RequestState::kStreaming);
+  (void)now;
+  assert(finished());
+  state_ = RequestState::kTxComplete;
+  server_ = kNoServer;
+  allocation_ = 0.0;
+  remaining_ = 0.0;
+}
+
+void Request::mark_done(Seconds now) {
+  (void)now;
+  assert(state_ == RequestState::kTxComplete || state_ == RequestState::kStreaming ||
+         state_ == RequestState::kMigrating);
+  state_ = RequestState::kDone;
+  server_ = kNoServer;
+  allocation_ = 0.0;
+}
+
+void Request::mark_rejected() {
+  assert(state_ == RequestState::kStreaming && server_ == kNoServer);
+  state_ = RequestState::kRejected;
+}
+
+}  // namespace vodsim

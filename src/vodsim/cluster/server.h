@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file server.h
+/// \brief A data source in the cluster: link bandwidth + disk storage +
+/// replica set + the active requests it is currently streaming.
+///
+/// Servers are independent (non-shared storage, §2 of the paper); a request
+/// can only be served by a server that holds a replica of its video, and it
+/// consumes that server's link bandwidth while unfinished.
+
+#include <cstdint>
+#include <vector>
+
+#include "vodsim/cluster/request.h"
+#include "vodsim/cluster/video.h"
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+class Server {
+ public:
+  /// \param id dense index within the cluster.
+  /// \param bandwidth link capacity, Mb/s.
+  /// \param storage disk capacity, megabits.
+  Server(ServerId id, Mbps bandwidth, Megabits storage);
+
+  ServerId id() const { return id_; }
+  Mbps bandwidth() const { return bandwidth_; }
+  Megabits storage_capacity() const { return storage_capacity_; }
+  Megabits storage_used() const { return storage_used_; }
+  Megabits storage_free() const { return storage_capacity_ - storage_used_; }
+
+  // --- replica management (placement time) ----------------------------
+  /// Adds a replica if storage allows; returns false when it does not fit
+  /// or is already present.
+  bool add_replica(const Video& video);
+  bool holds(VideoId video) const;
+  const std::vector<VideoId>& replicas() const { return replicas_; }
+
+  // --- admission arithmetic (minimum-flow decision procedure) ---------
+  /// Sum of view bandwidths of unfinished requests assigned here.
+  Mbps committed_bandwidth() const { return committed_; }
+
+  /// Bandwidth held for in-flight migrations (reserved at detach from the
+  /// source, converted to a commitment when the stream attaches here).
+  Mbps reserved_bandwidth() const { return reserved_; }
+  void reserve_bandwidth(Mbps amount);
+  void release_reservation(Mbps amount);
+
+  /// Capacity usable by the bandwidth scheduler right now.
+  Mbps schedulable_bandwidth() const { return bandwidth_ - reserved_; }
+
+  /// Unused capacity under the minimum-flow commitment.
+  Mbps slack() const { return bandwidth_ - committed_ - reserved_; }
+
+  /// True iff an additional stream at \p view_bandwidth fits: the paper's
+  /// admission rule `sum(b_view) + b_view <= capacity`.
+  bool can_admit(Mbps view_bandwidth) const;
+
+  /// Number of unfinished requests streaming from this server.
+  std::size_t active_count() const { return active_.size(); }
+  const std::vector<Request*>& active_requests() const { return active_; }
+
+  // --- active-set maintenance (engine-driven) --------------------------
+  /// Attaches an unfinished request; maintains Request::active_index.
+  /// \param enforce_capacity when false (buffer-aware admission), nominal
+  ///        commitments may exceed the link; the intermittent scheduler is
+  ///        then responsible for rationing actual flow.
+  void attach(Request& request, bool enforce_capacity = true);
+
+  /// Detaches a request in O(1) via swap-with-last.
+  void detach(Request& request);
+
+  // --- availability (failure injection) --------------------------------
+  bool available() const { return available_; }
+  void set_available(bool available) { available_ = available; }
+
+  // --- diagnostics ------------------------------------------------------
+  std::uint64_t total_attached() const { return total_attached_; }
+
+ private:
+  ServerId id_;
+  Mbps bandwidth_;
+  Megabits storage_capacity_;
+  Megabits storage_used_ = 0.0;
+  Mbps committed_ = 0.0;
+  Mbps reserved_ = 0.0;
+  bool available_ = true;
+  std::vector<VideoId> replicas_;
+  std::vector<bool> replica_bitmap_;
+  std::vector<Request*> active_;
+  std::uint64_t total_attached_ = 0;
+};
+
+}  // namespace vodsim

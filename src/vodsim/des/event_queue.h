@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file event_queue.h
+/// \brief Time-ordered event queue with O(log n) schedule and O(1) cancel.
+///
+/// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
+/// on pop. The fluid transmission model reschedules per-request predicted
+/// events (transmission-complete, buffer-full) whenever a server's
+/// allocation changes, so cheap cancellation is essential.
+///
+/// Ordering is deterministic: equal-time events fire in schedule order
+/// (stable tie-break on a monotonically increasing sequence number), which
+/// keeps whole simulations reproducible from a seed.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+/// Opaque handle to a scheduled event; 0 is never a valid id.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Callback invoked when an event fires. Receives the firing time.
+using EventFn = std::function<void(Seconds)>;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedules \p fn at absolute time \p time. Returns a handle usable with
+  /// cancel(). Times may be scheduled in any order, including in the past
+  /// relative to other pending events (the caller — Simulator — enforces
+  /// causality with respect to the clock).
+  EventId schedule(Seconds time, EventFn fn);
+
+  /// Cancels a pending event; no-op if the event already fired or was
+  /// cancelled (including kInvalidEventId).
+  void cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  bool empty() const { return handlers_.empty(); }
+
+  /// Number of live events.
+  std::size_t size() const { return handlers_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  Seconds peek_time();
+
+  /// Removes and returns the earliest live event (handler + time).
+  /// Requires !empty().
+  std::pair<Seconds, EventFn> pop();
+
+  /// Total events ever scheduled (diagnostic).
+  std::uint64_t scheduled_count() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    Seconds time;
+    EventId id;
+    /// Min-heap: earliest time first; equal times in schedule (id) order.
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  /// Drops cancelled entries from the heap top.
+  void skip_dead();
+
+  /// Rebuilds the heap without dead entries when cancellations dominate;
+  /// keeps memory proportional to the number of *live* events even under
+  /// heavy reschedule churn.
+  void maybe_compact();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<EventId, EventFn> handlers_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace vodsim

@@ -1,0 +1,40 @@
+#include "vodsim/des/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vodsim {
+
+EventId Simulator::schedule_at(Seconds time, EventFn fn) {
+  return queue_.schedule(std::max(time, now_), std::move(fn));
+}
+
+EventId Simulator::schedule_in(Seconds delay, EventFn fn) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+void Simulator::cancel(EventId id) { queue_.cancel(id); }
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, fn] = queue_.pop();
+  assert(time >= now_);
+  now_ = time;
+  ++executed_;
+  fn(time);
+  return true;
+}
+
+void Simulator::run_until(Seconds horizon) {
+  while (!queue_.empty() && queue_.peek_time() <= horizon) {
+    step();
+  }
+  now_ = std::max(now_, horizon);
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace vodsim

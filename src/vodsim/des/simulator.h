@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file simulator.h
+/// \brief Discrete-event simulator: clock + event queue + run loop.
+///
+/// Handlers may schedule and cancel further events (reentrancy is the normal
+/// mode of operation). Time never goes backwards: scheduling before now()
+/// clamps to now(), so a handler can safely request "immediately after this
+/// event" follow-ups.
+
+#include <cstdint>
+
+#include "vodsim/des/event_queue.h"
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Current simulation time (seconds). Starts at 0.
+  Seconds now() const { return now_; }
+
+  /// Schedules \p fn at absolute time max(time, now()).
+  EventId schedule_at(Seconds time, EventFn fn);
+
+  /// Schedules \p fn at now() + max(delay, 0).
+  EventId schedule_in(Seconds delay, EventFn fn);
+
+  /// Cancels a pending event (no-op on invalid/fired handles).
+  void cancel(EventId id);
+
+  /// Fires the earliest pending event. Returns false if none remain.
+  bool step();
+
+  /// Runs events with time <= horizon, then advances the clock exactly to
+  /// horizon (even if the queue empties earlier).
+  void run_until(Seconds horizon);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Number of events executed so far (diagnostic/bench metric).
+  std::uint64_t executed_count() const { return executed_; }
+
+  /// Live pending events.
+  std::size_t pending_count() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Seconds now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace vodsim

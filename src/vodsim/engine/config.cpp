@@ -1,0 +1,139 @@
+#include "vodsim/engine/config.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "vodsim/workload/poisson.h"
+
+namespace vodsim {
+
+SystemConfig SystemConfig::small_system() {
+  SystemConfig config;
+  config.name = "small";
+  config.num_servers = 5;
+  config.server_bandwidth = 100.0;
+  config.server_storage = gigabytes(100);
+  config.video_min_duration = minutes(10);
+  config.video_max_duration = minutes(30);
+  config.num_videos = 300;
+  config.avg_copies = 2.2;
+  config.view_bandwidth = 3.0;
+  return config;
+}
+
+SystemConfig SystemConfig::large_system() {
+  SystemConfig config;
+  config.name = "large";
+  config.num_servers = 20;
+  config.server_bandwidth = 300.0;
+  config.server_storage = gigabytes(150);
+  config.video_min_duration = hours(1);
+  config.video_max_duration = hours(2);
+  config.num_videos = 200;
+  config.avg_copies = 2.2;
+  config.view_bandwidth = 3.0;
+  return config;
+}
+
+double SimulationConfig::arrival_rate() const {
+  return offered_load_rate(system.total_bandwidth(), system.mean_video_duration(),
+                           system.view_bandwidth, load_factor);
+}
+
+void SimulationConfig::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("SimulationConfig: " + what);
+  };
+  if (system.num_servers < 1) fail("num_servers must be >= 1");
+  if (system.server_bandwidth <= 0.0) fail("server_bandwidth must be > 0");
+  if (system.server_storage < 0.0) fail("server_storage must be >= 0");
+  if (system.video_min_duration <= 0.0) fail("video_min_duration must be > 0");
+  if (system.video_max_duration < system.video_min_duration) {
+    fail("video_max_duration < video_min_duration");
+  }
+  if (system.num_videos < 1) fail("num_videos must be >= 1");
+  if (system.avg_copies < 1.0) fail("avg_copies must be >= 1");
+  if (system.view_bandwidth <= 0.0) fail("view_bandwidth must be > 0");
+  if (system.view_bandwidth > system.server_bandwidth) {
+    fail("a server cannot sustain even one stream");
+  }
+  if (!system.bandwidth_profile.empty() &&
+      system.bandwidth_profile.size() != static_cast<std::size_t>(system.num_servers)) {
+    fail("bandwidth_profile size mismatch");
+  }
+  if (!system.storage_profile.empty() &&
+      system.storage_profile.size() != static_cast<std::size_t>(system.num_servers)) {
+    fail("storage_profile size mismatch");
+  }
+  if (client.staging_fraction < 0.0) fail("staging_fraction must be >= 0");
+  if (client.receive_bandwidth < system.view_bandwidth) {
+    fail("client receive bandwidth below view bandwidth");
+  }
+  if (load_factor <= 0.0) fail("load_factor must be > 0");
+  if (duration <= 0.0) fail("duration must be > 0");
+  if (warmup < 0.0 || warmup >= duration) fail("warmup must be in [0, duration)");
+  if (admission.migration.max_chain_length < 0) fail("max_chain_length must be >= 0");
+  if (admission.buffer_aware && scheduler != SchedulerKind::kIntermittent) {
+    fail("buffer-aware admission requires the intermittent scheduler "
+         "(minimum-flow schedulers assume commitments fit the link)");
+  }
+  if (intermittent_safety_cover < 0.0) fail("intermittent_safety_cover must be >= 0");
+  if (admission.migration.switch_latency < 0.0) fail("switch_latency must be >= 0");
+  if (failure.enabled) {
+    if (failure.mean_time_between_failures <= 0.0) fail("MTBF must be > 0");
+    if (failure.mean_time_to_repair <= 0.0) fail("MTTR must be > 0");
+  }
+  if (drift.enabled && drift.period <= 0.0) fail("drift period must be > 0");
+  if (interactivity.enabled) {
+    if (interactivity.pauses_per_hour <= 0.0) fail("pauses_per_hour must be > 0");
+    if (interactivity.mean_pause_duration <= 0.0) {
+      fail("mean_pause_duration must be > 0");
+    }
+  }
+  if (replication.enabled) {
+    if (replication.rejection_threshold < 1) fail("rejection_threshold must be >= 1");
+    if (replication.window <= 0.0) fail("replication window must be > 0");
+    if (replication.transfer_bandwidth <= 0.0) {
+      fail("replication transfer_bandwidth must be > 0");
+    }
+    if (replication.max_concurrent < 1) fail("replication max_concurrent must be >= 1");
+  }
+}
+
+std::vector<double> normalize_profile(const std::vector<double>& profile,
+                                      std::size_t expected_size) {
+  if (profile.size() != expected_size) {
+    throw std::invalid_argument("heterogeneity profile size mismatch");
+  }
+  double sum = 0.0;
+  for (double x : profile) {
+    if (x <= 0.0) throw std::invalid_argument("profile entries must be > 0");
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(profile.size());
+  std::vector<double> normalized(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) normalized[i] = profile[i] / mean;
+  return normalized;
+}
+
+std::vector<Server> make_servers(const SystemConfig& system) {
+  const auto n = static_cast<std::size_t>(system.num_servers);
+  std::vector<double> bw(n, 1.0);
+  std::vector<double> st(n, 1.0);
+  if (!system.bandwidth_profile.empty()) {
+    bw = normalize_profile(system.bandwidth_profile, n);
+  }
+  if (!system.storage_profile.empty()) {
+    st = normalize_profile(system.storage_profile, n);
+  }
+  std::vector<Server> servers;
+  servers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    servers.emplace_back(static_cast<ServerId>(i), system.server_bandwidth * bw[i],
+                         system.server_storage * st[i]);
+  }
+  return servers;
+}
+
+}  // namespace vodsim

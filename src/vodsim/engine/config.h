@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file config.h
+/// \brief Full configuration of one simulation trial.
+///
+/// A SimulationConfig bundles the cluster (Figure 3 of the paper), the
+/// client staging policy, the placement/admission/scheduling policies, the
+/// workload, and the measurement horizon. The two paper systems are
+/// available as presets (`SystemConfig::small_system/large_system`).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "vodsim/admission/controller.h"
+#include "vodsim/cluster/server.h"
+#include "vodsim/placement/placement.h"
+#include "vodsim/replication/replication.h"
+#include "vodsim/sched/scheduler.h"
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+/// The cluster and catalog (paper Figure 3).
+struct SystemConfig {
+  std::string name = "custom";
+  int num_servers = 5;
+  Mbps server_bandwidth = 100.0;          ///< per-server link, Mb/s
+  Megabits server_storage = gigabytes(100);
+  Seconds video_min_duration = minutes(10);
+  Seconds video_max_duration = minutes(30);
+  std::size_t num_videos = 300;
+  double avg_copies = 2.2;
+  Mbps view_bandwidth = 3.0;
+
+  /// Optional per-server multipliers for heterogeneity studies (§4.6).
+  /// Empty = homogeneous. When set, must have num_servers entries; they are
+  /// normalized to mean 1 so aggregate capacity is unchanged.
+  std::vector<double> bandwidth_profile;
+  std::vector<double> storage_profile;
+
+  /// Paper's "small" system: 5 servers x 100 Mb/s, 10-30 min clips.
+  static SystemConfig small_system();
+
+  /// Paper's "large" system: 20 servers x 300 Mb/s, 1-2 h features.
+  static SystemConfig large_system();
+
+  /// Server-to-view-bandwidth ratio: concurrent streams per server.
+  double svbr() const { return server_bandwidth / view_bandwidth; }
+
+  Mbps total_bandwidth() const {
+    return server_bandwidth * static_cast<double>(num_servers);
+  }
+
+  Seconds mean_video_duration() const {
+    return 0.5 * (video_min_duration + video_max_duration);
+  }
+
+  Megabits mean_video_size() const {
+    return mean_video_duration() * view_bandwidth;
+  }
+};
+
+/// Client-side staging policy.
+struct ClientPolicy {
+  /// Staging buffer as a fraction of the *average* video size (the paper's
+  /// "x% buffer"). 0 = continuous transmission.
+  double staging_fraction = 0.0;
+
+  /// Client receive cap, Mb/s; infinity = unbounded (Theorem 1 regime).
+  /// The paper's staging experiments cap this at 30 Mb/s.
+  Mbps receive_bandwidth = std::numeric_limits<double>::infinity();
+};
+
+/// Placement policy selection plus its tuning knobs.
+struct PlacementConfig {
+  PlacementKind kind = PlacementKind::kEven;
+  /// PartialPredictive only: see PartialPredictivePlacement.
+  double partial_head_fraction = 0.10;
+  double partial_tail_shift = 0.05;
+};
+
+/// Server failure injection (fault-tolerance extension, §3.1 remark).
+struct FailureConfig {
+  bool enabled = false;
+  Seconds mean_time_between_failures = hours(200);  ///< per server
+  Seconds mean_time_to_repair = hours(2);
+  /// Recover the failed server's streams by migrating them to other
+  /// replica holders (DRM-based fault tolerance) instead of dropping them.
+  bool recover_via_migration = true;
+};
+
+/// Client VCR interactivity (pause/resume — §6 future-work extension).
+/// Pauses arrive per viewing client as a Poisson process; each pause lasts
+/// an exponential time. While paused, playback stops consuming, the
+/// playback deadline shifts right, and transmission keeps filling the
+/// staging buffer (a paused client with a *full* buffer absorbs nothing and
+/// its minimum-flow share becomes slack). Theorem 1's optimality proof
+/// assumes no pauses; the interactivity bench measures how EFTF degrades.
+struct InteractivityConfig {
+  bool enabled = false;
+  double pauses_per_hour = 2.0;        ///< rate per actively viewing client
+  Seconds mean_pause_duration = 120.0; ///< exponential mean
+};
+
+/// Popularity drift (obliviousness extension, §1/§6).
+struct DriftConfig {
+  bool enabled = false;
+  Seconds period = hours(100);  ///< epoch length
+  std::size_t step = 10;        ///< rank rotation per epoch
+};
+
+/// Everything one trial needs.
+struct SimulationConfig {
+  SystemConfig system;
+  ClientPolicy client;
+  PlacementConfig placement;
+  AdmissionConfig admission;
+  SchedulerKind scheduler = SchedulerKind::kEftf;
+
+  /// IntermittentScheduler only: seconds of staged playback below which a
+  /// stream is urgent (fed before any workahead).
+  Seconds intermittent_safety_cover = 10.0;
+  FailureConfig failure;
+  DriftConfig drift;
+  ReplicationConfig replication;
+  InteractivityConfig interactivity;
+
+  /// Zipf skew theta; 1 = uniform, 0 = Zipf, negative = extreme skew.
+  double zipf_theta = 0.271;
+
+  /// Offered load as a fraction of aggregate capacity (paper: 1.0).
+  double load_factor = 1.0;
+
+  Seconds duration = hours(1000);
+  Seconds warmup = hours(20);
+  std::uint64_t seed = 1;
+
+  /// Staging buffer capacity in megabits for this config.
+  Megabits staging_capacity() const {
+    return client.staging_fraction * system.mean_video_size();
+  }
+
+  /// Poisson arrival rate implied by the load factor.
+  double arrival_rate() const;
+
+  /// Throws std::invalid_argument on inconsistent parameters.
+  void validate() const;
+};
+
+/// Builds the server vector, applying (normalized) heterogeneity profiles.
+std::vector<Server> make_servers(const SystemConfig& system);
+
+/// Normalizes \p profile to mean 1 (used by make_servers; exposed for
+/// tests). Throws if any entry is <= 0 or the size mismatches.
+std::vector<double> normalize_profile(const std::vector<double>& profile,
+                                      std::size_t expected_size);
+
+}  // namespace vodsim

@@ -1,0 +1,76 @@
+#include "vodsim/engine/experiment.h"
+
+#include <cassert>
+
+#include "vodsim/util/rng.h"
+
+namespace vodsim {
+
+TrialResult TrialResult::from(const VodSimulation& simulation) {
+  const Metrics& metrics = simulation.metrics();
+  TrialResult result;
+  result.utilization = metrics.utilization();
+  result.rejection_ratio = metrics.rejection_ratio();
+  result.migrations_per_arrival = metrics.migrations_per_arrival();
+  result.arrivals = metrics.arrivals();
+  result.accepts = metrics.accepts();
+  result.rejects = metrics.rejects();
+  result.migration_steps = metrics.migration_steps();
+  result.drops = metrics.drops();
+  result.underflow_events = metrics.underflow_events();
+  result.continuity_violations = simulation.continuity_violations();
+  return result;
+}
+
+void ExperimentPoint::add(const TrialResult& trial) {
+  utilization.add(trial.utilization);
+  rejection_ratio.add(trial.rejection_ratio);
+  migrations_per_arrival.add(trial.migrations_per_arrival);
+  drops.add(static_cast<double>(trial.drops));
+  trials.push_back(trial);
+}
+
+ExperimentRunner::ExperimentRunner(std::size_t threads) : pool_(threads) {}
+
+std::uint64_t ExperimentRunner::derive_seed(std::uint64_t master_seed, int trial) {
+  std::uint64_t state = master_seed;
+  std::uint64_t seed = 0;
+  for (int i = 0; i <= trial; ++i) seed = splitmix64_next(state);
+  return seed;
+}
+
+ExperimentPoint ExperimentRunner::run_point(const SimulationConfig& config,
+                                            int trials, std::uint64_t master_seed) {
+  auto points = run_sweep({config}, trials, master_seed);
+  return std::move(points.front());
+}
+
+std::vector<ExperimentPoint> ExperimentRunner::run_sweep(
+    const std::vector<SimulationConfig>& configs, int trials,
+    std::uint64_t master_seed) {
+  assert(trials >= 1);
+  const std::size_t n_configs = configs.size();
+  std::vector<std::vector<TrialResult>> results(
+      n_configs, std::vector<TrialResult>(static_cast<std::size_t>(trials)));
+
+  pool_.parallel_for(n_configs * static_cast<std::size_t>(trials),
+                     [&](std::size_t task) {
+                       const std::size_t c = task / static_cast<std::size_t>(trials);
+                       const int t = static_cast<int>(
+                           task % static_cast<std::size_t>(trials));
+                       SimulationConfig config = configs[c];
+                       config.seed = derive_seed(master_seed, t);
+                       VodSimulation simulation(std::move(config));
+                       simulation.run();
+                       results[c][static_cast<std::size_t>(t)] =
+                           TrialResult::from(simulation);
+                     });
+
+  std::vector<ExperimentPoint> points(n_configs);
+  for (std::size_t c = 0; c < n_configs; ++c) {
+    for (const TrialResult& trial : results[c]) points[c].add(trial);
+  }
+  return points;
+}
+
+}  // namespace vodsim

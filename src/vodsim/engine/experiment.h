@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file experiment.h
+/// \brief Multi-trial experiment runner.
+///
+/// Paper methodology (§4.1): every data point is the average of several
+/// independent trials. The runner derives trial seeds from a master seed so
+/// that trial k sees the *same* arrival stream under every configuration in
+/// a sweep (paired comparison — variance reduction for policy contrasts),
+/// and fans trials out across a thread pool.
+
+#include <cstdint>
+#include <vector>
+
+#include "vodsim/engine/config.h"
+#include "vodsim/engine/vod_simulation.h"
+#include "vodsim/stats/accumulator.h"
+#include "vodsim/util/thread_pool.h"
+
+namespace vodsim {
+
+/// Scalar outcomes of one trial.
+struct TrialResult {
+  double utilization = 0.0;
+  double rejection_ratio = 0.0;
+  double migrations_per_arrival = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t accepts = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t migration_steps = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t underflow_events = 0;
+  std::uint64_t continuity_violations = 0;
+
+  static TrialResult from(const VodSimulation& simulation);
+};
+
+/// Aggregation of the trials behind one data point.
+struct ExperimentPoint {
+  Accumulator utilization;
+  Accumulator rejection_ratio;
+  Accumulator migrations_per_arrival;
+  Accumulator drops;
+  std::vector<TrialResult> trials;
+
+  void add(const TrialResult& trial);
+};
+
+class ExperimentRunner {
+ public:
+  /// \param threads worker threads (0 = hardware concurrency).
+  explicit ExperimentRunner(std::size_t threads = 0);
+
+  /// Runs \p trials independent trials of \p config and aggregates them.
+  /// Trial k uses seed derive_seed(master_seed, k) regardless of config, so
+  /// points produced with the same master seed are paired.
+  ExperimentPoint run_point(const SimulationConfig& config, int trials,
+                            std::uint64_t master_seed = 42);
+
+  /// Runs every config x trial combination across the pool.
+  std::vector<ExperimentPoint> run_sweep(const std::vector<SimulationConfig>& configs,
+                                         int trials, std::uint64_t master_seed = 42);
+
+  /// Deterministic per-trial seed derivation (exposed for tests).
+  static std::uint64_t derive_seed(std::uint64_t master_seed, int trial);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace vodsim

@@ -1,0 +1,32 @@
+#include "vodsim/engine/failure.h"
+
+#include <algorithm>
+
+namespace vodsim {
+
+std::vector<FailureEvent> generate_failure_timeline(const FailureConfig& config,
+                                                    int num_servers,
+                                                    Seconds horizon, Rng& rng) {
+  std::vector<FailureEvent> events;
+  if (!config.enabled) return events;
+
+  for (int s = 0; s < num_servers; ++s) {
+    Seconds t = 0.0;
+    bool up = true;
+    for (;;) {
+      const Seconds gap = up ? rng.exponential(1.0 / config.mean_time_between_failures)
+                             : rng.exponential(1.0 / config.mean_time_to_repair);
+      t += gap;
+      if (t >= horizon) break;
+      up = !up;
+      events.push_back(FailureEvent{t, static_cast<ServerId>(s), up});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const FailureEvent& a, const FailureEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.server < b.server;
+  });
+  return events;
+}
+
+}  // namespace vodsim

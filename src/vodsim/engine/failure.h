@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file failure.h
+/// \brief Server failure timelines for the fault-tolerance extension.
+///
+/// The paper notes (§3.1) that DRM "can also be used to engineer a limited
+/// degree of fault tolerance into the server since the ability to
+/// dynamically switch servers for a single stream can help deal with node
+/// server failures". Bench E12 exercises that: we pre-generate an
+/// alternating up/down timeline per server (exponential TBF, exponential
+/// TTR) and the engine migrates or drops the failed server's streams.
+
+#include <vector>
+
+#include "vodsim/cluster/request.h"
+#include "vodsim/engine/config.h"
+#include "vodsim/util/rng.h"
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+/// One availability transition.
+struct FailureEvent {
+  Seconds time = 0.0;
+  ServerId server = kNoServer;
+  bool up = false;  ///< true: recovery, false: failure
+};
+
+/// Generates each server's alternating failure/recovery events up to
+/// \p horizon. Events are returned sorted by time; each server's first
+/// event is a failure at an Exp(1/MTBF) time from 0. Empty when disabled.
+std::vector<FailureEvent> generate_failure_timeline(const FailureConfig& config,
+                                                    int num_servers,
+                                                    Seconds horizon, Rng& rng);
+
+}  // namespace vodsim

@@ -1,0 +1,86 @@
+#include "vodsim/engine/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vodsim {
+
+Metrics::Metrics(Seconds window_start, Seconds window_end, Mbps total_bandwidth)
+    : window_start_(window_start),
+      window_end_(window_end),
+      total_bandwidth_(total_bandwidth) {
+  assert(window_end > window_start);
+  assert(total_bandwidth > 0.0);
+}
+
+void Metrics::record_transmission(Seconds t0, Seconds t1, Mbps rate) {
+  if (rate <= 0.0) return;
+  const Seconds lo = std::max(t0, window_start_);
+  const Seconds hi = std::min(t1, window_end_);
+  if (hi <= lo) return;
+  transmitted_ += rate * (hi - lo);
+}
+
+void Metrics::record_arrival(Seconds t) {
+  if (in_window(t)) ++arrivals_;
+}
+
+void Metrics::record_acceptance(Seconds t, bool via_migration) {
+  if (!in_window(t)) return;
+  ++accepts_;
+  if (via_migration) ++accepts_via_migration_;
+}
+
+void Metrics::record_rejection(Seconds t) {
+  if (in_window(t)) ++rejects_;
+}
+
+void Metrics::record_migration_chain(Seconds t, std::size_t steps) {
+  if (in_window(t)) migration_steps_ += steps;
+}
+
+void Metrics::record_underflow(Seconds t, Megabits megabits) {
+  if (!in_window(t)) return;
+  ++underflow_events_;
+  underflow_megabits_ += megabits;
+}
+
+void Metrics::record_completion(Seconds t) {
+  if (in_window(t)) ++completions_;
+}
+
+void Metrics::record_drop(Seconds t) {
+  if (in_window(t)) ++drops_;
+}
+
+void Metrics::record_replication(Seconds t0, Seconds t1, Mbps rate) {
+  if (rate <= 0.0) return;
+  const Seconds lo = std::max(t0, window_start_);
+  const Seconds hi = std::min(t1, window_end_);
+  if (hi > lo) replication_megabits_ += rate * (hi - lo);
+  // Copies are infrastructure events, not a rate metric: count them even
+  // when they complete during warmup (the replicas they created shape the
+  // whole measured window).
+  ++replications_;
+}
+
+double Metrics::utilization() const {
+  return transmitted_ / (total_bandwidth_ * window());
+}
+
+double Metrics::rejection_ratio() const {
+  if (arrivals_ == 0) return 0.0;
+  return static_cast<double>(rejects_) / static_cast<double>(arrivals_);
+}
+
+double Metrics::acceptance_ratio() const {
+  if (arrivals_ == 0) return 0.0;
+  return static_cast<double>(accepts_) / static_cast<double>(arrivals_);
+}
+
+double Metrics::migrations_per_arrival() const {
+  if (arrivals_ == 0) return 0.0;
+  return static_cast<double>(migration_steps_) / static_cast<double>(arrivals_);
+}
+
+}  // namespace vodsim

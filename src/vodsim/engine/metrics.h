@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file metrics.h
+/// \brief Measurement of one trial, clipped to a warmup-free window.
+///
+/// The paper's headline metric is bandwidth utilization: megabits actually
+/// transmitted divided by the megabits the cluster could have transmitted at
+/// full blast over the window. Transmission is recorded as (t0, t1, rate)
+/// intervals and clipped to [window_start, window_end], so warmup and
+/// horizon edges cannot bias the ratio.
+
+#include <cstdint>
+
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+class Metrics {
+ public:
+  /// \param total_bandwidth aggregate cluster capacity (Mb/s).
+  Metrics(Seconds window_start, Seconds window_end, Mbps total_bandwidth);
+
+  // --- recording (engine-driven) --------------------------------------
+  /// A request transmitted at \p rate during [t0, t1] (clipped to window).
+  void record_transmission(Seconds t0, Seconds t1, Mbps rate);
+
+  void record_arrival(Seconds t);
+  void record_acceptance(Seconds t, bool via_migration);
+  void record_rejection(Seconds t);
+
+  /// \p steps migration steps executed to admit one arrival.
+  void record_migration_chain(Seconds t, std::size_t steps);
+
+  /// Playback continuity violation: \p megabits the client was short.
+  void record_underflow(Seconds t, Megabits megabits);
+
+  /// A request finished playback inside the window.
+  void record_completion(Seconds t);
+
+  /// A stream lost to a server failure (fault-injection runs).
+  void record_drop(Seconds t);
+
+  /// A dynamic replication transfer completed, having moved \p megabits
+  /// during [t0, t1] (clipped accounting like record_transmission, but kept
+  /// separate: replication traffic is overhead, not delivered video).
+  void record_replication(Seconds t0, Seconds t1, Mbps rate);
+
+  // --- results ----------------------------------------------------------
+  Seconds window() const { return window_end_ - window_start_; }
+
+  /// Transmitted / maximum transmissible over the window — the paper's
+  /// utilization.
+  double utilization() const;
+
+  /// Rejected arrivals / all arrivals in the window.
+  double rejection_ratio() const;
+
+  /// Accepted arrivals / all arrivals in the window.
+  double acceptance_ratio() const;
+
+  /// Migration steps per arrival in the window.
+  double migrations_per_arrival() const;
+
+  Megabits transmitted() const { return transmitted_; }
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t accepts() const { return accepts_; }
+  std::uint64_t accepts_via_migration() const { return accepts_via_migration_; }
+  std::uint64_t rejects() const { return rejects_; }
+  std::uint64_t migration_steps() const { return migration_steps_; }
+  std::uint64_t completions() const { return completions_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t underflow_events() const { return underflow_events_; }
+  Megabits underflow_megabits() const { return underflow_megabits_; }
+  std::uint64_t replications() const { return replications_; }
+  Megabits replication_megabits() const { return replication_megabits_; }
+
+ private:
+  bool in_window(Seconds t) const { return t >= window_start_ && t < window_end_; }
+
+  Seconds window_start_;
+  Seconds window_end_;
+  Mbps total_bandwidth_;
+
+  Megabits transmitted_ = 0.0;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t accepts_ = 0;
+  std::uint64_t accepts_via_migration_ = 0;
+  std::uint64_t rejects_ = 0;
+  std::uint64_t migration_steps_ = 0;
+  std::uint64_t completions_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t underflow_events_ = 0;
+  Megabits underflow_megabits_ = 0.0;
+  std::uint64_t replications_ = 0;
+  Megabits replication_megabits_ = 0.0;
+};
+
+}  // namespace vodsim

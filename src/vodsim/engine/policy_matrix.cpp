@@ -1,0 +1,39 @@
+#include "vodsim/engine/policy_matrix.h"
+
+namespace vodsim {
+
+std::string PolicySpec::description() const {
+  std::string out = to_string(placement);
+  out += migration ? " + migration" : " + no-migration";
+  out += " + ";
+  out += std::to_string(static_cast<int>(staging_fraction * 100.0));
+  out += "% buffer";
+  return out;
+}
+
+const std::vector<PolicySpec>& figure6_policies() {
+  static const std::vector<PolicySpec> policies = {
+      {"P1", PlacementKind::kEven, false, 0.0},
+      {"P2", PlacementKind::kEven, false, 0.2},
+      {"P3", PlacementKind::kEven, true, 0.0},
+      {"P4", PlacementKind::kEven, true, 0.2},
+      {"P5", PlacementKind::kPredictive, false, 0.0},
+      {"P6", PlacementKind::kPredictive, false, 0.2},
+      {"P7", PlacementKind::kPredictive, true, 0.0},
+      {"P8", PlacementKind::kPredictive, true, 0.2},
+  };
+  return policies;
+}
+
+SimulationConfig apply_policy(SimulationConfig base, const PolicySpec& policy) {
+  base.placement.kind = policy.placement;
+  base.client.staging_fraction = policy.staging_fraction;
+  base.admission.migration.enabled = policy.migration;
+  if (policy.migration) {
+    base.admission.migration.max_chain_length = 1;
+    base.admission.migration.max_hops_per_request = 1;
+  }
+  return base;
+}
+
+}  // namespace vodsim

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file policy_matrix.h
+/// \brief The paper's Figure 6 policy matrix, P1..P8.
+///
+/// {Even, Predictive} placement x {no migration, migration} x {0%, 20%}
+/// client staging. Migration, where enabled, uses the paper's settings:
+/// chain length 1, at most one hop per request over its lifetime.
+
+#include <string>
+#include <vector>
+
+#include "vodsim/engine/config.h"
+
+namespace vodsim {
+
+struct PolicySpec {
+  std::string label;            ///< "P1".."P8"
+  PlacementKind placement = PlacementKind::kEven;
+  bool migration = false;
+  double staging_fraction = 0.0;
+
+  std::string description() const;
+};
+
+/// P1..P8 in the paper's order (Figure 6).
+const std::vector<PolicySpec>& figure6_policies();
+
+/// Applies a policy row onto a base configuration (placement kind,
+/// migration settings, staging fraction). Everything else in \p base —
+/// system, workload, scheduler, receive cap — is preserved.
+SimulationConfig apply_policy(SimulationConfig base, const PolicySpec& policy);
+
+}  // namespace vodsim

@@ -1,0 +1,538 @@
+#include "vodsim/engine/vod_simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "vodsim/placement/partial_predictive.h"
+#include "vodsim/sched/intermittent.h"
+#include "vodsim/util/log.h"
+#include "vodsim/workload/catalog.h"
+#include "vodsim/workload/poisson.h"
+
+namespace vodsim {
+
+VodSimulation::VodSimulation(SimulationConfig config) : config_(std::move(config)) {
+  build_world();
+}
+
+VodSimulation::VodSimulation(SimulationConfig config, const RequestTrace& trace)
+    : config_(std::move(config)) {
+  arrivals_ = std::make_unique<TraceArrivalSource>(trace);
+  build_world();
+}
+
+VodSimulation::~VodSimulation() = default;
+
+void VodSimulation::build_world() {
+  config_.validate();
+
+  // Independent deterministic streams for each stochastic component, so
+  // e.g. changing the placement policy does not perturb the arrival stream.
+  Rng master(config_.seed);
+  const std::uint64_t catalog_seed = master.fork_seed();
+  const std::uint64_t placement_seed = master.fork_seed();
+  const std::uint64_t arrival_seed = master.fork_seed();
+  const std::uint64_t decision_seed = master.fork_seed();
+  const std::uint64_t failure_seed = master.fork_seed();
+  const std::uint64_t interactivity_seed = master.fork_seed();
+  rng_ = Rng(decision_seed);
+  interactivity_rng_ = Rng(interactivity_seed);
+
+  Rng catalog_rng(catalog_seed);
+  CatalogSpec spec;
+  spec.num_videos = config_.system.num_videos;
+  spec.min_duration = config_.system.video_min_duration;
+  spec.max_duration = config_.system.video_max_duration;
+  spec.view_bandwidth = config_.system.view_bandwidth;
+  catalog_ = generate_catalog(spec, catalog_rng);
+
+  if (config_.drift.enabled) {
+    popularity_ = std::make_unique<DriftingZipfPopularity>(
+        config_.system.num_videos, config_.zipf_theta, config_.drift.period,
+        config_.drift.step);
+  } else {
+    popularity_ = std::make_unique<StaticZipfPopularity>(config_.system.num_videos,
+                                                         config_.zipf_theta);
+  }
+
+  servers_ = make_servers(config_.system);
+  std::unique_ptr<PlacementPolicy> placement;
+  if (config_.placement.kind == PlacementKind::kPartialPredictive) {
+    placement = std::make_unique<PartialPredictivePlacement>(
+        config_.placement.partial_head_fraction, config_.placement.partial_tail_shift);
+  } else {
+    placement = make_placement(config_.placement.kind);
+  }
+  Rng placement_rng(placement_seed);
+  // Placement sees the popularity law as of t = 0 — a drifting workload
+  // later invalidates a "perfect" prediction, which is exactly what the
+  // drift experiment studies.
+  placement_result_ = placement->place(catalog_, popularity_->probabilities(0.0),
+                                       config_.system.avg_copies, servers_,
+                                       placement_rng);
+  directory_ = ReplicaDirectory(catalog_.size(), servers_);
+  controller_ = std::make_unique<AdmissionController>(config_.admission, directory_);
+  if (config_.scheduler == SchedulerKind::kIntermittent) {
+    scheduler_ = std::make_unique<IntermittentScheduler>(
+        config_.intermittent_safety_cover);
+  } else {
+    scheduler_ = make_scheduler(config_.scheduler);
+  }
+  replication_ = std::make_unique<ReplicationManager>(config_.replication);
+
+  client_profile_.buffer_capacity = config_.staging_capacity();
+  client_profile_.receive_bandwidth = config_.client.receive_bandwidth;
+
+  metrics_ = std::make_unique<Metrics>(config_.warmup, config_.duration,
+                                       config_.system.total_bandwidth());
+  occupancy_.assign(servers_.size(), TimeWeighted(config_.warmup, config_.duration));
+
+  if (!arrivals_) {
+    arrivals_ = std::make_unique<RequestGenerator>(
+        PoissonProcess(config_.arrival_rate()), *popularity_, arrival_seed);
+  }
+
+  Rng failure_rng(failure_seed);
+  failure_timeline_ = generate_failure_timeline(
+      config_.failure, config_.system.num_servers, config_.duration, failure_rng);
+}
+
+const Metrics& VodSimulation::run() {
+  assert(!ran_ && "VodSimulation::run() may be called only once");
+  ran_ = true;
+
+  schedule_next_arrival();
+  for (const FailureEvent& event : failure_timeline_) {
+    sim_.schedule_at(event.time, [this, event](Seconds) { apply_failure(event); });
+  }
+
+  sim_.run_until(config_.duration);
+
+  // Flush in-flight transmissions into the measurement window.
+  for (Server& server : servers_) {
+    for (Request* request : server.active_requests()) {
+      advance_and_account(*request, config_.duration);
+    }
+    occupancy_[static_cast<std::size_t>(server.id())].flush(config_.duration);
+  }
+  return *metrics_;
+}
+
+void VodSimulation::schedule_next_arrival() {
+  auto arrival = arrivals_->next();
+  if (!arrival || arrival->time > config_.duration) return;
+  sim_.schedule_at(arrival->time, [this, a = *arrival](Seconds) {
+    handle_arrival(a);
+    schedule_next_arrival();
+  });
+}
+
+void VodSimulation::handle_arrival(const Arrival& arrival) {
+  const Seconds now = sim_.now();
+  metrics_->record_arrival(now);
+
+  const Video& video = catalog_[arrival.video];
+  const AdmissionDecision decision =
+      controller_->decide(arrival.video, video.view_bandwidth, servers_, rng_);
+
+  requests_.emplace_back(next_request_id_++, video, now, client_profile_);
+  Request& request = requests_.back();
+
+  if (!decision.accepted) {
+    request.mark_rejected();
+    metrics_->record_rejection(now);
+    maybe_start_replication(arrival.video);
+    return;
+  }
+
+  if (decision.used_migration()) {
+    for (const MigrationStep& step : decision.migrations) execute_migration(step);
+    metrics_->record_migration_chain(now, decision.migrations.size());
+  }
+  metrics_->record_acceptance(now, decision.used_migration());
+
+  request.begin_streaming(now, decision.server);
+  attach_to(decision.server, request);
+  request.playback_end_event =
+      sim_.schedule_at(request.playback_end(), [this, &request](Seconds) {
+        request.playback_end_event = kInvalidEventId;
+        on_playback_end(request);
+      });
+  recompute_server(decision.server);
+  if (config_.interactivity.enabled) schedule_next_pause(request);
+}
+
+void VodSimulation::execute_migration(const MigrationStep& step) {
+  const Seconds now = sim_.now();
+  Request& request = *step.request;
+  assert(request.state() == RequestState::kStreaming);
+  assert(request.server() == step.from);
+
+  advance_and_account(request, now);
+  cancel_predicted_events(request);
+  detach_from(step.from, request);
+  request.begin_migration(now);
+
+  const Seconds latency = config_.admission.migration.switch_latency;
+  if (latency <= 0.0) {
+    finish_migration(request, step.to);
+  } else {
+    // Break-before-make: the stream pauses for `latency` and plays from its
+    // staging buffer; the destination's slot is held by a reservation so a
+    // competing arrival cannot steal it.
+    servers_[static_cast<std::size_t>(step.to)].reserve_bandwidth(
+        request.view_bandwidth());
+    sim_.schedule_in(latency, [this, &request, target = step.to](Seconds) {
+      servers_[static_cast<std::size_t>(target)].release_reservation(
+          request.view_bandwidth());
+      if (request.state() == RequestState::kMigrating) {
+        finish_migration(request, target);
+      }
+    });
+  }
+  recompute_server(step.from);
+}
+
+void VodSimulation::finish_migration(Request& request, ServerId target) {
+  const Seconds now = sim_.now();
+  advance_and_account(request, now);  // drains the buffer over the pause
+  request.complete_migration(now, target);
+  attach_to(target, request);
+  recompute_server(target);
+}
+
+void VodSimulation::on_tx_complete(Request& request) {
+  const Seconds now = sim_.now();
+  const ServerId server = request.server();
+  assert(server != kNoServer);
+  advance_and_account(request, now);
+  if (!request.finished()) {
+    // Floating-point drift between the predicted completion and the fluid
+    // integration: let the reallocation pass reschedule a corrected event.
+    recompute_server(server);
+    return;
+  }
+  cancel_predicted_events(request);
+  detach_from(server, request);
+  request.mark_tx_complete(now);
+  recompute_server(server);
+}
+
+void VodSimulation::on_buffer_full(Request& request) {
+  // The request is advanced (and its allocation corrected) as part of the
+  // server-wide reallocation.
+  assert(request.server() != kNoServer);
+  recompute_server(request.server());
+}
+
+void VodSimulation::on_playback_end(Request& request) {
+  const Seconds now = sim_.now();
+  switch (request.state()) {
+    case RequestState::kTxComplete: {
+      // Drain the remaining buffered data through the fluid model so the
+      // continuity audit covers the whole playback.
+      advance_and_account(request, now);
+      request.mark_done(now);
+      metrics_->record_completion(now);
+      break;
+    }
+    case RequestState::kStreaming: {
+      // Viewing ended before the transfer did (possible only after pauses
+      // or failures): the client leaves; unsent data is abandoned.
+      const ServerId server = request.server();
+      advance_and_account(request, now);
+      cancel_predicted_events(request);
+      detach_from(server, request);
+      request.mark_done(now);
+      metrics_->record_completion(now);
+      recompute_server(server);
+      break;
+    }
+    case RequestState::kMigrating: {
+      advance_and_account(request, now);
+      request.mark_done(now);
+      metrics_->record_completion(now);
+      break;
+    }
+    case RequestState::kDone:
+      break;  // dropped earlier by failure injection
+    case RequestState::kRejected:
+      assert(false && "rejected requests have no playback");
+      break;
+  }
+}
+
+void VodSimulation::apply_failure(const FailureEvent& event) {
+  Server& server = servers_[static_cast<std::size_t>(event.server)];
+  if (event.up) {
+    server.set_available(true);
+    return;
+  }
+  if (!server.available()) return;
+  server.set_available(false);
+  recover_streams_of_failed_server(server);
+}
+
+void VodSimulation::recover_streams_of_failed_server(Server& server) {
+  const Seconds now = sim_.now();
+  // Copy: we detach as we go.
+  std::vector<Request*> victims(server.active_requests().begin(),
+                                server.active_requests().end());
+  for (Request* victim : victims) {
+    Request& request = *victim;
+    advance_and_account(request, now);
+    cancel_predicted_events(request);
+    detach_from(server.id(), request);
+
+    ServerId target = kNoServer;
+    if (config_.failure.recover_via_migration) {
+      // DRM-based recovery: least-loaded other replica holder with room.
+      for (ServerId candidate : directory_.holders(request.video_id())) {
+        if (candidate == server.id()) continue;
+        const Server& cs = servers_[static_cast<std::size_t>(candidate)];
+        if (!cs.can_admit(request.view_bandwidth())) continue;
+        if (target == kNoServer ||
+            cs.active_count() <
+                servers_[static_cast<std::size_t>(target)].active_count()) {
+          target = candidate;
+        }
+      }
+    }
+    if (target == kNoServer) {
+      request.mark_done(now);  // stream lost
+      metrics_->record_drop(now);
+    } else {
+      request.begin_migration(now);
+      finish_migration(request, target);
+    }
+  }
+}
+
+void VodSimulation::recompute_server(ServerId server_id) {
+  Server& server = servers_[static_cast<std::size_t>(server_id)];
+  const Seconds now = sim_.now();
+  const std::vector<Request*>& active = server.active_requests();
+  for (Request* request : active) advance_and_account(*request, now);
+
+  scheduler_->allocate(now, server.schedulable_bandwidth(), active, rates_scratch_);
+
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    Request& request = *active[i];
+    // Exact comparison on purpose: the common case (rate == view bandwidth,
+    // assigned from the same double every recomputation) stays bit-identical,
+    // so unchanged requests keep their predicted events.
+    if (rates_scratch_[i] != request.allocation()) {
+      request.set_allocation(now, rates_scratch_[i]);
+      reschedule_predicted_events(request);
+    }
+  }
+}
+
+void VodSimulation::advance_and_account(Request& request, Seconds now) {
+  if (now <= request.last_update()) return;
+  const Seconds interval_start = request.last_update();
+  metrics_->record_transmission(interval_start, now, request.allocation());
+  const Megabits underflow = request.advance(now);
+  if (underflow > 0.0) {
+    ++continuity_violations_;
+    metrics_->record_underflow(now, underflow);
+    VODSIM_DEBUG << "continuity violation: request " << request.id() << " short "
+                 << underflow << " Mb over [" << interval_start << ", " << now
+                 << "] at rate " << request.allocation() << " (state "
+                 << static_cast<int>(request.state()) << ", server "
+                 << request.server() << ", urgent "
+                 << request.workahead_urgent << ")";
+  }
+}
+
+void VodSimulation::schedule_next_pause(Request& request) {
+  const Seconds gap =
+      interactivity_rng_.exponential(config_.interactivity.pauses_per_hour /
+                                     kSecondsPerHour);
+  sim_.schedule_in(gap, [this, &request](Seconds) { on_pause(request); });
+}
+
+void VodSimulation::on_pause(Request& request) {
+  // The viewer may already be gone (done/dropped) or past the credits.
+  if (request.state() == RequestState::kDone ||
+      request.state() == RequestState::kRejected) {
+    return;
+  }
+  const Seconds now = sim_.now();
+  if (now >= request.playback_end() || request.viewing_paused()) return;
+
+  advance_and_account(request, now);
+  request.pause_viewing(now);
+  ++pauses_started_;
+
+  // The deadline is frozen until resume; the pending end-of-playback event
+  // would fire at the stale time.
+  sim_.cancel(request.playback_end_event);
+  request.playback_end_event = kInvalidEventId;
+
+  if (request.state() == RequestState::kStreaming) {
+    // Drain stopped: buffer-full predictions changed even if the allocation
+    // did not, and a full buffer now absorbs nothing (minimum rate 0).
+    recompute_server(request.server());
+    reschedule_predicted_events(request);
+  }
+
+  const Seconds pause = interactivity_rng_.exponential(
+      1.0 / config_.interactivity.mean_pause_duration);
+  sim_.schedule_in(pause, [this, &request](Seconds) { on_resume(request); });
+}
+
+void VodSimulation::on_resume(Request& request) {
+  if (request.state() == RequestState::kDone) return;  // dropped mid-pause
+  const Seconds now = sim_.now();
+  advance_and_account(request, now);
+  request.resume_viewing(now);
+
+  request.playback_end_event =
+      sim_.schedule_at(request.playback_end(), [this, &request](Seconds) {
+        request.playback_end_event = kInvalidEventId;
+        on_playback_end(request);
+      });
+
+  if (request.state() == RequestState::kStreaming) {
+    recompute_server(request.server());
+    reschedule_predicted_events(request);
+  }
+  schedule_next_pause(request);
+}
+
+void VodSimulation::maybe_start_replication(VideoId video) {
+  const Seconds now = sim_.now();
+  auto job =
+      replication_->on_rejection(video, now, catalog_, servers_, directory_);
+  if (!job) return;
+
+  Server& destination = servers_[static_cast<std::size_t>(job->destination)];
+  const Mbps rate = config_.replication.transfer_bandwidth;
+
+  // The copy steals link bandwidth from workahead for its whole duration
+  // (the "resource intensive" part of dynamic replication) — on both ends
+  // for a server-sourced copy, on the destination only when streaming from
+  // tertiary storage.
+  if (!job->from_tertiary()) {
+    servers_[static_cast<std::size_t>(job->source)].reserve_bandwidth(rate);
+    recompute_server(job->source);
+  }
+  destination.reserve_bandwidth(rate);
+  replication_->on_job_started();
+  recompute_server(job->destination);
+
+  sim_.schedule_in(job->transfer_time, [this, job = *job, rate, start = now](Seconds) {
+    const Seconds end = sim_.now();
+    Server& dst = servers_[static_cast<std::size_t>(job.destination)];
+    if (!job.from_tertiary()) {
+      servers_[static_cast<std::size_t>(job.source)].release_reservation(rate);
+      recompute_server(job.source);
+    }
+    dst.release_reservation(rate);
+    // Storage was verified when the job was planned; nothing else consumes
+    // storage mid-run, so this cannot fail.
+    const bool added = dst.add_replica(catalog_[job.video]);
+    if (added) directory_.add_holder(job.video, job.destination);
+    metrics_->record_replication(start, end, rate);
+    replication_->on_job_finished(job.video);
+    recompute_server(job.destination);
+  });
+}
+
+void VodSimulation::attach_to(ServerId server_id, Request& request) {
+  Server& server = servers_[static_cast<std::size_t>(server_id)];
+  server.attach(request, /*enforce_capacity=*/!config_.admission.buffer_aware);
+  occupancy_[static_cast<std::size_t>(server_id)].update(
+      sim_.now(), static_cast<double>(server.active_count()));
+}
+
+void VodSimulation::detach_from(ServerId server_id, Request& request) {
+  Server& server = servers_[static_cast<std::size_t>(server_id)];
+  server.detach(request);
+  occupancy_[static_cast<std::size_t>(server_id)].update(
+      sim_.now(), static_cast<double>(server.active_count()));
+}
+
+VodSimulation::OccupancySummary VodSimulation::occupancy() const {
+  OccupancySummary summary;
+  if (occupancy_.empty()) return summary;
+  double total = 0.0;
+  summary.min_server_mean = occupancy_.front().mean();
+  summary.max_server_mean = occupancy_.front().mean();
+  for (const TimeWeighted& tw : occupancy_) {
+    const double mean = tw.mean();
+    total += mean;
+    summary.min_server_mean = std::min(summary.min_server_mean, mean);
+    summary.max_server_mean = std::max(summary.max_server_mean, mean);
+  }
+  summary.mean_active = total / static_cast<double>(occupancy_.size());
+  if (summary.mean_active > 0.0) {
+    summary.imbalance =
+        (summary.max_server_mean - summary.min_server_mean) / summary.mean_active;
+  }
+  return summary;
+}
+
+void VodSimulation::cancel_predicted_events(Request& request) {
+  sim_.cancel(request.tx_complete_event);
+  sim_.cancel(request.buffer_full_event);
+  sim_.cancel(request.buffer_low_event);
+  request.tx_complete_event = kInvalidEventId;
+  request.buffer_full_event = kInvalidEventId;
+  request.buffer_low_event = kInvalidEventId;
+}
+
+void VodSimulation::reschedule_predicted_events(Request& request) {
+  cancel_predicted_events(request);
+  if (request.state() != RequestState::kStreaming) return;
+  const Seconds now = sim_.now();
+  const Mbps rate = request.allocation();
+
+  Seconds tx_at = std::numeric_limits<Seconds>::infinity();
+  if (rate > 0.0) {
+    tx_at = now + request.remaining() / rate;
+    request.tx_complete_event = sim_.schedule_at(tx_at, [this, &request](Seconds) {
+      request.tx_complete_event = kInvalidEventId;
+      on_tx_complete(request);
+    });
+  }
+
+  // The buffer fills at (rate - drain); drain is the view bandwidth while
+  // playing and 0 while paused.
+  const Mbps surplus = rate - request.drain_rate(now);
+  if (surplus > 1e-12 && !request.buffer().full()) {
+    const Seconds full_at = now + request.buffer().headroom() / surplus;
+    if (full_at < tx_at) {
+      request.buffer_full_event =
+          sim_.schedule_at(full_at, [this, &request](Seconds) {
+            request.buffer_full_event = kInvalidEventId;
+            on_buffer_full(request);
+          });
+    }
+  } else if (surplus < -1e-12) {
+    // Intermittent scheduling: the stream is draining faster than it
+    // receives. Wake the scheduler when the staged data reaches the safety
+    // threshold so the stream regains flow before playback starves. A
+    // stream already at/below the threshold is known-urgent to the
+    // scheduler — waking it again immediately would only churn events.
+    const Megabits threshold =
+        config_.intermittent_safety_cover * request.view_bandwidth();
+    const Megabits level = request.buffer().level();
+    if (level > threshold + StagingBuffer::kLevelTolerance) {
+      const Seconds low_at = now + (level - threshold) / -surplus;
+      if (low_at < tx_at) {
+        request.buffer_low_event =
+            sim_.schedule_at(low_at, [this, &request](Seconds) {
+              request.buffer_low_event = kInvalidEventId;
+              if (request.state() == RequestState::kStreaming) {
+                recompute_server(request.server());
+              }
+            });
+      }
+    }
+  }
+}
+
+}  // namespace vodsim

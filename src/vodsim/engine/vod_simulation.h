@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file vod_simulation.h
+/// \brief The full cluster-VoD simulation: one trial, end to end.
+///
+/// Wires together the DES kernel, the cluster model, a bandwidth scheduler,
+/// the admission controller (with DRM), a placement policy, the workload
+/// generator, optional failure injection and optional popularity drift.
+///
+/// Fluid transmission: each streaming request has a piecewise-constant rate;
+/// a server's rates are recomputed (EFTF by default) on every event that
+/// changes its active set or a client's ability to absorb workahead:
+/// arrival, transmission completion, buffer full, migration, failure.
+/// Between recomputations, each request carries two *predicted* events —
+/// transmission-complete and buffer-full — which are rescheduled only when
+/// its allocation actually changes, keeping event churn near-linear in the
+/// number of arrivals.
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "vodsim/admission/controller.h"
+#include "vodsim/cluster/request.h"
+#include "vodsim/cluster/server.h"
+#include "vodsim/cluster/video.h"
+#include "vodsim/des/simulator.h"
+#include "vodsim/engine/config.h"
+#include "vodsim/engine/failure.h"
+#include "vodsim/engine/metrics.h"
+#include "vodsim/placement/placement.h"
+#include "vodsim/replication/replication.h"
+#include "vodsim/sched/scheduler.h"
+#include "vodsim/stats/time_weighted.h"
+#include "vodsim/util/rng.h"
+#include "vodsim/workload/drift.h"
+#include "vodsim/workload/request_generator.h"
+#include "vodsim/workload/trace.h"
+
+namespace vodsim {
+
+class VodSimulation {
+ public:
+  /// Validates \p config (throws std::invalid_argument) and builds the
+  /// static world: catalog, servers, placement, replica directory.
+  explicit VodSimulation(SimulationConfig config);
+
+  /// As above, but replays \p trace instead of generating arrivals (used
+  /// for paired policy comparisons). The trace must outlive the simulation.
+  VodSimulation(SimulationConfig config, const RequestTrace& trace);
+
+  ~VodSimulation();
+  VodSimulation(const VodSimulation&) = delete;
+  VodSimulation& operator=(const VodSimulation&) = delete;
+
+  /// Runs the trial to the configured horizon. Call once.
+  const Metrics& run();
+
+  // --- introspection ----------------------------------------------------
+  const SimulationConfig& config() const { return config_; }
+  const VideoCatalog& catalog() const { return catalog_; }
+  const std::vector<Server>& servers() const { return servers_; }
+  const PlacementResult& placement_result() const { return placement_result_; }
+  const ReplicaDirectory& directory() const { return directory_; }
+  const Metrics& metrics() const { return *metrics_; }
+  const Simulator& simulator() const { return sim_; }
+
+  /// Every request ever created (terminal states included); audit surface
+  /// for tests.
+  const std::deque<Request>& requests() const { return requests_; }
+
+  /// Playback continuity violations observed (should be 0 except under
+  /// failure injection or nonzero switch latency).
+  std::uint64_t continuity_violations() const { return continuity_violations_; }
+
+  /// Time-weighted per-server stream occupancy over the measurement window.
+  struct OccupancySummary {
+    double mean_active = 0.0;        ///< mean streams per server
+    double min_server_mean = 0.0;    ///< least-loaded server's mean
+    double max_server_mean = 0.0;    ///< most-loaded server's mean
+    /// (max - min) / cluster mean; 0 = perfectly balanced.
+    double imbalance = 0.0;
+  };
+
+  /// Valid after run().
+  OccupancySummary occupancy() const;
+
+  /// Total viewer pauses started (interactivity extension).
+  std::uint64_t pauses_started() const { return pauses_started_; }
+
+ private:
+  void build_world();
+  void schedule_next_arrival();
+  void handle_arrival(const Arrival& arrival);
+  void execute_migration(const MigrationStep& step);
+  void finish_migration(Request& request, ServerId target);
+  void on_tx_complete(Request& request);
+  void on_buffer_full(Request& request);
+  void on_playback_end(Request& request);
+  void apply_failure(const FailureEvent& event);
+  void recover_streams_of_failed_server(Server& server);
+
+  /// Dynamic replication: called on every rejection; may start a transfer.
+  void maybe_start_replication(VideoId video);
+
+  /// Client interactivity: Poisson pause/resume per viewing client.
+  void schedule_next_pause(Request& request);
+  void on_pause(Request& request);
+  void on_resume(Request& request);
+
+  /// Advances all active requests on \p server to now, reallocates rates,
+  /// and reschedules predicted events for requests whose rate changed.
+  void recompute_server(ServerId server);
+
+  /// Accounts the transmission interval [request.last_update(), now] to the
+  /// metrics and integrates the request's fluid state.
+  void advance_and_account(Request& request, Seconds now);
+
+  void cancel_predicted_events(Request& request);
+  void reschedule_predicted_events(Request& request);
+
+  /// attach/detach wrappers that keep the occupancy statistics current.
+  void attach_to(ServerId server, Request& request);
+  void detach_from(ServerId server, Request& request);
+
+  SimulationConfig config_;
+  Simulator sim_;
+  Rng rng_;                ///< decision randomness (assignment ties etc.)
+  Rng interactivity_rng_;  ///< pause/resume timing
+
+  VideoCatalog catalog_;
+  std::vector<Server> servers_;
+  PlacementResult placement_result_;
+  ReplicaDirectory directory_;
+  std::unique_ptr<PopularityModel> popularity_;
+  std::unique_ptr<AdmissionController> controller_;
+  std::unique_ptr<BandwidthScheduler> scheduler_;
+  std::unique_ptr<ReplicationManager> replication_;
+  std::unique_ptr<ArrivalSource> arrivals_;
+  std::unique_ptr<Metrics> metrics_;
+  ClientProfile client_profile_;
+  std::vector<FailureEvent> failure_timeline_;
+  std::vector<TimeWeighted> occupancy_;
+
+  std::deque<Request> requests_;
+  RequestId next_request_id_ = 0;
+  std::uint64_t continuity_violations_ = 0;
+  std::uint64_t pauses_started_ = 0;
+  bool ran_ = false;
+
+  /// Scratch buffer for scheduler output (avoids per-event allocation).
+  std::vector<Mbps> rates_scratch_;
+};
+
+}  // namespace vodsim

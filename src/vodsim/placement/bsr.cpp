@@ -1,0 +1,91 @@
+#include "vodsim/placement/bsr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace vodsim {
+
+PlacementResult BsrPlacement::place(const VideoCatalog& catalog,
+                                    const std::vector<double>& popularity,
+                                    double avg_copies, std::vector<Server>& servers,
+                                    Rng& rng) const {
+  assert(popularity.size() == catalog.size());
+  const std::size_t n = catalog.size();
+  const int budget = placement_detail::copy_budget(n, avg_copies);
+  const std::vector<int> copies = placement_detail::proportional_copies(
+      popularity, budget, static_cast<int>(servers.size()));
+
+  // Expected long-run bandwidth demand per copy of video v, in arbitrary
+  // units (popularity x size is proportional to demanded Mb/s when the
+  // arrival rate is fixed). Spread across its copies.
+  std::vector<double> demand_per_copy(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const double demand = popularity[v] * catalog[static_cast<VideoId>(v)].size();
+    demand_per_copy[v] = demand / static_cast<double>(std::max(copies[v], 1));
+  }
+  // Normalize demand so the totals match aggregate server bandwidth: then a
+  // server's "remaining bandwidth" budget is comparable to video demand.
+  double total_demand = 0.0;
+  double total_bandwidth = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    total_demand += demand_per_copy[v] * static_cast<double>(copies[v]);
+  }
+  for (const Server& s : servers) total_bandwidth += s.bandwidth();
+  const double scale = total_demand > 0.0 ? total_bandwidth / total_demand : 1.0;
+  for (double& d : demand_per_copy) d *= scale;
+
+  PlacementResult result;
+  result.copies.assign(n, 0);
+
+  std::vector<double> bandwidth_left(servers.size());
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    bandwidth_left[s] = servers[s].bandwidth();
+  }
+
+  // Hot titles first: they are the hardest to fit ratio-wise.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demand_per_copy[a] > demand_per_copy[b];
+  });
+
+  for (std::size_t v : order) {
+    const Video& video = catalog[static_cast<VideoId>(v)];
+    const double video_bsr = demand_per_copy[v] / std::max(video.size(), 1.0);
+    int placed = 0;
+    for (int c = 0; c < copies[v]; ++c) {
+      // Pick the feasible server whose remaining BSR is closest to the
+      // video's; random tie-break via a tiny jitter.
+      double best_score = std::numeric_limits<double>::infinity();
+      std::size_t best = servers.size();
+      for (std::size_t s = 0; s < servers.size(); ++s) {
+        if (servers[s].holds(video.id)) continue;
+        if (video.size() > servers[s].storage_free()) continue;
+        const double space_left = std::max(servers[s].storage_free(), 1.0);
+        const double server_bsr = std::max(bandwidth_left[s], 0.0) / space_left;
+        const double score =
+            std::fabs(std::log((server_bsr + 1e-12) / (video_bsr + 1e-12))) +
+            rng.uniform() * 1e-9;
+        if (score < best_score) {
+          best_score = score;
+          best = s;
+        }
+      }
+      if (best == servers.size()) break;  // nowhere to put it
+      const bool ok = servers[best].add_replica(video);
+      assert(ok);
+      (void)ok;
+      bandwidth_left[best] -= demand_per_copy[v];
+      ++placed;
+    }
+    result.copies[v] = placed;
+    result.placed_total += placed;
+    result.shortfall += copies[v] - placed;
+  }
+  return result;
+}
+
+}  // namespace vodsim

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file bsr.h
+/// \brief Bandwidth-to-space-ratio placement (Dan & Sitaram, SIGMOD '95).
+///
+/// A published comparator referenced by the paper ([10]): copy counts follow
+/// predicted popularity (as in Predictive), but each replica is placed on
+/// the server whose *remaining* bandwidth-to-space ratio best matches the
+/// video's own demanded-bandwidth-to-size ratio, instead of a random server.
+/// This keeps hot (high-BSR) titles on servers with bandwidth to spare and
+/// packs cold bulk onto storage-rich ones.
+
+#include "vodsim/placement/placement.h"
+
+namespace vodsim {
+
+class BsrPlacement final : public PlacementPolicy {
+ public:
+  PlacementResult place(const VideoCatalog& catalog,
+                        const std::vector<double>& popularity, double avg_copies,
+                        std::vector<Server>& servers, Rng& rng) const override;
+
+  std::string name() const override { return "bsr"; }
+};
+
+}  // namespace vodsim

@@ -1,0 +1,27 @@
+#include "vodsim/placement/even.h"
+
+#include <numeric>
+
+namespace vodsim {
+
+PlacementResult EvenPlacement::place(const VideoCatalog& catalog,
+                                     const std::vector<double>& /*popularity*/,
+                                     double avg_copies, std::vector<Server>& servers,
+                                     Rng& rng) const {
+  const std::size_t n = catalog.size();
+  const int budget = placement_detail::copy_budget(n, avg_copies);
+  const int base = budget / static_cast<int>(n);
+  int surplus = budget - base * static_cast<int>(n);
+
+  std::vector<int> copies(n, base);
+  // Hand the surplus copies to distinct random videos.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  for (int i = 0; i < surplus; ++i) {
+    ++copies[order[static_cast<std::size_t>(i) % n]];
+  }
+  return placement_detail::install_replicas(catalog, copies, servers, rng);
+}
+
+}  // namespace vodsim

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file even.h
+/// \brief Even allocation: identical copy counts, popularity-oblivious.
+
+#include "vodsim/placement/placement.h"
+
+namespace vodsim {
+
+/// Every video gets floor(avg_copies) copies; the fractional surplus is
+/// handed to uniformly random videos ("rounding done at random", §3.2).
+class EvenPlacement final : public PlacementPolicy {
+ public:
+  PlacementResult place(const VideoCatalog& catalog,
+                        const std::vector<double>& popularity, double avg_copies,
+                        std::vector<Server>& servers, Rng& rng) const override;
+
+  std::string name() const override { return "even"; }
+};
+
+}  // namespace vodsim

@@ -1,0 +1,67 @@
+#include "vodsim/placement/partial_predictive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace vodsim {
+
+PartialPredictivePlacement::PartialPredictivePlacement(double head_fraction,
+                                                       double tail_shift)
+    : head_fraction_(head_fraction), tail_shift_(tail_shift) {
+  assert(head_fraction > 0.0 && head_fraction <= 1.0);
+  assert(tail_shift >= 0.0 && tail_shift < 1.0);
+}
+
+PlacementResult PartialPredictivePlacement::place(
+    const VideoCatalog& catalog, const std::vector<double>& popularity,
+    double avg_copies, std::vector<Server>& servers, Rng& rng) const {
+  assert(popularity.size() == catalog.size());
+  const std::size_t n = catalog.size();
+  const int budget = placement_detail::copy_budget(n, avg_copies);
+  const int base = budget / static_cast<int>(n);
+  int surplus = budget - base * static_cast<int>(n);
+
+  // Rank videos by predicted popularity (descending).
+  std::vector<std::size_t> rank(n);
+  std::iota(rank.begin(), rank.end(), 0);
+  std::sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+    if (popularity[a] != popularity[b]) return popularity[a] > popularity[b];
+    return a < b;
+  });
+
+  std::vector<int> copies(n, base);
+
+  // Shift a small slice of the budget from the tail (down to 1 copy) toward
+  // the head.
+  int shift = static_cast<int>(std::floor(tail_shift_ * static_cast<double>(budget)));
+  for (std::size_t i = n; i-- > 0 && shift > 0;) {
+    const std::size_t v = rank[i];
+    if (copies[v] > 1) {
+      --copies[v];
+      --shift;
+      ++surplus;
+    }
+  }
+
+  // All surplus copies go to the predicted head, round-robin.
+  const auto head =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(
+                                   head_fraction_ * static_cast<double>(n))));
+  const int max_copies = static_cast<int>(servers.size());
+  std::size_t cursor = 0;
+  while (surplus > 0) {
+    const std::size_t v = rank[cursor % head];
+    if (copies[v] < max_copies) {
+      ++copies[v];
+      --surplus;
+    }
+    ++cursor;
+    if (cursor > head * static_cast<std::size_t>(max_copies) + n) break;  // saturated
+  }
+
+  return placement_detail::install_replicas(catalog, copies, servers, rng);
+}
+
+}  // namespace vodsim

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file partial_predictive.h
+/// \brief Mildly skewed allocation: even base + extras on the popular head.
+///
+/// Models the practical middle ground of §4.4: you can identify *which*
+/// titles are likely popular without knowing *how* popular. Same storage
+/// budget as Even; only the destination of the fractional surplus differs
+/// (predicted-most-popular instead of random), optionally boosted by
+/// shifting a small fraction of the budget from the tail to the head.
+
+#include "vodsim/placement/placement.h"
+
+namespace vodsim {
+
+class PartialPredictivePlacement final : public PlacementPolicy {
+ public:
+  /// \param head_fraction fraction of the catalog treated as "the popular
+  ///        head" that receives the surplus copies (default 10%).
+  /// \param tail_shift fraction of the total budget moved from the least
+  ///        popular titles (never below 1 copy) to the head (default 5%).
+  explicit PartialPredictivePlacement(double head_fraction = 0.10,
+                                      double tail_shift = 0.05);
+
+  PlacementResult place(const VideoCatalog& catalog,
+                        const std::vector<double>& popularity, double avg_copies,
+                        std::vector<Server>& servers, Rng& rng) const override;
+
+  std::string name() const override { return "partial"; }
+
+ private:
+  double head_fraction_;
+  double tail_shift_;
+};
+
+}  // namespace vodsim

@@ -1,0 +1,22 @@
+#include "vodsim/placement/predictive.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vodsim {
+
+PlacementResult PredictivePlacement::place(const VideoCatalog& catalog,
+                                           const std::vector<double>& popularity,
+                                           double avg_copies,
+                                           std::vector<Server>& servers,
+                                           Rng& rng) const {
+  assert(popularity.size() == catalog.size());
+  const int budget = placement_detail::copy_budget(catalog.size(), avg_copies);
+  // A video cannot usefully have more copies than servers; the cap's
+  // overflow is redistributed so the whole budget is still spent.
+  const std::vector<int> copies = placement_detail::proportional_copies(
+      popularity, budget, static_cast<int>(servers.size()));
+  return placement_detail::install_replicas(catalog, copies, servers, rng);
+}
+
+}  // namespace vodsim

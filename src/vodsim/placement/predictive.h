@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file predictive.h
+/// \brief Predictive allocation: copies proportional to known popularity.
+
+#include "vodsim/placement/placement.h"
+
+namespace vodsim {
+
+/// Assumes perfect knowledge of relative popularity (the paper's idealized
+/// upper bound): copy counts proportional to request probability, with at
+/// least one copy of every title.
+class PredictivePlacement final : public PlacementPolicy {
+ public:
+  PlacementResult place(const VideoCatalog& catalog,
+                        const std::vector<double>& popularity, double avg_copies,
+                        std::vector<Server>& servers, Rng& rng) const override;
+
+  std::string name() const override { return "predictive"; }
+};
+
+}  // namespace vodsim

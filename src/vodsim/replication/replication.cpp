@@ -1,0 +1,98 @@
+#include "vodsim/replication/replication.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vodsim {
+
+ReplicationManager::ReplicationManager(ReplicationConfig config)
+    : config_(config) {
+  assert(config_.rejection_threshold >= 1);
+  assert(config_.window > 0.0);
+  assert(config_.transfer_bandwidth > 0.0);
+  assert(config_.max_concurrent >= 1);
+}
+
+int ReplicationManager::prune_and_count(VideoId video, Seconds now) {
+  while (!recent_.empty() && recent_.front().time < now - config_.window) {
+    recent_.pop_front();
+  }
+  int count = 0;
+  for (const Rejection& rejection : recent_) {
+    if (rejection.video == video) ++count;
+  }
+  return count;
+}
+
+std::optional<ReplicationJob> ReplicationManager::on_rejection(
+    VideoId video, Seconds now, const VideoCatalog& catalog,
+    const std::vector<Server>& servers, const ReplicaDirectory& directory) {
+  if (!config_.enabled) return std::nullopt;
+
+  recent_.push_back(Rejection{now, video});
+  const int count = prune_and_count(video, now);
+
+  if (count < config_.rejection_threshold) return std::nullopt;
+  if (in_flight_ >= config_.max_concurrent) return std::nullopt;
+  if (config_.max_total >= 0 && total_started_ >= config_.max_total) {
+    return std::nullopt;
+  }
+  if (std::find(copying_.begin(), copying_.end(), video) != copying_.end()) {
+    return std::nullopt;  // copy already in flight for this title
+  }
+
+  const Video& object = catalog[video];
+
+  // Source: the holder with the most slack (available, and able to spare
+  // the transfer bandwidth without displacing committed streams). If none
+  // qualifies — typical, since the title is hot exactly because its holders
+  // are saturated — fall back to tertiary storage when permitted.
+  ServerId source = kNoServer;
+  for (ServerId holder : directory.holders(video)) {
+    const Server& s = servers[static_cast<std::size_t>(holder)];
+    if (!s.available()) continue;
+    if (s.slack() < config_.transfer_bandwidth) continue;
+    if (source == kNoServer ||
+        s.slack() > servers[static_cast<std::size_t>(source)].slack()) {
+      source = holder;
+    }
+  }
+  if (source == kNoServer && !config_.allow_tertiary_source) return std::nullopt;
+
+  // Destination: best-slack non-holder with storage for the object.
+  ServerId destination = kNoServer;
+  for (const Server& s : servers) {
+    if (!s.available() || s.holds(video)) continue;
+    if (s.storage_free() < object.size()) continue;
+    if (s.slack() < config_.transfer_bandwidth) continue;
+    if (destination == kNoServer ||
+        s.slack() > servers[static_cast<std::size_t>(destination)].slack()) {
+      destination = s.id();
+    }
+  }
+  if (destination == kNoServer) return std::nullopt;
+
+  ReplicationJob job;
+  job.video = video;
+  job.source = source;
+  job.destination = destination;
+  job.transfer_time = object.size() / config_.transfer_bandwidth;
+  copying_.push_back(video);
+  return job;
+}
+
+void ReplicationManager::on_job_started() {
+  ++in_flight_;
+  ++total_started_;
+}
+
+void ReplicationManager::on_job_finished(VideoId video) {
+  assert(in_flight_ > 0);
+  --in_flight_;
+  // The title is no longer "copying": it gained a replica, and a future
+  // trigger may legitimately copy it again elsewhere.
+  const auto it = std::find(copying_.begin(), copying_.end(), video);
+  if (it != copying_.end()) copying_.erase(it);
+}
+
+}  // namespace vodsim

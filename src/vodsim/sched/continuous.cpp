@@ -1,0 +1,11 @@
+#include "vodsim/sched/continuous.h"
+
+namespace vodsim {
+
+void ContinuousScheduler::allocate(Seconds /*now*/, Mbps capacity,
+                                   const std::vector<Request*>& active,
+                                   std::vector<Mbps>& rates) const {
+  (void)sched_detail::assign_minimum_flow(capacity, active, rates);
+}
+
+}  // namespace vodsim

@@ -1,0 +1,22 @@
+#include "vodsim/sched/eftf.h"
+
+#include <algorithm>
+
+namespace vodsim {
+
+void EftfScheduler::allocate(Seconds now, Mbps capacity,
+                             const std::vector<Request*>& active,
+                             std::vector<Mbps>& rates) const {
+  const Mbps slack = sched_detail::assign_minimum_flow(capacity, active, rates);
+  if (slack <= 0.0) return;
+  std::vector<std::size_t> order = sched_detail::eligible_indices(active);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Seconds fa = active[a]->projected_finish(now);
+    const Seconds fb = active[b]->projected_finish(now);
+    if (fa != fb) return fa < fb;
+    return active[a]->id() < active[b]->id();  // deterministic tie-break
+  });
+  sched_detail::distribute_greedy(slack, order, active, rates);
+}
+
+}  // namespace vodsim

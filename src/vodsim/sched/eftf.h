@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file eftf.h
+/// \brief Earliest Finishing Time First — the paper's workahead scheduler.
+
+#include "vodsim/sched/scheduler.h"
+
+namespace vodsim {
+
+/// Figure 2 of the paper: after granting every unfinished request its view
+/// bandwidth, repeatedly pick the request with the earliest projected
+/// finishing time whose client buffer has space and give it as much of the
+/// remaining slack as its client can receive. Since all videos share one
+/// view bandwidth, "earliest projected finish" is simply "least remaining
+/// data", so one ascending sort suffices.
+class EftfScheduler final : public BandwidthScheduler {
+ public:
+  void allocate(Seconds now, Mbps capacity, const std::vector<Request*>& active,
+                std::vector<Mbps>& rates) const override;
+
+  std::string name() const override { return "eftf"; }
+};
+
+}  // namespace vodsim

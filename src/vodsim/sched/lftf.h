@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file lftf.h
+/// \brief Latest Finishing Time First — adversarial mirror of EFTF.
+///
+/// Spends slack on the streams farthest from finishing. Under Theorem 1's
+/// assumptions this is the worst ordering within the minimum-flow family;
+/// it exists to quantify (bench E10) how much EFTF's ordering contributes.
+
+#include "vodsim/sched/scheduler.h"
+
+namespace vodsim {
+
+class LftfScheduler final : public BandwidthScheduler {
+ public:
+  void allocate(Seconds now, Mbps capacity, const std::vector<Request*>& active,
+                std::vector<Mbps>& rates) const override;
+
+  std::string name() const override { return "lftf"; }
+};
+
+}  // namespace vodsim

@@ -1,0 +1,38 @@
+#include "vodsim/sched/proportional.h"
+
+#include <algorithm>
+
+namespace vodsim {
+
+void ProportionalShareScheduler::allocate(Seconds /*now*/, Mbps capacity,
+                                          const std::vector<Request*>& active,
+                                          std::vector<Mbps>& rates) const {
+  Mbps slack = sched_detail::assign_minimum_flow(capacity, active, rates);
+  if (slack <= 0.0) return;
+
+  std::vector<std::size_t> eligible = sched_detail::eligible_indices(active);
+  // Water-filling: split slack evenly; capped requests leave the pool and
+  // their surplus is redistributed in the next round.
+  while (slack > 1e-9 && !eligible.empty()) {
+    const Mbps share = slack / static_cast<double>(eligible.size());
+    bool any_capped = false;
+    std::vector<std::size_t> still_open;
+    still_open.reserve(eligible.size());
+    for (std::size_t index : eligible) {
+      const Request& request = *active[index];
+      const Mbps room = request.receive_bandwidth() - rates[index];
+      const Mbps grant = std::min(share, room);
+      rates[index] += grant;
+      slack -= grant;
+      if (grant < share - 1e-12) {
+        any_capped = true;  // hit the receive cap; drops out of the pool
+      } else {
+        still_open.push_back(index);
+      }
+    }
+    if (!any_capped) break;  // everyone took a full share: slack is exhausted
+    eligible.swap(still_open);
+  }
+}
+
+}  // namespace vodsim

@@ -1,0 +1,103 @@
+#include "vodsim/sched/scheduler.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "vodsim/sched/continuous.h"
+#include "vodsim/sched/eftf.h"
+#include "vodsim/sched/intermittent.h"
+#include "vodsim/sched/lftf.h"
+#include "vodsim/sched/proportional.h"
+
+namespace vodsim {
+
+std::unique_ptr<BandwidthScheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kEftf:
+      return std::make_unique<EftfScheduler>();
+    case SchedulerKind::kContinuous:
+      return std::make_unique<ContinuousScheduler>();
+    case SchedulerKind::kProportional:
+      return std::make_unique<ProportionalShareScheduler>();
+    case SchedulerKind::kLftf:
+      return std::make_unique<LftfScheduler>();
+    case SchedulerKind::kIntermittent:
+      return std::make_unique<IntermittentScheduler>();
+  }
+  throw std::invalid_argument("unknown SchedulerKind");
+}
+
+SchedulerKind scheduler_kind_from_string(const std::string& name) {
+  if (name == "eftf") return SchedulerKind::kEftf;
+  if (name == "continuous") return SchedulerKind::kContinuous;
+  if (name == "proportional") return SchedulerKind::kProportional;
+  if (name == "lftf") return SchedulerKind::kLftf;
+  if (name == "intermittent") return SchedulerKind::kIntermittent;
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kEftf:
+      return "eftf";
+    case SchedulerKind::kContinuous:
+      return "continuous";
+    case SchedulerKind::kProportional:
+      return "proportional";
+    case SchedulerKind::kLftf:
+      return "lftf";
+    case SchedulerKind::kIntermittent:
+      return "intermittent";
+  }
+  return "?";
+}
+
+namespace sched_detail {
+
+Mbps assign_minimum_flow(Mbps capacity, const std::vector<Request*>& active,
+                         std::vector<Mbps>& rates) {
+  rates.assign(active.size(), 0.0);
+  Mbps committed = 0.0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    // minimum_rate() is the view bandwidth except for a paused client whose
+    // staging disk is full — it cannot absorb anything, so its share of the
+    // link becomes slack for the others until it resumes.
+    rates[i] = active[i]->minimum_rate();
+    committed += rates[i];
+  }
+  assert(committed <= capacity + 1e-6 && "admission over-committed the server");
+  return capacity > committed ? capacity - committed : 0.0;
+}
+
+bool workahead_eligible(const Request& request) {
+  return !request.buffer().full() &&
+         request.receive_bandwidth() > request.view_bandwidth() &&
+         !request.finished();
+}
+
+std::vector<std::size_t> eligible_indices(const std::vector<Request*>& active) {
+  std::vector<std::size_t> indices;
+  indices.reserve(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (workahead_eligible(*active[i])) indices.push_back(i);
+  }
+  return indices;
+}
+
+void distribute_greedy(Mbps slack, const std::vector<std::size_t>& order,
+                       const std::vector<Request*>& active,
+                       std::vector<Mbps>& rates) {
+  for (std::size_t index : order) {
+    if (slack <= 0.0) break;
+    const Request& request = *active[index];
+    const Mbps room = request.receive_bandwidth() - rates[index];
+    if (room <= 0.0) continue;
+    const Mbps grant = std::min(slack, room);
+    rates[index] += grant;
+    slack -= grant;
+  }
+}
+
+}  // namespace sched_detail
+
+}  // namespace vodsim

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file scheduler.h
+/// \brief Minimum-flow bandwidth allocation (paper §3.3).
+///
+/// A minimum-flow scheduler always gives every unfinished request at least
+/// its view bandwidth; what distinguishes members of the family is how they
+/// spend the remaining slack on workahead into client staging buffers:
+///
+///   - EFTF (the paper's): earliest projected finishing time first —
+///     optimal among minimum-flow schedulers when client receive bandwidth
+///     is unbounded (Theorem 1).
+///   - Continuous: no workahead at all (the classical continuous-
+///     transmission baseline; equivalent to 0% staging).
+///   - ProportionalShare: slack split evenly (water-filling) across
+///     eligible requests.
+///   - LFTF: latest projected finishing time first — the adversarial
+///     mirror image of EFTF, used to bound how much the ordering matters.
+///
+/// A request is eligible for workahead iff its staging buffer has headroom
+/// and its client can receive faster than the view bandwidth.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vodsim/cluster/request.h"
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+/// Strategy interface: computes per-request rates for one server.
+class BandwidthScheduler {
+ public:
+  virtual ~BandwidthScheduler() = default;
+
+  /// Computes allocations for \p active (the server's unfinished requests,
+  /// all advanced to \p now) under total link \p capacity. Writes one rate
+  /// per request into \p rates (resized to active.size()).
+  ///
+  /// Postconditions (enforced by all implementations, checked in tests):
+  ///   rates[i] >= active[i]->view_bandwidth()   (minimum flow)
+  ///   rates[i] <= active[i]->receive_bandwidth()
+  ///   sum(rates) <= capacity (+ tolerance)
+  virtual void allocate(Seconds now, Mbps capacity,
+                        const std::vector<Request*>& active,
+                        std::vector<Mbps>& rates) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Scheduler registry keys (used by engine::Config and the CLI).
+enum class SchedulerKind { kEftf, kContinuous, kProportional, kLftf, kIntermittent };
+
+/// Factory. Throws std::invalid_argument on an unknown kind. The
+/// intermittent scheduler is built with its default safety cover; construct
+/// IntermittentScheduler directly to tune it.
+std::unique_ptr<BandwidthScheduler> make_scheduler(SchedulerKind kind);
+
+/// Parses "eftf" | "continuous" | "proportional" | "lftf" | "intermittent".
+SchedulerKind scheduler_kind_from_string(const std::string& name);
+std::string to_string(SchedulerKind kind);
+
+namespace sched_detail {
+
+/// Gives every request its view bandwidth; returns the remaining slack.
+/// Asserts the minimum-flow commitments fit in capacity.
+Mbps assign_minimum_flow(Mbps capacity, const std::vector<Request*>& active,
+                         std::vector<Mbps>& rates);
+
+/// True if \p request can absorb workahead (buffer headroom + receive cap).
+bool workahead_eligible(const Request& request);
+
+/// Indices of workahead-eligible requests.
+std::vector<std::size_t> eligible_indices(const std::vector<Request*>& active);
+
+/// Greedy slack distribution over \p order (a permutation of eligible
+/// indices): each request in turn gets min(slack, receive_cap - rate).
+void distribute_greedy(Mbps slack, const std::vector<std::size_t>& order,
+                       const std::vector<Request*>& active,
+                       std::vector<Mbps>& rates);
+
+}  // namespace sched_detail
+
+}  // namespace vodsim

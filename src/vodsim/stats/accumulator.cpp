@@ -1,0 +1,58 @@
+#include "vodsim/stats/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "vodsim/stats/student_t.h"
+
+namespace vodsim {
+
+void Accumulator::add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::ci_half_width(double level) const {
+  if (count_ < 2) return 0.0;
+  const double t = student_t_quantile(static_cast<int>(count_ - 1),
+                                      0.5 + level / 2.0);
+  return t * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+std::string format_mean_ci(const Accumulator& acc, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", precision, acc.mean(), precision,
+                acc.ci_half_width());
+  return buf;
+}
+
+}  // namespace vodsim

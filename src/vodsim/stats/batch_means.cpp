@@ -1,0 +1,43 @@
+#include "vodsim/stats/batch_means.h"
+
+#include <cassert>
+
+namespace vodsim {
+
+BatchMeans::BatchMeans(std::size_t batch_size, std::size_t warmup_observations)
+    : batch_size_(batch_size), warmup_remaining_(warmup_observations) {
+  assert(batch_size >= 1);
+}
+
+void BatchMeans::add(double value) {
+  ++observations_;
+  if (warmup_remaining_ > 0) {
+    --warmup_remaining_;
+    return;
+  }
+  current_sum_ += value;
+  if (++current_count_ == batch_size_) {
+    const double batch_mean = current_sum_ / static_cast<double>(batch_size_);
+    batches_.add(batch_mean);
+    batch_values_.push_back(batch_mean);
+    current_sum_ = 0.0;
+    current_count_ = 0;
+  }
+}
+
+double BatchMeans::batch_lag1_autocorrelation() const {
+  const std::size_t n = batch_values_.size();
+  if (n < 3) return 0.0;
+  const double mean = batches_.mean();
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double di = batch_values_[i] - mean;
+    denominator += di * di;
+    if (i + 1 < n) numerator += di * (batch_values_[i + 1] - mean);
+  }
+  if (denominator <= 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+}  // namespace vodsim

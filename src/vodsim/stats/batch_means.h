@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file batch_means.h
+/// \brief Batch-means output analysis for single long runs.
+///
+/// The paper averages 5 independent replications; an alternative standard
+/// technique for steady-state DES output is the method of batch means: one
+/// long run is cut into k contiguous batches, and the batch averages — far
+/// less autocorrelated than raw observations — feed a Student-t confidence
+/// interval. Useful when replication is expensive (e.g., REPRO_FULL runs)
+/// or when studying one seed's trajectory.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vodsim/stats/accumulator.h"
+
+namespace vodsim {
+
+class BatchMeans {
+ public:
+  /// \param batch_size observations per batch (>= 1).
+  /// \param warmup_observations dropped before batching begins.
+  explicit BatchMeans(std::size_t batch_size, std::size_t warmup_observations = 0);
+
+  /// Feeds one observation.
+  void add(double value);
+
+  /// Number of *complete* batches so far.
+  std::size_t batch_count() const { return batches_.count(); }
+
+  /// Observations consumed (including warmup and the partial tail batch).
+  std::uint64_t observations() const { return observations_; }
+
+  /// Mean over complete batches (== mean of the batched observations).
+  double mean() const { return batches_.mean(); }
+
+  /// Student-t CI half-width over batch means. Requires >= 2 batches.
+  double ci_half_width(double level = 0.95) const {
+    return batches_.ci_half_width(level);
+  }
+
+  /// Lag-1 autocorrelation of the batch means — the standard diagnostic:
+  /// near zero means the batches are long enough to treat as independent;
+  /// large positive values mean the CI is optimistic and the batch size
+  /// should grow. Returns 0 with fewer than 3 batches.
+  double batch_lag1_autocorrelation() const;
+
+  /// Underlying accumulator over batch means.
+  const Accumulator& batches() const { return batches_; }
+
+ private:
+  std::size_t batch_size_;
+  std::size_t warmup_remaining_;
+  std::uint64_t observations_ = 0;
+  double current_sum_ = 0.0;
+  std::size_t current_count_ = 0;
+  Accumulator batches_;
+  std::vector<double> batch_values_;  // kept for the autocorrelation diagnostic
+};
+
+}  // namespace vodsim

@@ -1,0 +1,83 @@
+#include "vodsim/stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace vodsim {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  assert(lo < hi);
+  assert(bins >= 1);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value, std::uint64_t weight) {
+  total_ += weight;
+  if (value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (value >= hi_) {
+    // The top edge itself belongs to the last bin, everything above
+    // overflows.
+    if (value == hi_) {
+      counts_.back() += weight;
+    } else {
+      overflow_ += weight;
+    }
+    return;
+  }
+  auto index = static_cast<std::size_t>((value - lo_) / width_);
+  index = std::min(index, counts_.size() - 1);
+  counts_[index] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += static_cast<double>(counts_[i]);
+    if (cumulative >= target) return 0.5 * (bin_lo(i) + bin_hi(i));
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(std::size_t max_bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) /
+                     static_cast<double>(peak) * static_cast<double>(max_bar_width)));
+    std::snprintf(line, sizeof(line), "[%10.3f, %10.3f) %10llu %s\n", bin_lo(i),
+                  bin_hi(i), static_cast<unsigned long long>(counts_[i]),
+                  std::string(std::max<std::size_t>(bar, 1), '#').c_str());
+    out += line;
+  }
+  if (underflow_ != 0) {
+    std::snprintf(line, sizeof(line), "underflow: %llu\n",
+                  static_cast<unsigned long long>(underflow_));
+    out += line;
+  }
+  if (overflow_ != 0) {
+    std::snprintf(line, sizeof(line), "overflow: %llu\n",
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vodsim

@@ -1,0 +1,90 @@
+#include "vodsim/stats/student_t.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vodsim {
+
+namespace {
+
+/// Continued-fraction core of the incomplete beta (Numerical-Recipes-style
+/// modified Lentz iteration).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  assert(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(int dof, double x) {
+  assert(dof >= 1);
+  const double v = static_cast<double>(dof);
+  const double ib = incomplete_beta(v / 2.0, 0.5, v / (v + x * x));
+  return x >= 0.0 ? 1.0 - 0.5 * ib : 0.5 * ib;
+}
+
+double student_t_quantile(int dof, double p) {
+  assert(dof >= 1);
+  assert(p > 0.0 && p < 1.0);
+  if (p == 0.5) return 0.0;
+  // Bisection on the CDF: monotone, so robust; plenty fast for CI use.
+  double lo = -1.0;
+  double hi = 1.0;
+  while (student_t_cdf(dof, lo) > p) lo *= 2.0;
+  while (student_t_cdf(dof, hi) < p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (hi - lo < 1e-12 * std::max(1.0, std::fabs(mid))) break;
+    if (student_t_cdf(dof, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace vodsim

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file student_t.h
+/// \brief Student-t quantiles for confidence intervals.
+
+namespace vodsim {
+
+/// Quantile (inverse CDF) of the Student-t distribution with \p dof degrees
+/// of freedom at probability \p p in (0, 1). Accurate to ~1e-8 via
+/// Cornish-Fisher-free root refinement of the incomplete-beta CDF.
+/// dof >= 1 required.
+double student_t_quantile(int dof, double p);
+
+/// CDF of the Student-t distribution.
+double student_t_cdf(int dof, double x);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction,
+/// Lentz's algorithm). Exposed for tests.
+double incomplete_beta(double a, double b, double x);
+
+}  // namespace vodsim

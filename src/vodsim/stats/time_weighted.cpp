@@ -1,0 +1,43 @@
+#include "vodsim/stats/time_weighted.h"
+
+#include <algorithm>
+
+namespace vodsim {
+
+TimeWeighted::TimeWeighted(Seconds window_start, Seconds window_end)
+    : window_start_(window_start), window_end_(window_end) {}
+
+void TimeWeighted::accumulate(Seconds from, Seconds to) {
+  const Seconds lo = std::max(from, window_start_);
+  const Seconds hi = std::min(to, window_end_);
+  if (hi <= lo) return;
+  weighted_sum_ += value_ * (hi - lo);
+  observed_ += hi - lo;
+}
+
+void TimeWeighted::update(Seconds now, double value) {
+  if (started_) {
+    accumulate(last_time_, now);
+  } else {
+    started_ = true;
+  }
+  last_time_ = now;
+  value_ = value;
+}
+
+void TimeWeighted::flush(Seconds now) {
+  if (!started_) {
+    started_ = true;
+    last_time_ = now;
+    return;
+  }
+  accumulate(last_time_, now);
+  last_time_ = now;
+}
+
+double TimeWeighted::mean() const {
+  if (observed_ <= 0.0) return 0.0;
+  return weighted_sum_ / observed_;
+}
+
+}  // namespace vodsim

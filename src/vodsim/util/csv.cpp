@@ -1,0 +1,81 @@
+#include "vodsim/util/csv.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace vodsim {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string escape(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::field(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string CsvWriter::field(std::uint64_t value) { return std::to_string(value); }
+
+std::string CsvWriter::field(std::int64_t value) { return std::to_string(value); }
+
+bool parse_csv_line(const std::string& line, std::vector<std::string>& fields) {
+  fields.clear();
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!current.empty()) return false;  // quote must open a field
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return false;
+  fields.push_back(std::move(current));
+  return true;
+}
+
+}  // namespace vodsim

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file csv.h
+/// \brief Small CSV writer/reader used for traces and bench output.
+///
+/// The format is deliberately simple: comma separator, quoting with `"` only
+/// when a field contains a comma, quote or newline; embedded quotes are
+/// doubled (RFC 4180 subset). Numeric fields round-trip at full double
+/// precision.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vodsim {
+
+/// Streams rows of string/numeric fields as CSV to any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; fields are escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough digits to round-trip.
+  static std::string field(double value);
+  static std::string field(std::uint64_t value);
+  static std::string field(std::int64_t value);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parses one CSV line into fields (inverse of CsvWriter::write_row).
+/// Returns false on malformed quoting.
+bool parse_csv_line(const std::string& line, std::vector<std::string>& fields);
+
+}  // namespace vodsim

@@ -1,0 +1,54 @@
+#include "vodsim/util/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vodsim {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool repro_full() {
+  const std::string v = env_string("REPRO_FULL", "0");
+  return v != "0" && v != "false" && v != "FALSE" && v != "no";
+}
+
+BenchScale bench_scale() {
+  BenchScale scale{};
+  if (repro_full()) {
+    scale.trials = 5;
+    scale.sim_hours = 1000.0;
+    scale.warmup_hours = 20.0;
+  } else {
+    scale.trials = 3;
+    scale.sim_hours = 60.0;
+    scale.warmup_hours = 5.0;
+  }
+  scale.trials = static_cast<int>(env_long("REPRO_TRIALS", scale.trials));
+  scale.sim_hours = env_double("REPRO_HOURS", scale.sim_hours);
+  scale.warmup_hours = env_double("REPRO_WARMUP_HOURS", scale.warmup_hours);
+  return scale;
+}
+
+}  // namespace vodsim

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file env.h
+/// \brief Environment-variable helpers for bench scaling.
+///
+/// Figure/table benches default to a reduced grid sized for CI; setting
+/// REPRO_FULL=1 restores paper-scale runs (5 trials x 1000 simulated hours).
+/// REPRO_TRIALS and REPRO_HOURS override the individual knobs.
+
+#include <cstdint>
+#include <string>
+
+namespace vodsim {
+
+/// Returns the env var's value or \p fallback if unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Returns the env var parsed as long, or \p fallback on unset/parse error.
+long env_long(const char* name, long fallback);
+
+/// Returns the env var parsed as double, or \p fallback.
+double env_double(const char* name, double fallback);
+
+/// True when REPRO_FULL is set to a non-zero/"true" value.
+bool repro_full();
+
+/// Bench-scale parameters derived from the environment.
+struct BenchScale {
+  int trials;          ///< trials per data point
+  double sim_hours;    ///< simulated hours per trial
+  double warmup_hours; ///< discarded prefix per trial
+};
+
+/// Returns the paper-scale (REPRO_FULL=1) or reduced-scale defaults, with
+/// REPRO_TRIALS / REPRO_HOURS / REPRO_WARMUP_HOURS overrides applied.
+BenchScale bench_scale();
+
+}  // namespace vodsim

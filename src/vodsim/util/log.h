@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file log.h
+/// \brief Minimal leveled logger.
+///
+/// Simulation hot paths never log; logging exists for benches, examples and
+/// debugging. The logger writes to stderr and is globally configured — no
+/// per-component hierarchy, which would be overkill for a simulator.
+
+#include <sstream>
+#include <string>
+
+namespace vodsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel log_level();
+
+/// Returns true if a message at \p level would be emitted.
+bool log_enabled(LogLevel level);
+
+/// Emits a single log line (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style log statement builder; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace vodsim
+
+#define VODSIM_LOG(level)                      \
+  if (!::vodsim::log_enabled(level)) {         \
+  } else                                       \
+    ::vodsim::detail::LogLine(level)
+
+#define VODSIM_DEBUG VODSIM_LOG(::vodsim::LogLevel::kDebug)
+#define VODSIM_INFO VODSIM_LOG(::vodsim::LogLevel::kInfo)
+#define VODSIM_WARN VODSIM_LOG(::vodsim::LogLevel::kWarn)
+#define VODSIM_ERROR VODSIM_LOG(::vodsim::LogLevel::kError)

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file units.h
+/// \brief Scalar unit conventions used throughout vodsim.
+///
+/// The simulator uses a small, consistent set of scalar units rather than a
+/// heavyweight dimensional-analysis library:
+///   - time:      seconds (double)
+///   - bandwidth: megabits per second, Mb/s (double)
+///   - data:      megabits, Mb (double)
+///
+/// Megabits are decimal (1 Mb = 10^6 bits; 1 GB = 8000 Mb), matching the
+/// networking conventions of the paper (videos are viewed at 3 Mb/s, server
+/// links are 100/300 Mb/s, disks are 100/150 GB).
+
+namespace vodsim {
+
+/// Simulation time in seconds.
+using Seconds = double;
+
+/// Bandwidth in megabits per second.
+using Mbps = double;
+
+/// Data volume in megabits.
+using Megabits = double;
+
+inline constexpr Seconds kSecondsPerMinute = 60.0;
+inline constexpr Seconds kSecondsPerHour = 3600.0;
+
+/// Converts minutes to seconds.
+constexpr Seconds minutes(double m) { return m * kSecondsPerMinute; }
+
+/// Converts hours to seconds.
+constexpr Seconds hours(double h) { return h * kSecondsPerHour; }
+
+/// Converts decimal gigabytes to megabits (1 GB = 8000 Mb).
+constexpr Megabits gigabytes(double gb) { return gb * 8000.0; }
+
+/// Converts megabits to decimal gigabytes.
+constexpr double to_gigabytes(Megabits mb) { return mb / 8000.0; }
+
+}  // namespace vodsim

@@ -1,0 +1,82 @@
+#include "vodsim/workload/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace vodsim {
+
+double WorkloadProfile::head_share(std::size_t k) const {
+  if (total == 0) return 0.0;
+  k = std::min(k, by_popularity.size());
+  std::uint64_t head = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    head += counts[static_cast<std::size_t>(by_popularity[i])];
+  }
+  return static_cast<double>(head) / static_cast<double>(total);
+}
+
+WorkloadProfile profile_trace(const RequestTrace& trace, std::size_t num_videos) {
+  WorkloadProfile profile;
+  profile.counts.assign(num_videos, 0);
+  for (const Arrival& arrival : trace.arrivals()) {
+    const auto index = static_cast<std::size_t>(arrival.video);
+    assert(index < num_videos && "trace references a video outside the catalog");
+    ++profile.counts[index];
+    ++profile.total;
+  }
+  profile.shares.assign(num_videos, 0.0);
+  if (profile.total > 0) {
+    for (std::size_t i = 0; i < num_videos; ++i) {
+      profile.shares[i] = static_cast<double>(profile.counts[i]) /
+                          static_cast<double>(profile.total);
+    }
+  }
+  profile.by_popularity.resize(num_videos);
+  std::iota(profile.by_popularity.begin(), profile.by_popularity.end(), 0);
+  std::sort(profile.by_popularity.begin(), profile.by_popularity.end(),
+            [&](VideoId a, VideoId b) {
+              const auto ca = profile.counts[static_cast<std::size_t>(a)];
+              const auto cb = profile.counts[static_cast<std::size_t>(b)];
+              if (ca != cb) return ca > cb;
+              return a < b;
+            });
+  return profile;
+}
+
+double estimate_zipf_theta(const WorkloadProfile& profile) {
+  // Regress log(count) on log(rank) over nonzero ranks.
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t rank = 0; rank < profile.by_popularity.size(); ++rank) {
+    const auto count =
+        profile.counts[static_cast<std::size_t>(profile.by_popularity[rank])];
+    if (count == 0) break;  // rank order: zeros are all at the tail
+    const double x = std::log(static_cast<double>(rank + 1));
+    const double y = std::log(static_cast<double>(count));
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++n;
+  }
+  if (n < 2) return 1.0;
+  const double denom = static_cast<double>(n) * sum_xx - sum_x * sum_x;
+  if (denom <= 0.0) return 1.0;
+  const double slope =
+      (static_cast<double>(n) * sum_xy - sum_x * sum_y) / denom;
+  // slope = -(1 - theta)  =>  theta = 1 + slope.
+  return 1.0 + slope;
+}
+
+double estimate_zipf_theta(ArrivalSource& source, std::size_t n,
+                           std::size_t num_videos) {
+  const RequestTrace trace = RequestTrace::record(source, n);
+  return estimate_zipf_theta(profile_trace(trace, num_videos));
+}
+
+}  // namespace vodsim

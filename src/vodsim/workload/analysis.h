@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file analysis.h
+/// \brief Workload analysis: estimate popularity structure from traces.
+///
+/// Real deployments do not know theta; they have request logs. This module
+/// turns a trace into (a) empirical per-video request shares — the input a
+/// predictive/partial-predictive placement actually consumes — and (b) a
+/// fitted Zipf skew parameter, using the paper's parameterization
+/// p_i ∝ i^-(1-theta). The fit is a least-squares regression of
+/// log(frequency) on log(rank), which is the standard estimator for
+/// Zipf-like laws and is exact in expectation for data drawn from one.
+
+#include <cstdint>
+#include <vector>
+
+#include "vodsim/cluster/video.h"
+#include "vodsim/workload/trace.h"
+
+namespace vodsim {
+
+/// Per-video request statistics extracted from a trace.
+struct WorkloadProfile {
+  /// Requests per video id (index = VideoId), length = catalog size.
+  std::vector<std::uint64_t> counts;
+  /// Empirical request probabilities (same indexing; sums to 1 when the
+  /// trace is non-empty).
+  std::vector<double> shares;
+  /// Video ids sorted by decreasing popularity (rank order).
+  std::vector<VideoId> by_popularity;
+  std::uint64_t total = 0;
+
+  /// Fraction of requests hitting the top k videos.
+  double head_share(std::size_t k) const;
+};
+
+/// Tabulates a trace. \p num_videos must cover every id in the trace.
+WorkloadProfile profile_trace(const RequestTrace& trace, std::size_t num_videos);
+
+/// Least-squares fit of the paper's Zipf parameterization to observed
+/// counts: regress log(count_rank) on log(rank) over ranks with nonzero
+/// counts; the slope is -(1 - theta), so theta = 1 + slope. Requires at
+/// least two distinct nonzero ranks; returns the uniform value 1.0 when the
+/// data cannot identify a slope.
+double estimate_zipf_theta(const WorkloadProfile& profile);
+
+/// Convenience: record `n` arrivals from a source and fit theta.
+double estimate_zipf_theta(ArrivalSource& source, std::size_t n,
+                           std::size_t num_videos);
+
+}  // namespace vodsim

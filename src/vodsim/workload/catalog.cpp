@@ -1,0 +1,25 @@
+#include "vodsim/workload/catalog.h"
+
+#include <cassert>
+
+namespace vodsim {
+
+VideoCatalog generate_catalog(const CatalogSpec& spec, Rng& rng) {
+  assert(spec.num_videos >= 1);
+  assert(spec.min_duration > 0.0);
+  assert(spec.min_duration <= spec.max_duration);
+  assert(spec.view_bandwidth > 0.0);
+
+  std::vector<Video> videos;
+  videos.reserve(spec.num_videos);
+  for (std::size_t i = 0; i < spec.num_videos; ++i) {
+    Video video;
+    video.id = static_cast<VideoId>(i);
+    video.duration = rng.uniform(spec.min_duration, spec.max_duration);
+    video.view_bandwidth = spec.view_bandwidth;
+    videos.push_back(video);
+  }
+  return VideoCatalog(std::move(videos));
+}
+
+}  // namespace vodsim

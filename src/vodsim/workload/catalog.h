@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file catalog.h
+/// \brief Video catalog generation.
+///
+/// The paper draws each video's length uniformly at random from a range
+/// (10-30 min for the small system, 1-2 h for the large one); all videos
+/// play at the same view bandwidth (3 Mb/s).
+
+#include "vodsim/cluster/video.h"
+#include "vodsim/util/rng.h"
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+/// Parameters for catalog generation.
+struct CatalogSpec {
+  std::size_t num_videos = 100;
+  Seconds min_duration = minutes(10);
+  Seconds max_duration = minutes(30);
+  Mbps view_bandwidth = 3.0;
+};
+
+/// Generates a catalog with uniformly distributed durations. Video ids are
+/// dense 0..n-1 and — by convention throughout vodsim — id order is base
+/// popularity-rank order (video 0 is the a-priori most popular title).
+VideoCatalog generate_catalog(const CatalogSpec& spec, Rng& rng);
+
+}  // namespace vodsim

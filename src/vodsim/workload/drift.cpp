@@ -1,0 +1,48 @@
+#include "vodsim/workload/drift.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vodsim {
+
+StaticZipfPopularity::StaticZipfPopularity(std::size_t num_videos, double theta)
+    : zipf_(num_videos, theta) {}
+
+VideoId StaticZipfPopularity::sample(Seconds /*now*/, Rng& rng) const {
+  return static_cast<VideoId>(zipf_.sample(rng));
+}
+
+std::vector<double> StaticZipfPopularity::probabilities(Seconds /*now*/) const {
+  return zipf_.probabilities();
+}
+
+DriftingZipfPopularity::DriftingZipfPopularity(std::size_t num_videos, double theta,
+                                               Seconds period, std::size_t step)
+    : zipf_(num_videos, theta), period_(period), step_(step) {
+  assert(period > 0.0);
+}
+
+std::size_t DriftingZipfPopularity::epoch(Seconds now) const {
+  if (now <= 0.0) return 0;
+  return static_cast<std::size_t>(std::floor(now / period_));
+}
+
+VideoId DriftingZipfPopularity::video_at_rank(Seconds now, std::size_t rank) const {
+  const std::size_t n = zipf_.size();
+  const std::size_t shift = (epoch(now) * step_) % n;
+  return static_cast<VideoId>((rank + shift) % n);
+}
+
+VideoId DriftingZipfPopularity::sample(Seconds now, Rng& rng) const {
+  return video_at_rank(now, zipf_.sample(rng));
+}
+
+std::vector<double> DriftingZipfPopularity::probabilities(Seconds now) const {
+  std::vector<double> probs(zipf_.size(), 0.0);
+  for (std::size_t rank = 0; rank < zipf_.size(); ++rank) {
+    probs[static_cast<std::size_t>(video_at_rank(now, rank))] = zipf_.pmf(rank);
+  }
+  return probs;
+}
+
+}  // namespace vodsim

@@ -1,0 +1,20 @@
+#include "vodsim/workload/poisson.h"
+
+#include <cassert>
+
+namespace vodsim {
+
+PoissonProcess::PoissonProcess(double rate) : rate_(rate) { assert(rate > 0.0); }
+
+Seconds PoissonProcess::next_gap(Rng& rng) const { return rng.exponential(rate_); }
+
+double offered_load_rate(Mbps total_bandwidth, Seconds mean_video_seconds,
+                         Mbps view_bandwidth, double load_factor) {
+  assert(total_bandwidth > 0.0);
+  assert(mean_video_seconds > 0.0);
+  assert(view_bandwidth > 0.0);
+  const Megabits mean_size = mean_video_seconds * view_bandwidth;
+  return load_factor * total_bandwidth / mean_size;
+}
+
+}  // namespace vodsim

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file poisson.h
+/// \brief Homogeneous Poisson arrival process.
+///
+/// The paper's request arrivals are Poisson with the rate chosen so the
+/// *offered* load equals 100% of aggregate server bandwidth:
+///
+///     lambda = (sum of server bandwidth) / (E[video length] * b_view)
+
+#include "vodsim/util/rng.h"
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+class PoissonProcess {
+ public:
+  /// \param rate arrivals per second (> 0).
+  explicit PoissonProcess(double rate);
+
+  double rate() const { return rate_; }
+
+  /// Draws the next interarrival gap (exponential with mean 1/rate).
+  Seconds next_gap(Rng& rng) const;
+
+ private:
+  double rate_;
+};
+
+/// Arrival rate that makes the offered load \p load_factor x the aggregate
+/// service capacity. \p total_bandwidth in Mb/s, \p mean_video_seconds the
+/// expected video duration, \p view_bandwidth the playback rate in Mb/s.
+double offered_load_rate(Mbps total_bandwidth, Seconds mean_video_seconds,
+                         Mbps view_bandwidth, double load_factor = 1.0);
+
+}  // namespace vodsim

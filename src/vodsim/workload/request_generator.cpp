@@ -1,0 +1,15 @@
+#include "vodsim/workload/request_generator.h"
+
+namespace vodsim {
+
+RequestGenerator::RequestGenerator(PoissonProcess process,
+                                   const PopularityModel& popularity,
+                                   std::uint64_t seed)
+    : process_(process), popularity_(popularity), rng_(seed) {}
+
+std::optional<Arrival> RequestGenerator::next() {
+  clock_ += process_.next_gap(rng_);
+  return Arrival{clock_, popularity_.sample(clock_, rng_)};
+}
+
+}  // namespace vodsim

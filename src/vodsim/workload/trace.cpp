@@ -1,0 +1,90 @@
+#include "vodsim/workload/trace.h"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "vodsim/util/csv.h"
+
+namespace vodsim {
+
+RequestTrace::RequestTrace(std::vector<Arrival> arrivals)
+    : arrivals_(std::move(arrivals)) {
+  for (std::size_t i = 1; i < arrivals_.size(); ++i) {
+    assert(arrivals_[i].time >= arrivals_[i - 1].time);
+  }
+}
+
+void RequestTrace::append(Arrival arrival) {
+  assert(arrivals_.empty() || arrival.time >= arrivals_.back().time);
+  arrivals_.push_back(arrival);
+}
+
+void RequestTrace::save(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.write_row({"time_s", "video_id"});
+  for (const Arrival& arrival : arrivals_) {
+    writer.write_row({CsvWriter::field(arrival.time),
+                      CsvWriter::field(static_cast<std::int64_t>(arrival.video))});
+  }
+}
+
+RequestTrace RequestTrace::load(std::istream& in) {
+  std::string line;
+  std::vector<std::string> fields;
+  if (!std::getline(in, line)) throw std::runtime_error("trace: empty input");
+  if (!parse_csv_line(line, fields) || fields.size() != 2 || fields[0] != "time_s" ||
+      fields[1] != "video_id") {
+    throw std::runtime_error("trace: bad header, expected time_s,video_id");
+  }
+  RequestTrace trace;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (!parse_csv_line(line, fields) || fields.size() != 2) {
+      throw std::runtime_error("trace: malformed line " + std::to_string(line_number));
+    }
+    Arrival arrival;
+    try {
+      arrival.time = std::stod(fields[0]);
+      arrival.video = static_cast<VideoId>(std::stol(fields[1]));
+    } catch (const std::exception&) {
+      throw std::runtime_error("trace: unparsable line " + std::to_string(line_number));
+    }
+    if (!trace.empty() && arrival.time < trace.arrivals_.back().time) {
+      throw std::runtime_error("trace: time goes backwards at line " +
+                               std::to_string(line_number));
+    }
+    trace.arrivals_.push_back(arrival);
+  }
+  return trace;
+}
+
+RequestTrace RequestTrace::record(ArrivalSource& source, std::size_t count) {
+  RequestTrace trace;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto arrival = source.next();
+    if (!arrival) break;
+    trace.append(*arrival);
+  }
+  return trace;
+}
+
+RequestTrace RequestTrace::record_until(ArrivalSource& source, Seconds horizon) {
+  RequestTrace trace;
+  for (;;) {
+    auto arrival = source.next();
+    if (!arrival || arrival->time > horizon) break;
+    trace.append(*arrival);
+  }
+  return trace;
+}
+
+std::optional<Arrival> TraceArrivalSource::next() {
+  if (index_ >= trace_.size()) return std::nullopt;
+  return trace_[index_++];
+}
+
+}  // namespace vodsim

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file trace.h
+/// \brief Request traces: record an arrival stream, replay it later.
+///
+/// Traces make cross-policy comparisons paired (identical arrivals under
+/// every policy) and let users feed real-world logs into the simulator.
+/// Format: a CSV with header `time_s,video_id`.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "vodsim/workload/request_generator.h"
+
+namespace vodsim {
+
+/// In-memory trace, non-decreasing in time.
+class RequestTrace {
+ public:
+  RequestTrace() = default;
+  explicit RequestTrace(std::vector<Arrival> arrivals);
+
+  std::size_t size() const { return arrivals_.size(); }
+  bool empty() const { return arrivals_.empty(); }
+  const Arrival& operator[](std::size_t i) const { return arrivals_[i]; }
+  const std::vector<Arrival>& arrivals() const { return arrivals_; }
+
+  void append(Arrival arrival);
+
+  /// Serializes as CSV (`time_s,video_id` header + one row per arrival).
+  void save(std::ostream& out) const;
+
+  /// Parses a CSV trace. Throws std::runtime_error on malformed input or
+  /// time going backwards.
+  static RequestTrace load(std::istream& in);
+
+  /// Records \p count arrivals from a generator.
+  static RequestTrace record(ArrivalSource& source, std::size_t count);
+
+  /// Records arrivals up to time \p horizon.
+  static RequestTrace record_until(ArrivalSource& source, Seconds horizon);
+
+ private:
+  std::vector<Arrival> arrivals_;
+};
+
+/// Replays a trace as an ArrivalSource.
+class TraceArrivalSource final : public ArrivalSource {
+ public:
+  /// \param trace must outlive the source.
+  explicit TraceArrivalSource(const RequestTrace& trace) : trace_(trace) {}
+
+  std::optional<Arrival> next() override;
+
+ private:
+  const RequestTrace& trace_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace vodsim

@@ -1,0 +1,86 @@
+// Tests for the analytical models: Erlang-B and the SVBR utilization curve.
+
+#include <gtest/gtest.h>
+
+#include "vodsim/analysis/erlang.h"
+#include "vodsim/analysis/svbr.h"
+
+namespace vodsim {
+namespace {
+
+TEST(ErlangB, KnownValues) {
+  // Classic telephony table entries.
+  EXPECT_NEAR(erlang_b_blocking(1, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b_blocking(2, 1.0), 0.2, 1e-12);
+  EXPECT_NEAR(erlang_b_blocking(3, 2.0), 0.210526, 1e-5);
+  EXPECT_NEAR(erlang_b_blocking(10, 5.0), 0.018385, 1e-5);
+}
+
+TEST(ErlangB, ZeroLoadNeverBlocks) {
+  EXPECT_DOUBLE_EQ(erlang_b_blocking(5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_b_blocking(0, 0.0), 1.0);
+}
+
+TEST(ErlangB, MonotoneInChannelsAndLoad) {
+  // More channels -> less blocking; more load -> more blocking.
+  for (int c = 1; c < 50; ++c) {
+    EXPECT_LT(erlang_b_blocking(c + 1, 10.0), erlang_b_blocking(c, 10.0));
+  }
+  for (double a = 1.0; a < 20.0; a += 1.0) {
+    EXPECT_GT(erlang_b_blocking(10, a + 1.0), erlang_b_blocking(10, a));
+  }
+}
+
+TEST(ErlangB, StableForLargeSystems) {
+  // The forward recursion must not overflow/underflow at paper scale
+  // (SVBR = 100) and beyond.
+  const double b = erlang_b_blocking(1000, 1000.0);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, 0.1);
+}
+
+TEST(ErlangB, CarriedLoadIdentity) {
+  const double offered = 33.0;
+  const int channels = 33;
+  const double carried = erlang_b_carried(channels, offered);
+  EXPECT_NEAR(carried, offered * (1.0 - erlang_b_blocking(channels, offered)),
+              1e-12);
+  EXPECT_LT(carried, static_cast<double>(channels));
+}
+
+TEST(Svbr, UtilizationRisesWithSvbr) {
+  // The paper's point: at 100% offered load, bigger SVBR = higher
+  // achievable utilization (statistical multiplexing).
+  double previous = 0.0;
+  for (int svbr : {1, 2, 5, 10, 33, 100, 300}) {
+    const double u = analytical_utilization(svbr, 1.0);
+    EXPECT_GT(u, previous);
+    EXPECT_LT(u, 1.0);
+    previous = u;
+  }
+  // SVBR 100 (the large system) already exceeds 90%.
+  EXPECT_GT(analytical_utilization(100, 1.0), 0.9);
+}
+
+TEST(Svbr, LightLoadIsCarriedAlmostEntirely) {
+  EXPECT_NEAR(analytical_utilization(33, 0.5), 0.5, 1e-3);
+  EXPECT_LT(analytical_rejection(33, 0.5), 1e-3);
+}
+
+TEST(Svbr, RejectionComplementsUtilizationAtFullLoad) {
+  // At load factor 1, carried = 1 - B, so utilization + rejection = 1.
+  for (int svbr : {5, 20, 100}) {
+    EXPECT_NEAR(analytical_utilization(svbr, 1.0) + analytical_rejection(svbr, 1.0),
+                1.0, 1e-12);
+  }
+}
+
+TEST(Svbr, OverloadSaturates) {
+  const double u = analytical_utilization(33, 2.0);
+  EXPECT_GT(u, 0.95);
+  EXPECT_LT(u, 1.0);
+  EXPECT_GT(analytical_rejection(33, 2.0), 0.4);
+}
+
+}  // namespace
+}  // namespace vodsim

@@ -1,0 +1,281 @@
+// Tests for the cluster model: staging buffer fluid math, request
+// lifecycle/advance, server replica & active-set management.
+
+#include <gtest/gtest.h>
+
+#include "vodsim/cluster/client.h"
+#include "vodsim/cluster/request.h"
+#include "vodsim/cluster/server.h"
+#include "vodsim/cluster/video.h"
+
+namespace vodsim {
+namespace {
+
+Video make_video(VideoId id = 0, Seconds duration = 600.0, Mbps view = 3.0) {
+  Video video;
+  video.id = id;
+  video.duration = duration;
+  video.view_bandwidth = view;
+  return video;
+}
+
+// ---------------------------------------------------------------- staging buffer
+
+TEST(StagingBuffer, FillsAndDrains) {
+  StagingBuffer buffer(100.0);
+  EXPECT_DOUBLE_EQ(buffer.apply(30.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(buffer.level(), 20.0);
+  EXPECT_DOUBLE_EQ(buffer.apply(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(buffer.level(), 15.0);
+}
+
+TEST(StagingBuffer, ReportsUnderflow) {
+  StagingBuffer buffer(100.0);
+  buffer.apply(10.0, 0.0);
+  const Megabits underflow = buffer.apply(0.0, 25.0);
+  EXPECT_DOUBLE_EQ(underflow, 15.0);
+  EXPECT_DOUBLE_EQ(buffer.level(), 0.0);  // clamped
+}
+
+TEST(StagingBuffer, ClampsAtCapacity) {
+  StagingBuffer buffer(50.0);
+  buffer.apply(60.0, 0.0);
+  EXPECT_DOUBLE_EQ(buffer.level(), 50.0);
+  EXPECT_TRUE(buffer.full());
+  EXPECT_DOUBLE_EQ(buffer.headroom(), 0.0);
+}
+
+TEST(StagingBuffer, FullWithinTolerance) {
+  StagingBuffer buffer(50.0);
+  buffer.apply(50.0 - 1e-8, 0.0);
+  EXPECT_TRUE(buffer.full());
+}
+
+TEST(StagingBuffer, PlaybackCover) {
+  StagingBuffer buffer(100.0);
+  buffer.apply(30.0, 0.0);
+  EXPECT_DOUBLE_EQ(buffer.playback_cover(3.0), 10.0);
+}
+
+TEST(StagingBuffer, ZeroCapacityAlwaysFull) {
+  StagingBuffer buffer(0.0);
+  EXPECT_TRUE(buffer.full());
+  EXPECT_DOUBLE_EQ(buffer.headroom(), 0.0);
+}
+
+TEST(StagingBuffer, TinyUnderflowIgnored) {
+  StagingBuffer buffer(10.0);
+  buffer.apply(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(buffer.apply(0.0, 1.0 + 1e-9), 0.0);  // below tolerance
+}
+
+// ---------------------------------------------------------------- request
+
+TEST(Request, InitialState) {
+  ClientProfile client{120.0, 30.0};
+  Request request(1, make_video(0, 600.0), 100.0, client);
+  EXPECT_EQ(request.state(), RequestState::kStreaming);
+  EXPECT_EQ(request.server(), kNoServer);
+  EXPECT_DOUBLE_EQ(request.remaining(), 1800.0);  // 600 s x 3 Mb/s
+  EXPECT_DOUBLE_EQ(request.playback_end(), 700.0);
+  EXPECT_DOUBLE_EQ(request.total_size(), 1800.0);
+  EXPECT_EQ(request.hops(), 0);
+  EXPECT_FALSE(request.finished());
+}
+
+TEST(Request, AdvanceAtViewRateKeepsBufferEmpty) {
+  ClientProfile client{120.0, 30.0};
+  Request request(1, make_video(), 0.0, client);
+  request.begin_streaming(0.0, 0);
+  request.set_allocation(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(request.advance(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(request.remaining(), 1800.0 - 300.0);
+  EXPECT_DOUBLE_EQ(request.buffer().level(), 0.0);
+}
+
+TEST(Request, WorkaheadFillsBuffer) {
+  ClientProfile client{120.0, 30.0};
+  Request request(1, make_video(), 0.0, client);
+  request.begin_streaming(0.0, 0);
+  request.set_allocation(0.0, 15.0);
+  request.advance(10.0);
+  // Sent 150, viewed 30 -> buffer 120 (exactly capacity).
+  EXPECT_DOUBLE_EQ(request.buffer().level(), 120.0);
+  EXPECT_TRUE(request.buffer().full());
+  EXPECT_DOUBLE_EQ(request.remaining(), 1650.0);
+}
+
+TEST(Request, ProjectedFinishUsesViewBandwidth) {
+  ClientProfile client{120.0, 30.0};
+  Request request(1, make_video(), 0.0, client);
+  EXPECT_DOUBLE_EQ(request.projected_finish(50.0), 50.0 + 1800.0 / 3.0);
+}
+
+TEST(Request, AdvanceStopsConsumingAfterPlaybackEnd) {
+  ClientProfile client{10000.0, 1000.0};
+  Request request(1, make_video(0, 100.0), 0.0, client);  // 300 Mb total
+  request.begin_streaming(0.0, 0);
+  request.set_allocation(0.0, 300.0);
+  request.advance(1.0);  // all 300 Mb sent in 1 s; viewed 3 Mb
+  EXPECT_TRUE(request.finished());
+  EXPECT_DOUBLE_EQ(request.buffer().level(), 297.0);
+  request.set_allocation(1.0, 0.0);
+  request.advance(100.0);  // playback end
+  EXPECT_NEAR(request.buffer().level(), 0.0, 1e-9);
+  request.advance(200.0);  // beyond playback end: no further consumption
+  EXPECT_NEAR(request.buffer().level(), 0.0, 1e-9);
+}
+
+TEST(Request, LifecycleToDone) {
+  ClientProfile client{0.0, 3.0};
+  Request request(1, make_video(), 0.0, client);
+  request.begin_streaming(0.0, 2);
+  EXPECT_EQ(request.server(), 2);
+  request.set_allocation(0.0, 3.0);
+  request.advance(600.0);
+  EXPECT_TRUE(request.finished());
+  request.mark_tx_complete(600.0);
+  EXPECT_EQ(request.state(), RequestState::kTxComplete);
+  EXPECT_EQ(request.server(), kNoServer);
+  request.mark_done(600.0);
+  EXPECT_EQ(request.state(), RequestState::kDone);
+}
+
+TEST(Request, MigrationIncrementsHops) {
+  ClientProfile client{120.0, 30.0};
+  Request request(1, make_video(), 0.0, client);
+  request.begin_streaming(0.0, 0);
+  request.set_allocation(0.0, 3.0);
+  request.advance(10.0);
+  request.begin_migration(10.0);
+  EXPECT_EQ(request.state(), RequestState::kMigrating);
+  EXPECT_EQ(request.hops(), 1);
+  EXPECT_DOUBLE_EQ(request.allocation(), 0.0);
+  request.complete_migration(10.0, 3);
+  EXPECT_EQ(request.state(), RequestState::kStreaming);
+  EXPECT_EQ(request.server(), 3);
+}
+
+TEST(Request, MigrationPauseDrainsBuffer) {
+  ClientProfile client{120.0, 30.0};
+  Request request(1, make_video(), 0.0, client);
+  request.begin_streaming(0.0, 0);
+  request.set_allocation(0.0, 9.0);
+  request.advance(10.0);  // buffer: (9-3)*10 = 60
+  EXPECT_DOUBLE_EQ(request.buffer().level(), 60.0);
+  request.begin_migration(10.0);
+  EXPECT_DOUBLE_EQ(request.advance(20.0), 0.0);  // drains 30, no underflow
+  EXPECT_DOUBLE_EQ(request.buffer().level(), 30.0);
+}
+
+TEST(Request, RejectionIsTerminal) {
+  ClientProfile client{0.0, 3.0};
+  Request request(1, make_video(), 0.0, client);
+  request.mark_rejected();
+  EXPECT_EQ(request.state(), RequestState::kRejected);
+}
+
+// ---------------------------------------------------------------- server
+
+TEST(Server, ReplicaStorageAccounting) {
+  Server server(0, 100.0, 5000.0);
+  const Video a = make_video(0, 600.0);   // 1800 Mb
+  const Video b = make_video(1, 1000.0);  // 3000 Mb
+  const Video c = make_video(2, 600.0);   // 1800 Mb: does not fit after a+b
+  EXPECT_TRUE(server.add_replica(a));
+  EXPECT_TRUE(server.add_replica(b));
+  EXPECT_FALSE(server.add_replica(c));
+  EXPECT_TRUE(server.holds(0));
+  EXPECT_TRUE(server.holds(1));
+  EXPECT_FALSE(server.holds(2));
+  EXPECT_DOUBLE_EQ(server.storage_used(), 4800.0);
+  EXPECT_EQ(server.replicas().size(), 2u);
+}
+
+TEST(Server, DuplicateReplicaRejected) {
+  Server server(0, 100.0, 100000.0);
+  const Video a = make_video(0);
+  EXPECT_TRUE(server.add_replica(a));
+  EXPECT_FALSE(server.add_replica(a));
+  EXPECT_DOUBLE_EQ(server.storage_used(), a.size());
+}
+
+TEST(Server, AdmissionArithmetic) {
+  Server server(0, 10.0, 1e6);
+  ClientProfile client{0.0, 3.0};
+  Request r1(1, make_video(0), 0.0, client);
+  Request r2(2, make_video(0), 0.0, client);
+  Request r3(3, make_video(0), 0.0, client);
+
+  EXPECT_TRUE(server.can_admit(3.0));
+  server.attach(r1);
+  server.attach(r2);
+  server.attach(r3);
+  EXPECT_DOUBLE_EQ(server.committed_bandwidth(), 9.0);
+  EXPECT_FALSE(server.can_admit(3.0));  // 12 > 10
+  EXPECT_DOUBLE_EQ(server.slack(), 1.0);
+  EXPECT_EQ(server.active_count(), 3u);
+}
+
+TEST(Server, DetachSwapsInConstantTime) {
+  Server server(0, 100.0, 1e6);
+  ClientProfile client{0.0, 3.0};
+  Request r1(1, make_video(0), 0.0, client);
+  Request r2(2, make_video(0), 0.0, client);
+  Request r3(3, make_video(0), 0.0, client);
+  server.attach(r1);
+  server.attach(r2);
+  server.attach(r3);
+  server.detach(r1);  // r3 swaps into slot 0
+  EXPECT_EQ(server.active_count(), 2u);
+  EXPECT_EQ(server.active_requests()[r3.active_index], &r3);
+  EXPECT_EQ(server.active_requests()[r2.active_index], &r2);
+  server.detach(r3);
+  server.detach(r2);
+  EXPECT_EQ(server.active_count(), 0u);
+  EXPECT_NEAR(server.committed_bandwidth(), 0.0, 1e-12);
+}
+
+TEST(Server, UnavailableRefusesAdmission) {
+  Server server(0, 100.0, 1e6);
+  EXPECT_TRUE(server.can_admit(3.0));
+  server.set_available(false);
+  EXPECT_FALSE(server.can_admit(3.0));
+  server.set_available(true);
+  EXPECT_TRUE(server.can_admit(3.0));
+}
+
+TEST(Server, ReservationBlocksAdmission) {
+  Server server(0, 10.0, 1e6);
+  server.reserve_bandwidth(9.0);
+  EXPECT_FALSE(server.can_admit(3.0));
+  EXPECT_DOUBLE_EQ(server.schedulable_bandwidth(), 1.0);
+  server.release_reservation(9.0);
+  EXPECT_TRUE(server.can_admit(3.0));
+  EXPECT_DOUBLE_EQ(server.schedulable_bandwidth(), 10.0);
+}
+
+TEST(Server, TotalAttachedCounts) {
+  Server server(0, 100.0, 1e6);
+  ClientProfile client{0.0, 3.0};
+  Request r1(1, make_video(0), 0.0, client);
+  server.attach(r1);
+  server.detach(r1);
+  Request r2(2, make_video(0), 0.0, client);
+  server.attach(r2);
+  EXPECT_EQ(server.total_attached(), 2u);
+}
+
+// ---------------------------------------------------------------- catalog
+
+TEST(VideoCatalog, MeansComputed) {
+  std::vector<Video> videos;
+  videos.push_back(make_video(0, 100.0));
+  videos.push_back(make_video(1, 300.0));
+  const VideoCatalog catalog(std::move(videos));
+  EXPECT_DOUBLE_EQ(catalog.mean_duration(), 200.0);
+  EXPECT_DOUBLE_EQ(catalog.mean_size(), 600.0);
+}
+
+}  // namespace
+}  // namespace vodsim

@@ -1,0 +1,181 @@
+// Tests for the discrete-event kernel: ordering, cancellation, reentrancy.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vodsim/des/event_queue.h"
+#include "vodsim/des/simulator.h"
+
+namespace vodsim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(3.0, [&](Seconds) { fired.push_back(3); });
+  queue.schedule(1.0, [&](Seconds) { fired.push_back(1); });
+  queue.schedule(2.0, [&](Seconds) { fired.push_back(2); });
+  while (!queue.empty()) {
+    auto [time, fn] = queue.pop();
+    fn(time);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5.0, [&fired, i](Seconds) { fired.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().second(5.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.schedule(1.0, [&](Seconds) { fired = true; });
+  queue.schedule(2.0, [](Seconds) {});
+  queue.cancel(id);
+  EXPECT_EQ(queue.size(), 1u);
+  while (!queue.empty()) queue.pop().second(0.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelInvalidIsNoop) {
+  EventQueue queue;
+  queue.cancel(kInvalidEventId);
+  queue.cancel(9999);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, DoubleCancelIsNoop) {
+  EventQueue queue;
+  const EventId id = queue.schedule(1.0, [](Seconds) {});
+  queue.cancel(id);
+  queue.cancel(id);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, PeekSkipsCancelled) {
+  EventQueue queue;
+  const EventId early = queue.schedule(1.0, [](Seconds) {});
+  queue.schedule(2.0, [](Seconds) {});
+  queue.cancel(early);
+  EXPECT_DOUBLE_EQ(queue.peek_time(), 2.0);
+}
+
+TEST(EventQueue, ManyScheduleCancelCycles) {
+  EventQueue queue;
+  int fired = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const EventId keep =
+        queue.schedule(static_cast<double>(round), [&](Seconds) { ++fired; });
+    const EventId drop = queue.schedule(static_cast<double>(round) + 0.5,
+                                        [&](Seconds) { FAIL() << "cancelled"; });
+    queue.cancel(drop);
+    (void)keep;
+  }
+  while (!queue.empty()) queue.pop().second(0.0);
+  EXPECT_EQ(fired, 1000);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Seconds> times;
+  sim.schedule_at(2.5, [&](Seconds t) { times.push_back(t); });
+  sim.schedule_at(1.0, [&](Seconds t) { times.push_back(t); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Seconds>{1.0, 2.5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulator, SchedulingInThePastClampsToNow) {
+  Simulator sim;
+  Seconds fired_at = -1.0;
+  sim.schedule_at(5.0, [&](Seconds) {
+    sim.schedule_at(1.0, [&](Seconds t) { fired_at = t; });  // past
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, ScheduleInUsesDelay) {
+  Simulator sim;
+  Seconds fired_at = -1.0;
+  sim.schedule_at(2.0, [&](Seconds) {
+    sim.schedule_in(3.0, [&](Seconds t) { fired_at = t; });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&](Seconds) { ++fired; });
+  sim.schedule_at(10.0, [&](Seconds) { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithEmptyQueue) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, ReentrantSchedulingChains) {
+  Simulator sim;
+  int count = 0;
+  // Each event schedules the next until 100 have run.
+  std::function<void(Seconds)> chain = [&](Seconds) {
+    if (++count < 100) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+  EXPECT_EQ(sim.executed_count(), 100u);
+}
+
+TEST(Simulator, HandlerCanCancelPendingEvent) {
+  Simulator sim;
+  bool victim_fired = false;
+  const EventId victim =
+      sim.schedule_at(2.0, [&](Seconds) { victim_fired = true; });
+  sim.schedule_at(1.0, [&](Seconds) { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1.0, [](Seconds) {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EqualTimeEventsRespectCausality) {
+  // An event scheduled *at the current time* from within a handler must run
+  // after all other handlers already queued at that time (it gets a later
+  // sequence number) — this is what makes simultaneous arrival + completion
+  // deterministic in the engine.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&](Seconds) {
+    order.push_back(1);
+    sim.schedule_at(1.0, [&](Seconds) { order.push_back(3); });
+  });
+  sim.schedule_at(1.0, [&](Seconds) { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace vodsim

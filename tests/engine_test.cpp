@@ -1,0 +1,277 @@
+// Tests for engine support modules: configuration presets/validation,
+// metrics windowing, the Figure 6 policy matrix, failure timelines.
+
+#include <gtest/gtest.h>
+
+#include "vodsim/engine/config.h"
+#include "vodsim/engine/failure.h"
+#include "vodsim/engine/metrics.h"
+#include "vodsim/engine/policy_matrix.h"
+
+namespace vodsim {
+namespace {
+
+// --------------------------------------------------------------- config
+
+TEST(Config, SmallSystemPreset) {
+  const SystemConfig system = SystemConfig::small_system();
+  EXPECT_EQ(system.num_servers, 5);
+  EXPECT_DOUBLE_EQ(system.server_bandwidth, 100.0);
+  EXPECT_DOUBLE_EQ(system.server_storage, gigabytes(100));
+  EXPECT_DOUBLE_EQ(system.video_min_duration, minutes(10));
+  EXPECT_DOUBLE_EQ(system.video_max_duration, minutes(30));
+  EXPECT_DOUBLE_EQ(system.avg_copies, 2.2);
+  EXPECT_NEAR(system.svbr(), 33.33, 0.01);
+  EXPECT_DOUBLE_EQ(system.total_bandwidth(), 500.0);
+}
+
+TEST(Config, LargeSystemPreset) {
+  const SystemConfig system = SystemConfig::large_system();
+  EXPECT_EQ(system.num_servers, 20);
+  EXPECT_DOUBLE_EQ(system.server_bandwidth, 300.0);
+  EXPECT_DOUBLE_EQ(system.svbr(), 100.0);
+  EXPECT_DOUBLE_EQ(system.total_bandwidth(), 6000.0);
+  EXPECT_DOUBLE_EQ(system.mean_video_duration(), hours(1.5));
+}
+
+TEST(Config, StoragePhysicallyFitsPresetCatalogs) {
+  // The replica budget must fit on disk for both presets — this pins the
+  // catalog-size assumption documented in DESIGN.md.
+  for (const SystemConfig& system :
+       {SystemConfig::small_system(), SystemConfig::large_system()}) {
+    const double copies = static_cast<double>(system.num_videos) * system.avg_copies;
+    const double bits_needed = copies * system.mean_video_size();
+    const double bits_available =
+        static_cast<double>(system.num_servers) * system.server_storage;
+    EXPECT_LT(bits_needed, bits_available) << system.name;
+  }
+}
+
+TEST(Config, ArrivalRateSaturatesCapacity) {
+  SimulationConfig config;
+  config.system = SystemConfig::small_system();
+  // rate * mean video size == aggregate bandwidth.
+  EXPECT_NEAR(config.arrival_rate() * config.system.mean_video_size(),
+              config.system.total_bandwidth(), 1e-9);
+  config.load_factor = 0.5;
+  EXPECT_NEAR(config.arrival_rate() * config.system.mean_video_size(),
+              config.system.total_bandwidth() * 0.5, 1e-9);
+}
+
+TEST(Config, StagingCapacityFromFraction) {
+  SimulationConfig config;
+  config.system = SystemConfig::small_system();
+  config.client.staging_fraction = 0.2;
+  EXPECT_DOUBLE_EQ(config.staging_capacity(),
+                   0.2 * config.system.mean_video_size());
+}
+
+TEST(Config, ValidationCatchesNonsense) {
+  SimulationConfig good;
+  good.system = SystemConfig::small_system();
+  EXPECT_NO_THROW(good.validate());
+
+  auto expect_invalid = [](auto mutate) {
+    SimulationConfig config;
+    config.system = SystemConfig::small_system();
+    mutate(config);
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+  };
+  expect_invalid([](SimulationConfig& c) { c.system.num_servers = 0; });
+  expect_invalid([](SimulationConfig& c) { c.system.server_bandwidth = -1.0; });
+  expect_invalid([](SimulationConfig& c) { c.system.view_bandwidth = 200.0; });
+  expect_invalid([](SimulationConfig& c) { c.system.avg_copies = 0.5; });
+  expect_invalid([](SimulationConfig& c) { c.client.staging_fraction = -0.1; });
+  expect_invalid([](SimulationConfig& c) { c.client.receive_bandwidth = 1.0; });
+  expect_invalid([](SimulationConfig& c) { c.load_factor = 0.0; });
+  expect_invalid([](SimulationConfig& c) { c.warmup = c.duration; });
+  expect_invalid([](SimulationConfig& c) {
+    c.system.bandwidth_profile = {1.0, 2.0};  // wrong size for 5 servers
+  });
+  expect_invalid([](SimulationConfig& c) {
+    c.failure.enabled = true;
+    c.failure.mean_time_between_failures = 0.0;
+  });
+}
+
+TEST(Config, NormalizeProfileKeepsTotals) {
+  const auto normalized = normalize_profile({1.0, 2.0, 3.0}, 3);
+  EXPECT_NEAR(normalized[0] + normalized[1] + normalized[2], 3.0, 1e-12);
+  EXPECT_NEAR(normalized[2] / normalized[0], 3.0, 1e-12);
+  EXPECT_THROW(normalize_profile({1.0}, 3), std::invalid_argument);
+  EXPECT_THROW(normalize_profile({1.0, -1.0, 1.0}, 3), std::invalid_argument);
+}
+
+TEST(Config, MakeServersAppliesProfiles) {
+  SystemConfig system = SystemConfig::small_system();
+  system.bandwidth_profile = {1.0, 1.0, 1.0, 1.0, 6.0};
+  const auto servers = make_servers(system);
+  ASSERT_EQ(servers.size(), 5u);
+  double total = 0.0;
+  for (const Server& server : servers) total += server.bandwidth();
+  EXPECT_NEAR(total, system.total_bandwidth(), 1e-6);
+  EXPECT_GT(servers[4].bandwidth(), servers[0].bandwidth());
+}
+
+TEST(Config, MakeServersHomogeneousByDefault) {
+  const auto servers = make_servers(SystemConfig::large_system());
+  for (const Server& server : servers) {
+    EXPECT_DOUBLE_EQ(server.bandwidth(), 300.0);
+    EXPECT_DOUBLE_EQ(server.storage_capacity(), gigabytes(150));
+  }
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(Metrics, UtilizationClipsToWindow) {
+  Metrics metrics(/*window_start=*/100.0, /*window_end=*/200.0,
+                  /*total_bandwidth=*/10.0);
+  metrics.record_transmission(0.0, 300.0, 10.0);  // only [100,200] counts
+  EXPECT_DOUBLE_EQ(metrics.utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.transmitted(), 1000.0);
+}
+
+TEST(Metrics, PartialOverlapCounts) {
+  Metrics metrics(100.0, 200.0, 10.0);
+  metrics.record_transmission(150.0, 250.0, 4.0);  // 50 s inside
+  EXPECT_DOUBLE_EQ(metrics.transmitted(), 200.0);
+  EXPECT_DOUBLE_EQ(metrics.utilization(), 0.2);
+}
+
+TEST(Metrics, OutsideWindowIgnored) {
+  Metrics metrics(100.0, 200.0, 10.0);
+  metrics.record_transmission(0.0, 99.0, 10.0);
+  metrics.record_transmission(200.0, 300.0, 10.0);
+  metrics.record_arrival(50.0);
+  metrics.record_rejection(250.0);
+  EXPECT_DOUBLE_EQ(metrics.transmitted(), 0.0);
+  EXPECT_EQ(metrics.arrivals(), 0u);
+  EXPECT_EQ(metrics.rejects(), 0u);
+}
+
+TEST(Metrics, RatiosFromCounts) {
+  Metrics metrics(0.0, 100.0, 10.0);
+  for (int i = 0; i < 8; ++i) metrics.record_arrival(10.0);
+  for (int i = 0; i < 6; ++i) metrics.record_acceptance(10.0, i % 2 == 0);
+  for (int i = 0; i < 2; ++i) metrics.record_rejection(10.0);
+  metrics.record_migration_chain(10.0, 2);
+  EXPECT_DOUBLE_EQ(metrics.rejection_ratio(), 0.25);
+  EXPECT_DOUBLE_EQ(metrics.acceptance_ratio(), 0.75);
+  EXPECT_EQ(metrics.accepts_via_migration(), 3u);
+  EXPECT_DOUBLE_EQ(metrics.migrations_per_arrival(), 0.25);
+}
+
+TEST(Metrics, ZeroRateIgnored) {
+  Metrics metrics(0.0, 100.0, 10.0);
+  metrics.record_transmission(0.0, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.transmitted(), 0.0);
+}
+
+TEST(Metrics, EmptyRatiosAreZero) {
+  Metrics metrics(0.0, 100.0, 10.0);
+  EXPECT_DOUBLE_EQ(metrics.rejection_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.migrations_per_arrival(), 0.0);
+}
+
+TEST(Metrics, UnderflowAndDrops) {
+  Metrics metrics(0.0, 100.0, 10.0);
+  metrics.record_underflow(5.0, 12.0);
+  metrics.record_drop(6.0);
+  metrics.record_completion(7.0);
+  EXPECT_EQ(metrics.underflow_events(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.underflow_megabits(), 12.0);
+  EXPECT_EQ(metrics.drops(), 1u);
+  EXPECT_EQ(metrics.completions(), 1u);
+}
+
+// --------------------------------------------------------------- policy matrix
+
+TEST(PolicyMatrix, EightPoliciesInPaperOrder) {
+  const auto& policies = figure6_policies();
+  ASSERT_EQ(policies.size(), 8u);
+  EXPECT_EQ(policies[0].label, "P1");
+  EXPECT_EQ(policies[7].label, "P8");
+  // P1-P4 even, P5-P8 predictive.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(policies[static_cast<std::size_t>(i)].placement, PlacementKind::kEven);
+    EXPECT_EQ(policies[static_cast<std::size_t>(i + 4)].placement,
+              PlacementKind::kPredictive);
+  }
+  // Migration on P3, P4, P7, P8.
+  EXPECT_FALSE(policies[0].migration);
+  EXPECT_FALSE(policies[1].migration);
+  EXPECT_TRUE(policies[2].migration);
+  EXPECT_TRUE(policies[3].migration);
+  // Staging 20% on even indices P2, P4, P6, P8.
+  EXPECT_DOUBLE_EQ(policies[1].staging_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(policies[3].staging_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(policies[0].staging_fraction, 0.0);
+}
+
+TEST(PolicyMatrix, ApplyPolicySetsKnobs) {
+  SimulationConfig base;
+  base.system = SystemConfig::small_system();
+  base.client.receive_bandwidth = 30.0;
+  const SimulationConfig p4 = apply_policy(base, figure6_policies()[3]);
+  EXPECT_EQ(p4.placement.kind, PlacementKind::kEven);
+  EXPECT_TRUE(p4.admission.migration.enabled);
+  EXPECT_EQ(p4.admission.migration.max_chain_length, 1);
+  EXPECT_EQ(p4.admission.migration.max_hops_per_request, 1);
+  EXPECT_DOUBLE_EQ(p4.client.staging_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(p4.client.receive_bandwidth, 30.0);  // preserved
+}
+
+TEST(PolicyMatrix, DescriptionsReadable) {
+  EXPECT_EQ(figure6_policies()[3].description(), "even + migration + 20% buffer");
+  EXPECT_EQ(figure6_policies()[4].description(),
+            "predictive + no-migration + 0% buffer");
+}
+
+// --------------------------------------------------------------- failure timeline
+
+TEST(FailureTimeline, DisabledIsEmpty) {
+  FailureConfig config;
+  Rng rng(1);
+  EXPECT_TRUE(generate_failure_timeline(config, 10, hours(100), rng).empty());
+}
+
+TEST(FailureTimeline, AlternatesPerServerAndSorted) {
+  FailureConfig config;
+  config.enabled = true;
+  config.mean_time_between_failures = hours(10);
+  config.mean_time_to_repair = hours(1);
+  Rng rng(2);
+  const auto events = generate_failure_timeline(config, 4, hours(200), rng);
+  ASSERT_FALSE(events.empty());
+  Seconds last = 0.0;
+  std::vector<bool> down(4, false);
+  for (const FailureEvent& event : events) {
+    EXPECT_GE(event.time, last);
+    last = event.time;
+    ASSERT_GE(event.server, 0);
+    ASSERT_LT(event.server, 4);
+    // Per server: down, up, down, up...
+    const auto s = static_cast<std::size_t>(event.server);
+    EXPECT_EQ(event.up, down[s]);
+    down[s] = !event.up;
+  }
+}
+
+TEST(FailureTimeline, RateRoughlyMatchesMtbf) {
+  FailureConfig config;
+  config.enabled = true;
+  config.mean_time_between_failures = hours(10);
+  config.mean_time_to_repair = hours(0.1);
+  Rng rng(3);
+  const auto events = generate_failure_timeline(config, 1, hours(10000), rng);
+  int failures = 0;
+  for (const FailureEvent& event : events) {
+    if (!event.up) ++failures;
+  }
+  // ~1000 expected failures; allow wide slack.
+  EXPECT_GT(failures, 800);
+  EXPECT_LT(failures, 1200);
+}
+
+}  // namespace
+}  // namespace vodsim

@@ -1,0 +1,316 @@
+// Tests for the minimum-flow bandwidth schedulers: EFTF correctness,
+// baselines, and family-wide invariants (parameterized sweeps).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "vodsim/sched/continuous.h"
+#include "vodsim/sched/eftf.h"
+#include "vodsim/sched/lftf.h"
+#include "vodsim/sched/proportional.h"
+#include "vodsim/sched/scheduler.h"
+#include "vodsim/util/rng.h"
+
+namespace vodsim {
+namespace {
+
+constexpr Mbps kView = 3.0;
+
+Video make_video(VideoId id, Seconds duration) {
+  Video video;
+  video.id = id;
+  video.duration = duration;
+  video.view_bandwidth = kView;
+  return video;
+}
+
+/// Owns a set of requests with chosen remaining data / buffer levels.
+class Fixture {
+ public:
+  /// Adds a streaming request with \p remaining Mb left, buffer capacity
+  /// \p buffer_cap, current buffer level \p level, receive cap \p receive.
+  Request& add(Megabits remaining, Megabits buffer_cap = 1e9,
+               Megabits level = 0.0, Mbps receive = 1e9) {
+    // For level == 0 the request is simply brand new with exactly
+    // `remaining` megabits to go. A nonzero starting buffer level requires
+    // replaying a transmission prefix (inflow = prefix, outflow = view*dt,
+    // with dt chosen so the leftover equals `level`).
+    const Seconds extra = level > 0.0 ? 1000.0 : 0.0;
+    const Seconds duration = remaining / kView + extra;
+    auto request = std::make_unique<Request>(
+        next_id_++, make_video(0, duration), 0.0, ClientProfile{buffer_cap, receive});
+    Request& ref = *request;
+    ref.begin_streaming(0.0, 0);
+    const Megabits prefix = ref.total_size() - remaining;
+    if (prefix > 0.0) {
+      const Seconds dt = (prefix - level) / kView;
+      EXPECT_GT(dt, 0.0) << "level too large for prefix";
+      const Mbps rate = prefix / dt;
+      EXPECT_LE(rate, receive + 1e-9) << "fixture rate exceeds receive cap";
+      ref.set_allocation(0.0, rate);
+      ref.advance(dt);
+      ref.set_allocation(dt, 0.0);
+      now_ = std::max(now_, dt);
+    }
+    ref.active_index = active_.size();  // normally maintained by Server
+    requests_.push_back(std::move(request));
+    active_.push_back(&ref);
+    return ref;
+  }
+
+  /// Advances every request to the common decision time.
+  void sync() {
+    for (auto& request : requests_) {
+      request->advance(now_);
+      request->set_allocation(now_, 0.0);
+    }
+  }
+
+  Seconds now() const { return now_; }
+  const std::vector<Request*>& active() const { return active_; }
+
+ private:
+  RequestId next_id_ = 1;
+  Seconds now_ = 0.0;
+  std::vector<std::unique_ptr<Request>> requests_;
+  std::vector<Request*> active_;
+};
+
+// ---------------------------------------------------------------- EFTF
+
+TEST(Eftf, MinimumFlowToEveryone) {
+  Fixture fx;
+  fx.add(1000.0);
+  fx.add(2000.0);
+  fx.sync();
+  EftfScheduler scheduler;
+  std::vector<Mbps> rates;
+  scheduler.allocate(fx.now(), 6.0, fx.active(), rates);  // no slack
+  EXPECT_DOUBLE_EQ(rates[0], kView);
+  EXPECT_DOUBLE_EQ(rates[1], kView);
+}
+
+TEST(Eftf, SlackGoesToEarliestFinisher) {
+  Fixture fx;
+  fx.add(2000.0, 1e9, 0.0, 30.0);
+  Request& shortest = fx.add(100.0, 1e9, 0.0, 30.0);
+  fx.add(1500.0, 1e9, 0.0, 30.0);
+  fx.sync();
+  EftfScheduler scheduler;
+  std::vector<Mbps> rates;
+  scheduler.allocate(fx.now(), 100.0, fx.active(), rates);
+  // shortest gets boosted to its receive cap (27 extra), remaining slack
+  // (100 - 9 - 27 = 64) flows to the next-earliest (1500 Mb), capped at 27,
+  // rest to the last.
+  EXPECT_DOUBLE_EQ(rates[shortest.active_index], 30.0);
+  EXPECT_DOUBLE_EQ(rates[2], 30.0);
+  EXPECT_DOUBLE_EQ(rates[0], 30.0);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  EXPECT_LE(total, 100.0 + 1e-9);
+}
+
+TEST(Eftf, UnboundedReceiveTakesAllSlack) {
+  Fixture fx;
+  Request& a = fx.add(100.0);
+  fx.add(5000.0);
+  fx.sync();
+  EftfScheduler scheduler;
+  std::vector<Mbps> rates;
+  scheduler.allocate(fx.now(), 100.0, fx.active(), rates);
+  EXPECT_DOUBLE_EQ(rates[a.active_index], 100.0 - kView);  // all slack + min
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST(Eftf, FullBufferExcludedFromWorkahead) {
+  Fixture fx;
+  Request& full = fx.add(100.0, 60.0, 60.0, 30.0);  // buffer at capacity
+  Request& open = fx.add(5000.0, 1e9, 0.0, 30.0);
+  fx.sync();
+  EXPECT_TRUE(full.buffer().full());
+  EftfScheduler scheduler;
+  std::vector<Mbps> rates;
+  scheduler.allocate(fx.now(), 100.0, fx.active(), rates);
+  EXPECT_DOUBLE_EQ(rates[full.active_index], kView);
+  EXPECT_DOUBLE_EQ(rates[open.active_index], 30.0);
+}
+
+TEST(Eftf, ReceiveCapAtViewRateExcluded) {
+  Fixture fx;
+  Request& capped = fx.add(100.0, 1e9, 0.0, kView);  // cannot exceed view rate
+  Request& open = fx.add(5000.0, 1e9, 0.0, 30.0);
+  fx.sync();
+  EftfScheduler scheduler;
+  std::vector<Mbps> rates;
+  scheduler.allocate(fx.now(), 50.0, fx.active(), rates);
+  EXPECT_DOUBLE_EQ(rates[capped.active_index], kView);
+  EXPECT_DOUBLE_EQ(rates[open.active_index], 30.0);
+}
+
+TEST(Eftf, EmptyActiveSet) {
+  EftfScheduler scheduler;
+  std::vector<Request*> active;
+  std::vector<Mbps> rates;
+  scheduler.allocate(0.0, 100.0, active, rates);
+  EXPECT_TRUE(rates.empty());
+}
+
+// ---------------------------------------------------------------- baselines
+
+TEST(Continuous, NeverExceedsViewRate) {
+  Fixture fx;
+  fx.add(100.0);
+  fx.add(2000.0);
+  fx.sync();
+  ContinuousScheduler scheduler;
+  std::vector<Mbps> rates;
+  scheduler.allocate(fx.now(), 1000.0, fx.active(), rates);
+  for (Mbps rate : rates) EXPECT_DOUBLE_EQ(rate, kView);
+}
+
+TEST(Lftf, SlackGoesToLatestFinisher) {
+  Fixture fx;
+  Request& shortest = fx.add(100.0, 1e9, 0.0, 30.0);
+  Request& longest = fx.add(5000.0, 1e9, 0.0, 30.0);
+  fx.sync();
+  LftfScheduler scheduler;
+  std::vector<Mbps> rates;
+  scheduler.allocate(fx.now(), 33.0, fx.active(), rates);  // slack 27
+  EXPECT_DOUBLE_EQ(rates[longest.active_index], 30.0);
+  EXPECT_DOUBLE_EQ(rates[shortest.active_index], kView);
+}
+
+TEST(Proportional, SplitsSlackEvenly) {
+  Fixture fx;
+  fx.add(1000.0, 1e9, 0.0, 30.0);
+  fx.add(2000.0, 1e9, 0.0, 30.0);
+  fx.sync();
+  ProportionalShareScheduler scheduler;
+  std::vector<Mbps> rates;
+  scheduler.allocate(fx.now(), 26.0, fx.active(), rates);  // slack 20
+  EXPECT_DOUBLE_EQ(rates[0], 13.0);
+  EXPECT_DOUBLE_EQ(rates[1], 13.0);
+}
+
+TEST(Proportional, WaterFillingRedistributesCappedSurplus) {
+  Fixture fx;
+  Request& capped = fx.add(1000.0, 1e9, 0.0, 5.0);   // room for only 2 extra
+  Request& open = fx.add(2000.0, 1e9, 0.0, 1000.0);
+  fx.sync();
+  ProportionalShareScheduler scheduler;
+  std::vector<Mbps> rates;
+  scheduler.allocate(fx.now(), 106.0, fx.active(), rates);  // slack 100
+  EXPECT_DOUBLE_EQ(rates[capped.active_index], 5.0);
+  EXPECT_NEAR(rates[open.active_index], 3.0 + 98.0, 1e-9);
+  EXPECT_NEAR(std::accumulate(rates.begin(), rates.end(), 0.0), 106.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(SchedulerFactory, RoundTripNames) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kEftf, SchedulerKind::kContinuous,
+        SchedulerKind::kProportional, SchedulerKind::kLftf}) {
+    const auto scheduler = make_scheduler(kind);
+    EXPECT_EQ(scheduler->name(), to_string(kind));
+    EXPECT_EQ(scheduler_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(scheduler_kind_from_string("nope"), std::invalid_argument);
+}
+
+// ------------------------------------------------- family-wide invariants
+
+struct SchedulerInvariantCase {
+  SchedulerKind kind;
+  std::uint64_t seed;
+};
+
+class SchedulerInvariants : public ::testing::TestWithParam<SchedulerInvariantCase> {};
+
+TEST_P(SchedulerInvariants, RandomInstancesRespectContracts) {
+  const auto param = GetParam();
+  const auto scheduler = make_scheduler(param.kind);
+  Rng rng(param.seed);
+
+  for (int instance = 0; instance < 50; ++instance) {
+    Fixture fx;
+    const int n = 1 + static_cast<int>(rng.uniform_int(12));
+    for (int i = 0; i < n; ++i) {
+      const Megabits remaining = rng.uniform(10.0, 5000.0);
+      const Megabits cap = rng.uniform() < 0.3 ? 0.0 : rng.uniform(10.0, 500.0);
+      const Megabits level = 0.0;
+      const Mbps receive = rng.uniform() < 0.3
+                               ? kView
+                               : rng.uniform(5.0, 50.0);
+      fx.add(remaining, cap, level, receive);
+    }
+    fx.sync();
+    const Mbps capacity = kView * n + rng.uniform(0.0, 100.0);
+    std::vector<Mbps> rates;
+    scheduler->allocate(fx.now(), capacity, fx.active(), rates);
+
+    ASSERT_EQ(rates.size(), fx.active().size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const Request& request = *fx.active()[i];
+      EXPECT_GE(rates[i], request.view_bandwidth() - 1e-9)
+          << scheduler->name() << " violated minimum flow";
+      EXPECT_LE(rates[i], request.receive_bandwidth() + 1e-9)
+          << scheduler->name() << " exceeded receive cap";
+      if (request.buffer().full()) {
+        EXPECT_DOUBLE_EQ(rates[i], request.view_bandwidth())
+            << scheduler->name() << " sent workahead into a full buffer";
+      }
+      total += rates[i];
+    }
+    EXPECT_LE(total, capacity + 1e-6)
+        << scheduler->name() << " oversubscribed the link";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerInvariants,
+    ::testing::Values(SchedulerInvariantCase{SchedulerKind::kEftf, 101},
+                      SchedulerInvariantCase{SchedulerKind::kEftf, 102},
+                      SchedulerInvariantCase{SchedulerKind::kContinuous, 103},
+                      SchedulerInvariantCase{SchedulerKind::kProportional, 104},
+                      SchedulerInvariantCase{SchedulerKind::kProportional, 105},
+                      SchedulerInvariantCase{SchedulerKind::kLftf, 106}),
+    [](const ::testing::TestParamInfo<SchedulerInvariantCase>& info) {
+      return to_string(info.param.kind) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// EFTF is work-conserving: it leaves slack unused only when every client is
+// buffer-full or receive-capped.
+TEST(Eftf, WorkConservation) {
+  Rng rng(7);
+  EftfScheduler scheduler;
+  for (int instance = 0; instance < 50; ++instance) {
+    Fixture fx;
+    const int n = 1 + static_cast<int>(rng.uniform_int(8));
+    for (int i = 0; i < n; ++i) {
+      fx.add(rng.uniform(100.0, 3000.0), rng.uniform(50.0, 400.0), 0.0,
+             rng.uniform(5.0, 40.0));
+    }
+    fx.sync();
+    const Mbps capacity = kView * n + rng.uniform(1.0, 50.0);
+    std::vector<Mbps> rates;
+    scheduler.allocate(fx.now(), capacity, fx.active(), rates);
+    const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+    if (total < capacity - 1e-6) {
+      for (std::size_t i = 0; i < rates.size(); ++i) {
+        const Request& request = *fx.active()[i];
+        const bool saturated = request.buffer().full() ||
+                               rates[i] >= request.receive_bandwidth() - 1e-9;
+        EXPECT_TRUE(saturated) << "slack left while request " << i
+                               << " could absorb more";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vodsim

@@ -1,0 +1,269 @@
+// Tests for vodsim/stats: Welford accumulator, Student-t, histogram,
+// time-weighted averages.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vodsim/stats/accumulator.h"
+#include "vodsim/stats/batch_means.h"
+#include "vodsim/util/rng.h"
+#include "vodsim/stats/histogram.h"
+#include "vodsim/stats/student_t.h"
+#include "vodsim/stats/time_weighted.h"
+
+namespace vodsim {
+namespace {
+
+// ---------------------------------------------------------------- accumulator
+
+TEST(Accumulator, MeanAndVariance) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 4.571428571, 1e-9);  // unbiased
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.ci_half_width(), 0.0);
+}
+
+TEST(Accumulator, SingleSampleHasZeroVariance) {
+  Accumulator acc;
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.ci_half_width(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator all;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  Accumulator b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Accumulator, CiHalfWidthKnownCase) {
+  // Five samples, stddev 1: half-width = t_{4,0.975} / sqrt(5) = 2.776/2.236.
+  Accumulator acc;
+  for (double x : {-1.0, -0.5, 0.0, 0.5, 1.0}) acc.add(x);
+  const double t = student_t_quantile(4, 0.975);
+  EXPECT_NEAR(acc.ci_half_width(0.95), t * acc.stddev() / std::sqrt(5.0), 1e-12);
+}
+
+TEST(Accumulator, FormatMeanCi) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  const std::string text = format_mean_ci(acc, 2);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("±"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- batch means
+
+TEST(BatchMeans, BatchesAndMean) {
+  BatchMeans bm(/*batch_size=*/4);
+  for (int i = 1; i <= 12; ++i) bm.add(static_cast<double>(i));
+  EXPECT_EQ(bm.batch_count(), 3u);
+  EXPECT_EQ(bm.observations(), 12u);
+  // Batch means: 2.5, 6.5, 10.5 -> grand mean 6.5.
+  EXPECT_DOUBLE_EQ(bm.mean(), 6.5);
+  EXPECT_GT(bm.ci_half_width(), 0.0);
+}
+
+TEST(BatchMeans, WarmupDiscarded) {
+  BatchMeans bm(/*batch_size=*/2, /*warmup=*/4);
+  for (double x : {100.0, 100.0, 100.0, 100.0, 1.0, 3.0}) bm.add(x);
+  EXPECT_EQ(bm.batch_count(), 1u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 2.0);  // warmup spikes excluded
+}
+
+TEST(BatchMeans, PartialTailBatchIgnored) {
+  BatchMeans bm(/*batch_size=*/5);
+  for (int i = 0; i < 9; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.batch_count(), 1u);
+}
+
+TEST(BatchMeans, IidDataHasSmallAutocorrelation) {
+  Rng rng(123);
+  BatchMeans bm(/*batch_size=*/50);
+  for (int i = 0; i < 50000; ++i) bm.add(rng.uniform());
+  EXPECT_EQ(bm.batch_count(), 1000u);
+  EXPECT_NEAR(bm.mean(), 0.5, 0.01);
+  EXPECT_LT(std::fabs(bm.batch_lag1_autocorrelation()), 0.1);
+}
+
+TEST(BatchMeans, CorrelatedDataFlagsItself) {
+  // AR(1) with strong persistence and batch size 1: batch means inherit the
+  // autocorrelation, which the diagnostic must expose.
+  Rng rng(321);
+  BatchMeans bm(/*batch_size=*/1);
+  double x = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    x = 0.95 * x + rng.uniform(-1.0, 1.0);
+    bm.add(x);
+  }
+  EXPECT_GT(bm.batch_lag1_autocorrelation(), 0.8);
+}
+
+TEST(BatchMeans, TooFewBatchesSafe) {
+  BatchMeans bm(10);
+  bm.add(1.0);
+  EXPECT_DOUBLE_EQ(bm.ci_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.batch_lag1_autocorrelation(), 0.0);
+}
+
+// ---------------------------------------------------------------- student t
+
+TEST(StudentT, KnownQuantiles) {
+  // Classic table values.
+  EXPECT_NEAR(student_t_quantile(1, 0.975), 12.706, 0.01);
+  EXPECT_NEAR(student_t_quantile(4, 0.975), 2.776, 0.005);
+  EXPECT_NEAR(student_t_quantile(10, 0.975), 2.228, 0.005);
+  EXPECT_NEAR(student_t_quantile(30, 0.975), 2.042, 0.005);
+  EXPECT_NEAR(student_t_quantile(4, 0.95), 2.132, 0.005);
+}
+
+TEST(StudentT, MedianIsZeroAndSymmetry) {
+  EXPECT_DOUBLE_EQ(student_t_quantile(7, 0.5), 0.0);
+  EXPECT_NEAR(student_t_quantile(7, 0.25), -student_t_quantile(7, 0.75), 1e-9);
+}
+
+TEST(StudentT, LargeDofApproachesNormal) {
+  EXPECT_NEAR(student_t_quantile(10000, 0.975), 1.960, 0.005);
+}
+
+TEST(StudentT, CdfQuantileRoundTrip) {
+  for (int dof : {1, 3, 9, 25}) {
+    for (double p : {0.1, 0.3, 0.6, 0.9, 0.99}) {
+      EXPECT_NEAR(student_t_cdf(dof, student_t_quantile(dof, p)), p, 1e-8);
+    }
+  }
+}
+
+TEST(IncompleteBeta, Endpoints) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.999);
+  h.add(5.0);
+  h.add(9.999);
+  h.add(10.0);  // top edge joins the last bin
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_EQ(h.bin(9), 2u);
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total_count(), 2u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 10);
+  EXPECT_EQ(h.bin(0), 10u);
+  EXPECT_EQ(h.total_count(), 10u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, ToStringShowsNonEmptyBins) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const std::string text = h.to_string();
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+// ---------------------------------------------------------------- time weighted
+
+TEST(TimeWeighted, PiecewiseConstantMean) {
+  TimeWeighted tw;
+  tw.update(0.0, 2.0);   // value 2 on [0, 10)
+  tw.update(10.0, 6.0);  // value 6 on [10, 20)
+  tw.flush(20.0);
+  EXPECT_DOUBLE_EQ(tw.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(tw.observed(), 20.0);
+}
+
+TEST(TimeWeighted, WindowClipping) {
+  TimeWeighted tw(/*window_start=*/5.0, /*window_end=*/15.0);
+  tw.update(0.0, 2.0);
+  tw.update(10.0, 6.0);
+  tw.flush(20.0);
+  // Clipped: value 2 on [5,10), value 6 on [10,15) -> mean 4.
+  EXPECT_DOUBLE_EQ(tw.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(tw.observed(), 10.0);
+}
+
+TEST(TimeWeighted, NoObservationsIsZero) {
+  TimeWeighted tw;
+  EXPECT_DOUBLE_EQ(tw.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(tw.observed(), 0.0);
+}
+
+TEST(TimeWeighted, RepeatedUpdatesAtSameTime) {
+  TimeWeighted tw;
+  tw.update(0.0, 1.0);
+  tw.update(0.0, 5.0);  // zero-length segment contributes nothing
+  tw.flush(10.0);
+  EXPECT_DOUBLE_EQ(tw.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace vodsim
