@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drm_vs_replication.dir/drm_vs_replication.cpp.o"
+  "CMakeFiles/drm_vs_replication.dir/drm_vs_replication.cpp.o.d"
+  "drm_vs_replication"
+  "drm_vs_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drm_vs_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

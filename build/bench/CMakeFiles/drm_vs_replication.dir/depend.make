@@ -1,0 +1,2 @@
+# Empty dependencies file for drm_vs_replication.
+# This may be replaced when dependencies are built.

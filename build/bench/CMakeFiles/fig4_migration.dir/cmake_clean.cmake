@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_migration.dir/fig4_migration.cpp.o"
+  "CMakeFiles/fig4_migration.dir/fig4_migration.cpp.o.d"
+  "fig4_migration"
+  "fig4_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

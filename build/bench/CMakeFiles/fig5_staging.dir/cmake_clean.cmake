@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_staging.dir/fig5_staging.cpp.o"
+  "CMakeFiles/fig5_staging.dir/fig5_staging.cpp.o.d"
+  "fig5_staging"
+  "fig5_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactivity.dir/interactivity.cpp.o"
+  "CMakeFiles/interactivity.dir/interactivity.cpp.o.d"
+  "interactivity"
+  "interactivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intermittent_admission.dir/intermittent_admission.cpp.o"
+  "CMakeFiles/intermittent_admission.dir/intermittent_admission.cpp.o.d"
+  "intermittent_admission"
+  "intermittent_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intermittent_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

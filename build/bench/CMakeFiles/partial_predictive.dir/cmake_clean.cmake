@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_predictive.dir/partial_predictive.cpp.o"
+  "CMakeFiles/partial_predictive.dir/partial_predictive.cpp.o.d"
+  "partial_predictive"
+  "partial_predictive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

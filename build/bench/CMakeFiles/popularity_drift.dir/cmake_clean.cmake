@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popularity_drift.dir/popularity_drift.cpp.o"
+  "CMakeFiles/popularity_drift.dir/popularity_drift.cpp.o.d"
+  "popularity_drift"
+  "popularity_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popularity_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

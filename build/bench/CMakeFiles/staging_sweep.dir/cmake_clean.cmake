@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_sweep.dir/staging_sweep.cpp.o"
+  "CMakeFiles/staging_sweep.dir/staging_sweep.cpp.o.d"
+  "staging_sweep"
+  "staging_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

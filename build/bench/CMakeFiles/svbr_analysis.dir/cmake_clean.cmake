@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svbr_analysis.dir/svbr_analysis.cpp.o"
+  "CMakeFiles/svbr_analysis.dir/svbr_analysis.cpp.o.d"
+  "svbr_analysis"
+  "svbr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svbr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

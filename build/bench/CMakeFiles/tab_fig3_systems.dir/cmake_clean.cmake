@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_fig3_systems.dir/tab_fig3_systems.cpp.o"
+  "CMakeFiles/tab_fig3_systems.dir/tab_fig3_systems.cpp.o.d"
+  "tab_fig3_systems"
+  "tab_fig3_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_fig3_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

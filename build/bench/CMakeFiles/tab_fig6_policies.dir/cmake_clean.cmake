@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_fig6_policies.dir/tab_fig6_policies.cpp.o"
+  "CMakeFiles/tab_fig6_policies.dir/tab_fig6_policies.cpp.o.d"
+  "tab_fig6_policies"
+  "tab_fig6_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_fig6_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

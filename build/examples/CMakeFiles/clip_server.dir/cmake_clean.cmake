@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clip_server.dir/clip_server.cpp.o"
+  "CMakeFiles/clip_server.dir/clip_server.cpp.o.d"
+  "clip_server"
+  "clip_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clip_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_service.dir/movie_service.cpp.o"
+  "CMakeFiles/movie_service.dir/movie_service.cpp.o.d"
+  "movie_service"
+  "movie_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

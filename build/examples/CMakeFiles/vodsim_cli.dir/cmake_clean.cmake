@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodsim_cli.dir/vodsim_cli.cpp.o"
+  "CMakeFiles/vodsim_cli.dir/vodsim_cli.cpp.o.d"
+  "vodsim_cli"
+  "vodsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vodsim/admission/assignment.cpp" "src/CMakeFiles/vodsim.dir/vodsim/admission/assignment.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/admission/assignment.cpp.o.d"
+  "/root/repo/src/vodsim/admission/controller.cpp" "src/CMakeFiles/vodsim.dir/vodsim/admission/controller.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/admission/controller.cpp.o.d"
+  "/root/repo/src/vodsim/admission/migration.cpp" "src/CMakeFiles/vodsim.dir/vodsim/admission/migration.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/admission/migration.cpp.o.d"
+  "/root/repo/src/vodsim/analysis/erlang.cpp" "src/CMakeFiles/vodsim.dir/vodsim/analysis/erlang.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/analysis/erlang.cpp.o.d"
+  "/root/repo/src/vodsim/analysis/svbr.cpp" "src/CMakeFiles/vodsim.dir/vodsim/analysis/svbr.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/analysis/svbr.cpp.o.d"
+  "/root/repo/src/vodsim/cluster/client.cpp" "src/CMakeFiles/vodsim.dir/vodsim/cluster/client.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/cluster/client.cpp.o.d"
+  "/root/repo/src/vodsim/cluster/request.cpp" "src/CMakeFiles/vodsim.dir/vodsim/cluster/request.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/cluster/request.cpp.o.d"
+  "/root/repo/src/vodsim/cluster/server.cpp" "src/CMakeFiles/vodsim.dir/vodsim/cluster/server.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/cluster/server.cpp.o.d"
+  "/root/repo/src/vodsim/cluster/video.cpp" "src/CMakeFiles/vodsim.dir/vodsim/cluster/video.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/cluster/video.cpp.o.d"
+  "/root/repo/src/vodsim/des/event_queue.cpp" "src/CMakeFiles/vodsim.dir/vodsim/des/event_queue.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/des/event_queue.cpp.o.d"
+  "/root/repo/src/vodsim/des/simulator.cpp" "src/CMakeFiles/vodsim.dir/vodsim/des/simulator.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/des/simulator.cpp.o.d"
+  "/root/repo/src/vodsim/engine/config.cpp" "src/CMakeFiles/vodsim.dir/vodsim/engine/config.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/engine/config.cpp.o.d"
+  "/root/repo/src/vodsim/engine/experiment.cpp" "src/CMakeFiles/vodsim.dir/vodsim/engine/experiment.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/engine/experiment.cpp.o.d"
+  "/root/repo/src/vodsim/engine/failure.cpp" "src/CMakeFiles/vodsim.dir/vodsim/engine/failure.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/engine/failure.cpp.o.d"
+  "/root/repo/src/vodsim/engine/metrics.cpp" "src/CMakeFiles/vodsim.dir/vodsim/engine/metrics.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/engine/metrics.cpp.o.d"
+  "/root/repo/src/vodsim/engine/policy_matrix.cpp" "src/CMakeFiles/vodsim.dir/vodsim/engine/policy_matrix.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/engine/policy_matrix.cpp.o.d"
+  "/root/repo/src/vodsim/engine/vod_simulation.cpp" "src/CMakeFiles/vodsim.dir/vodsim/engine/vod_simulation.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/engine/vod_simulation.cpp.o.d"
+  "/root/repo/src/vodsim/placement/bsr.cpp" "src/CMakeFiles/vodsim.dir/vodsim/placement/bsr.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/placement/bsr.cpp.o.d"
+  "/root/repo/src/vodsim/placement/even.cpp" "src/CMakeFiles/vodsim.dir/vodsim/placement/even.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/placement/even.cpp.o.d"
+  "/root/repo/src/vodsim/placement/partial_predictive.cpp" "src/CMakeFiles/vodsim.dir/vodsim/placement/partial_predictive.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/placement/partial_predictive.cpp.o.d"
+  "/root/repo/src/vodsim/placement/placement.cpp" "src/CMakeFiles/vodsim.dir/vodsim/placement/placement.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/placement/placement.cpp.o.d"
+  "/root/repo/src/vodsim/placement/predictive.cpp" "src/CMakeFiles/vodsim.dir/vodsim/placement/predictive.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/placement/predictive.cpp.o.d"
+  "/root/repo/src/vodsim/replication/replication.cpp" "src/CMakeFiles/vodsim.dir/vodsim/replication/replication.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/replication/replication.cpp.o.d"
+  "/root/repo/src/vodsim/sched/continuous.cpp" "src/CMakeFiles/vodsim.dir/vodsim/sched/continuous.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/sched/continuous.cpp.o.d"
+  "/root/repo/src/vodsim/sched/eftf.cpp" "src/CMakeFiles/vodsim.dir/vodsim/sched/eftf.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/sched/eftf.cpp.o.d"
+  "/root/repo/src/vodsim/sched/intermittent.cpp" "src/CMakeFiles/vodsim.dir/vodsim/sched/intermittent.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/sched/intermittent.cpp.o.d"
+  "/root/repo/src/vodsim/sched/lftf.cpp" "src/CMakeFiles/vodsim.dir/vodsim/sched/lftf.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/sched/lftf.cpp.o.d"
+  "/root/repo/src/vodsim/sched/proportional.cpp" "src/CMakeFiles/vodsim.dir/vodsim/sched/proportional.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/sched/proportional.cpp.o.d"
+  "/root/repo/src/vodsim/sched/scheduler.cpp" "src/CMakeFiles/vodsim.dir/vodsim/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/sched/scheduler.cpp.o.d"
+  "/root/repo/src/vodsim/stats/accumulator.cpp" "src/CMakeFiles/vodsim.dir/vodsim/stats/accumulator.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/stats/accumulator.cpp.o.d"
+  "/root/repo/src/vodsim/stats/batch_means.cpp" "src/CMakeFiles/vodsim.dir/vodsim/stats/batch_means.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/stats/batch_means.cpp.o.d"
+  "/root/repo/src/vodsim/stats/histogram.cpp" "src/CMakeFiles/vodsim.dir/vodsim/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/stats/histogram.cpp.o.d"
+  "/root/repo/src/vodsim/stats/student_t.cpp" "src/CMakeFiles/vodsim.dir/vodsim/stats/student_t.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/stats/student_t.cpp.o.d"
+  "/root/repo/src/vodsim/stats/time_weighted.cpp" "src/CMakeFiles/vodsim.dir/vodsim/stats/time_weighted.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/stats/time_weighted.cpp.o.d"
+  "/root/repo/src/vodsim/util/cli.cpp" "src/CMakeFiles/vodsim.dir/vodsim/util/cli.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/util/cli.cpp.o.d"
+  "/root/repo/src/vodsim/util/csv.cpp" "src/CMakeFiles/vodsim.dir/vodsim/util/csv.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/util/csv.cpp.o.d"
+  "/root/repo/src/vodsim/util/env.cpp" "src/CMakeFiles/vodsim.dir/vodsim/util/env.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/util/env.cpp.o.d"
+  "/root/repo/src/vodsim/util/log.cpp" "src/CMakeFiles/vodsim.dir/vodsim/util/log.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/util/log.cpp.o.d"
+  "/root/repo/src/vodsim/util/rng.cpp" "src/CMakeFiles/vodsim.dir/vodsim/util/rng.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/util/rng.cpp.o.d"
+  "/root/repo/src/vodsim/util/table.cpp" "src/CMakeFiles/vodsim.dir/vodsim/util/table.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/util/table.cpp.o.d"
+  "/root/repo/src/vodsim/util/thread_pool.cpp" "src/CMakeFiles/vodsim.dir/vodsim/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/util/thread_pool.cpp.o.d"
+  "/root/repo/src/vodsim/workload/analysis.cpp" "src/CMakeFiles/vodsim.dir/vodsim/workload/analysis.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/workload/analysis.cpp.o.d"
+  "/root/repo/src/vodsim/workload/catalog.cpp" "src/CMakeFiles/vodsim.dir/vodsim/workload/catalog.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/workload/catalog.cpp.o.d"
+  "/root/repo/src/vodsim/workload/drift.cpp" "src/CMakeFiles/vodsim.dir/vodsim/workload/drift.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/workload/drift.cpp.o.d"
+  "/root/repo/src/vodsim/workload/poisson.cpp" "src/CMakeFiles/vodsim.dir/vodsim/workload/poisson.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/workload/poisson.cpp.o.d"
+  "/root/repo/src/vodsim/workload/request_generator.cpp" "src/CMakeFiles/vodsim.dir/vodsim/workload/request_generator.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/workload/request_generator.cpp.o.d"
+  "/root/repo/src/vodsim/workload/trace.cpp" "src/CMakeFiles/vodsim.dir/vodsim/workload/trace.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/workload/trace.cpp.o.d"
+  "/root/repo/src/vodsim/workload/zipf.cpp" "src/CMakeFiles/vodsim.dir/vodsim/workload/zipf.cpp.o" "gcc" "src/CMakeFiles/vodsim.dir/vodsim/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for vodsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactivity_test.dir/interactivity_test.cpp.o"
+  "CMakeFiles/interactivity_test.dir/interactivity_test.cpp.o.d"
+  "interactivity_test"
+  "interactivity_test.pdb"
+  "interactivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intermittent_test.dir/intermittent_test.cpp.o"
+  "CMakeFiles/intermittent_test.dir/intermittent_test.cpp.o.d"
+  "intermittent_test"
+  "intermittent_test.pdb"
+  "intermittent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intermittent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_analysis_test.dir/workload_analysis_test.cpp.o"
+  "CMakeFiles/workload_analysis_test.dir/workload_analysis_test.cpp.o.d"
+  "workload_analysis_test"
+  "workload_analysis_test.pdb"
+  "workload_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
