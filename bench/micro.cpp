@@ -2,22 +2,80 @@
 /// \brief M1: microbenchmarks of the simulator's hot paths
 /// (google-benchmark). These guard the performance properties that make
 /// paper-scale runs (5 x 1000 h) cheap: O(log n) event handling, near-linear
-/// EFTF recomputation, O(log n) Zipf sampling.
+/// EFTF recomputation, O(log n) Zipf sampling, and — after the
+/// allocation-free hot-path rework — zero steady-state heap allocations
+/// (reported as the `allocs_per_op` counter).
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "vodsim/des/event_queue.h"
 #include "vodsim/des/simulator.h"
+#include "vodsim/engine/policy_matrix.h"
 #include "vodsim/engine/vod_simulation.h"
 #include "vodsim/sched/eftf.h"
 #include "vodsim/util/rng.h"
 #include "vodsim/workload/zipf.h"
 
+// --- global allocation instrumentation --------------------------------------
+// Every global operator new bumps a counter; benchmarks report the delta per
+// iteration as `allocs_per_op`. This is how the "steady-state loop performs
+// zero heap allocations" property is demonstrated rather than asserted.
+
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+static void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace {
 
 using namespace vodsim;
+
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+void report_allocs_per_op(benchmark::State& state, std::uint64_t allocs_before,
+                          std::uint64_t ops_per_iteration) {
+  const auto delta = static_cast<double>(heap_allocs() - allocs_before);
+  const auto ops = static_cast<double>(state.iterations()) *
+                   static_cast<double>(ops_per_iteration);
+  state.counters["allocs_per_op"] = benchmark::Counter(ops > 0 ? delta / ops : 0);
+}
 
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -36,7 +94,7 @@ BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_EventQueueCancelChurn(benchmark::State& state) {
   // The engine's dominant pattern: schedule a predicted event, cancel it,
-  // reschedule.
+  // reschedule. Fresh queue per iteration (includes construction cost).
   Rng rng(2);
   for (auto _ : state) {
     EventQueue queue;
@@ -49,6 +107,41 @@ void BM_EventQueueCancelChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventQueueCancelChurn);
+
+void BM_EventQueueSteadyChurn(benchmark::State& state) {
+  // Steady-state churn against a *persistent* queue holding a realistic
+  // pending population: each op cancels one live predicted event and
+  // schedules its replacement, exactly the reallocation pattern of
+  // VodSimulation::reschedule_predicted_events. After warmup this must not
+  // allocate at all (allocs_per_op ~ 0): the slab reuses slots and heap
+  // compaction works in place.
+  const std::size_t population = 4096;
+  EventQueue queue;
+  Rng rng(7);
+  std::vector<EventId> pending;
+  pending.reserve(population);
+  Seconds t = 0.0;
+  for (std::size_t i = 0; i < population; ++i) {
+    pending.push_back(queue.schedule(t + rng.uniform(0.0, 100.0), [](Seconds) {}));
+  }
+  // Warm the churn path (grows the heap to its steady footprint, triggers
+  // the first compactions) before counting allocations.
+  std::size_t cursor = 0;
+  for (int i = 0; i < 200000; ++i) {
+    queue.cancel(pending[cursor]);
+    pending[cursor] = queue.schedule(t + rng.uniform(0.0, 100.0), [](Seconds) {});
+    cursor = (cursor + 1) % population;
+  }
+  const std::uint64_t allocs_before = heap_allocs();
+  for (auto _ : state) {
+    queue.cancel(pending[cursor]);
+    pending[cursor] = queue.schedule(t + rng.uniform(0.0, 100.0), [](Seconds) {});
+    cursor = (cursor + 1) % population;
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_allocs_per_op(state, allocs_before, 1);
+}
+BENCHMARK(BM_EventQueueSteadyChurn);
 
 void BM_EftfAllocate(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -70,14 +163,98 @@ void BM_EftfAllocate(benchmark::State& state) {
   }
   EftfScheduler scheduler;
   std::vector<Mbps> rates;
+  AllocationScratch scratch;
+  scheduler.allocate(600.0, 3.0 * static_cast<double>(n) + 60.0, active, rates,
+                     scratch);
+  const std::uint64_t allocs_before = heap_allocs();
   for (auto _ : state) {
-    scheduler.allocate(600.0, 3.0 * n + 60.0, active, rates);
+    scheduler.allocate(600.0, 3.0 * static_cast<double>(n) + 60.0, active, rates,
+                       scratch);
     benchmark::DoNotOptimize(rates.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
+  report_allocs_per_op(state, allocs_before, 1);
 }
 BENCHMARK(BM_EftfAllocate)->Arg(10)->Arg(33)->Arg(100)->Arg(300);
+
+void BM_RecomputeServer(benchmark::State& state) {
+  // The engine's per-event hot loop (VodSimulation::recompute_server),
+  // replicated through public APIs: advance every active request on a
+  // server, reallocate with EFTF, and reschedule predicted events for
+  // requests whose rate changed (exact-compare fast path). Arg 0 is the
+  // active-stream count; arg 1 selects saturated (slack 0 — the paper's
+  // interesting operating point, where the eligible sort is skipped) vs.
+  // slack (workahead flowing).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool saturated = state.range(1) != 0;
+  Rng rng(5);
+  Video video;
+  video.id = 0;
+  video.duration = 2.0 * 3600.0;
+  video.view_bandwidth = 3.0;
+  // 20% staging buffer of the video size, 30 Mb/s receive cap (fig5/fig7
+  // client settings).
+  ClientProfile client{0.2 * video.size(), 30.0};
+  std::vector<std::unique_ptr<Request>> owner;
+  std::vector<Request*> active;
+  for (std::size_t i = 0; i < n; ++i) {
+    owner.push_back(std::make_unique<Request>(static_cast<RequestId>(i), video,
+                                              0.0, client));
+    Request& request = *owner.back();
+    request.begin_streaming(0.0, 0);
+    request.set_allocation(0.0, 3.0);
+    request.advance(rng.uniform(1.0, 600.0));
+    active.push_back(&request);
+  }
+  const Mbps capacity =
+      saturated ? 3.0 * static_cast<double>(n) : 3.0 * static_cast<double>(n) + 60.0;
+  EftfScheduler scheduler;
+  EventQueue queue;
+  std::vector<Mbps> rates;
+  AllocationScratch scratch;
+  Seconds now = 600.0;
+
+  auto recompute = [&](Seconds t) {
+    for (Request* request : active) request->advance(t);
+    scheduler.allocate(t, capacity, active, rates, scratch);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      Request& request = *active[i];
+      if (rates[i] == request.allocation()) continue;
+      request.set_allocation(t, rates[i]);
+      queue.cancel(request.tx_complete_event);
+      queue.cancel(request.buffer_full_event);
+      request.tx_complete_event = kInvalidEventId;
+      request.buffer_full_event = kInvalidEventId;
+      if (rates[i] > 0.0) {
+        request.tx_complete_event =
+            queue.schedule(t + request.remaining() / rates[i], [](Seconds) {});
+      }
+      const Mbps surplus = rates[i] - request.drain_rate(t);
+      if (surplus > 1e-12 && !request.buffer().full()) {
+        request.buffer_full_event = queue.schedule(
+            t + request.buffer().headroom() / surplus, [](Seconds) {});
+      }
+    }
+  };
+
+  recompute(now);  // warm: initial allocations + predicted events
+  const std::uint64_t allocs_before = heap_allocs();
+  for (auto _ : state) {
+    now += 1e-4;  // small fluid step keeps the population in steady state
+    recompute(now);
+    benchmark::DoNotOptimize(rates.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  report_allocs_per_op(state, allocs_before, 1);
+}
+BENCHMARK(BM_RecomputeServer)
+    ->Args({33, 1})
+    ->Args({33, 0})
+    ->Args({100, 1})
+    ->Args({100, 0})
+    ->ArgNames({"streams", "saturated"});
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.271);
@@ -110,6 +287,34 @@ void BM_EndToEndSmallSystemHour(benchmark::State& state) {
   state.SetLabel("items = simulator events");
 }
 BENCHMARK(BM_EndToEndSmallSystemHour)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndFig7PolicyMatrix(benchmark::State& state) {
+  // The PR-acceptance macro-benchmark: simulated events per second on the
+  // fig7 policy-matrix configuration. One iteration runs every Figure 6
+  // policy row (P1..P8: {even, predictive} x {migration on/off} x {0%, 20%
+  // staging}) on the small system for half a simulated hour with the
+  // paper's 30 Mb/s receive cap.
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    for (const PolicySpec& policy : figure6_policies()) {
+      SimulationConfig config;
+      config.system = SystemConfig::small_system();
+      config.zipf_theta = 0.271;
+      config.client.receive_bandwidth = 30.0;
+      config.duration = hours(0.5);
+      config.warmup = 0.0;
+      config.seed = seed++;
+      config = apply_policy(std::move(config), policy);
+      VodSimulation simulation(config);
+      simulation.run();
+      events += simulation.simulator().executed_count();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_EndToEndFig7PolicyMatrix)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -53,7 +53,8 @@ AdmissionDecision AdmissionController::decide(VideoId video, Mbps view_bandwidth
   AdmissionDecision decision;
 
   // Step 1: direct assignment to a feasible replica holder.
-  std::vector<ServerId> candidates;
+  std::vector<ServerId>& candidates = candidates_scratch_;
+  candidates.clear();
   for (ServerId holder : directory_.holders(video)) {
     if (feasible(servers[static_cast<std::size_t>(holder)], view_bandwidth)) {
       candidates.push_back(holder);
@@ -67,7 +68,7 @@ AdmissionDecision AdmissionController::decide(VideoId video, Mbps view_bandwidth
 
   // Step 2: all holders full — try dynamic request migration.
   auto plan = find_migration_plan(video, view_bandwidth, config_.migration, servers,
-                                  directory_.all());
+                                  directory_.all(), search_scratch_);
   if (plan) {
     decision.accepted = true;
     decision.server = plan->admit_on;

@@ -74,7 +74,10 @@ class AdmissionController {
   AdmissionController(AdmissionConfig config, const ReplicaDirectory& directory);
 
   /// Decides the fate of an arrival for \p video at \p view_bandwidth.
-  /// Does not mutate any server; the engine applies the decision.
+  /// Does not mutate any server; the engine applies the decision. Runs on
+  /// every arrival, so its working buffers are reused across calls (the
+  /// mutable scratch below) — a controller serves exactly one simulation
+  /// and is not safe to share across threads.
   AdmissionDecision decide(VideoId video, Mbps view_bandwidth,
                            const std::vector<Server>& servers, Rng& rng) const;
 
@@ -87,6 +90,10 @@ class AdmissionController {
  private:
   AdmissionConfig config_;
   const ReplicaDirectory& directory_;
+  /// Reused across decide() calls; after warmup the admission hot path
+  /// performs no heap allocations.
+  mutable std::vector<ServerId> candidates_scratch_;
+  mutable MigrationSearchScratch search_scratch_;
 };
 
 }  // namespace vodsim

@@ -31,16 +31,20 @@ std::string to_string(VictimStrategy strategy) {
 
 namespace {
 
-/// Search context shared across the DFS.
+/// Search context shared across the DFS. The vectors live in the caller's
+/// MigrationSearchScratch so repeated searches reuse their capacity.
 struct SearchContext {
   const MigrationConfig& config;
   const std::vector<Server>& servers;
   const std::vector<std::vector<ServerId>>& holders_of;
   /// Hypothetical committed-bandwidth deltas from steps already in the plan.
-  std::vector<Mbps> delta;
+  std::vector<Mbps>& delta;
   /// Requests already chosen as victims (a request moves at most once per
   /// plan).
-  std::vector<const Request*> used;
+  std::vector<const Request*>& used;
+  /// Per-depth candidate victim lists (pre-sized to max_chain_length so
+  /// references stay valid across recursion).
+  std::vector<std::vector<Request*>>& victims;
   /// Remaining (victim, target) pairs this search may still examine.
   int budget = 0;
 };
@@ -67,9 +71,10 @@ bool victim_eligible(const SearchContext& ctx, const Request& request) {
   return std::find(ctx.used.begin(), ctx.used.end(), &request) == ctx.used.end();
 }
 
-std::vector<Request*> ordered_victims(const SearchContext& ctx, const Server& server) {
-  std::vector<Request*> victims;
-  victims.reserve(server.active_count());
+const std::vector<Request*>& ordered_victims(const SearchContext& ctx,
+                                             const Server& server, int depth) {
+  std::vector<Request*>& victims = ctx.victims[static_cast<std::size_t>(depth)];
+  victims.clear();
   for (Request* request : server.active_requests()) {
     if (victim_eligible(ctx, *request)) victims.push_back(request);
   }
@@ -102,7 +107,7 @@ bool free_room(SearchContext& ctx, ServerId server, Mbps rate,
   if (depth >= ctx.config.max_chain_length) return false;
   const Server& s = ctx.servers[static_cast<std::size_t>(server)];
 
-  for (Request* victim : ordered_victims(ctx, s)) {
+  for (Request* victim : ordered_victims(ctx, s, depth)) {
     // Candidate targets: other holders of the victim's video.
     for (ServerId target : ctx.holders_of[static_cast<std::size_t>(victim->video_id())]) {
       if (target == server) continue;
@@ -145,27 +150,44 @@ bool free_room(SearchContext& ctx, ServerId server, Mbps rate,
 std::optional<MigrationPlan> find_migration_plan(
     VideoId video, Mbps view_bandwidth, const MigrationConfig& config,
     const std::vector<Server>& servers,
-    const std::vector<std::vector<ServerId>>& holders_of) {
+    const std::vector<std::vector<ServerId>>& holders_of,
+    MigrationSearchScratch& scratch) {
   if (!config.enabled || config.max_chain_length <= 0) return std::nullopt;
 
   // Try holders in least-loaded order: the cheapest slot to free.
-  std::vector<ServerId> holders = holders_of[static_cast<std::size_t>(video)];
+  std::vector<ServerId>& holders = scratch.holders;
+  holders = holders_of[static_cast<std::size_t>(video)];
   std::stable_sort(holders.begin(), holders.end(), [&](ServerId a, ServerId b) {
     return servers[static_cast<std::size_t>(a)].active_count() <
            servers[static_cast<std::size_t>(b)].active_count();
   });
 
+  if (scratch.victims.size() < static_cast<std::size_t>(config.max_chain_length)) {
+    scratch.victims.resize(static_cast<std::size_t>(config.max_chain_length));
+  }
   for (ServerId holder : holders) {
     if (!servers[static_cast<std::size_t>(holder)].available()) continue;
-    SearchContext ctx{config, servers, holders_of,
-                      std::vector<Mbps>(servers.size(), 0.0), {},
+    scratch.delta.assign(servers.size(), 0.0);
+    scratch.used.clear();
+    scratch.steps.clear();
+    SearchContext ctx{config,       servers,      holders_of,
+                      scratch.delta, scratch.used, scratch.victims,
                       config.max_search_nodes};
-    std::vector<MigrationStep> steps;
-    if (free_room(ctx, holder, view_bandwidth, steps, 0)) {
-      return MigrationPlan{std::move(steps), holder};
+    if (free_room(ctx, holder, view_bandwidth, scratch.steps, 0)) {
+      // Copy (not move) the steps so the scratch keeps its capacity.
+      return MigrationPlan{scratch.steps, holder};
     }
   }
   return std::nullopt;
+}
+
+std::optional<MigrationPlan> find_migration_plan(
+    VideoId video, Mbps view_bandwidth, const MigrationConfig& config,
+    const std::vector<Server>& servers,
+    const std::vector<std::vector<ServerId>>& holders_of) {
+  MigrationSearchScratch scratch;
+  return find_migration_plan(video, view_bandwidth, config, servers, holders_of,
+                             scratch);
 }
 
 }  // namespace vodsim

@@ -74,12 +74,32 @@ struct MigrationPlan {
   ServerId admit_on = kNoServer;
 };
 
+/// Reusable working buffers for find_migration_plan. The search runs on
+/// every congested arrival, so the admission hot path holds one scratch and
+/// threads it through; after warmup a search performs no heap allocations
+/// (except copying the steps of a *successful* plan into the result).
+/// Single-threaded use only.
+struct MigrationSearchScratch {
+  std::vector<ServerId> holders;            ///< sorted holder working copy
+  std::vector<Mbps> delta;                  ///< hypothetical bandwidth deltas
+  std::vector<const Request*> used;         ///< victims already in the plan
+  std::vector<MigrationStep> steps;         ///< plan under construction
+  std::vector<std::vector<Request*>> victims;  ///< one candidate list per depth
+};
+
 /// Searches for a plan to admit a request for \p video of rate
 /// \p view_bandwidth. Preconditions: no holder of \p video can currently
 /// admit it directly (the controller checks that first).
 ///
 /// \param holders_of maps VideoId -> server ids holding a replica.
 /// Returns nullopt when no chain within the configured length exists.
+std::optional<MigrationPlan> find_migration_plan(
+    VideoId video, Mbps view_bandwidth, const MigrationConfig& config,
+    const std::vector<Server>& servers,
+    const std::vector<std::vector<ServerId>>& holders_of,
+    MigrationSearchScratch& scratch);
+
+/// Convenience overload with a throwaway scratch (tests, one-shot callers).
 std::optional<MigrationPlan> find_migration_plan(
     VideoId video, Mbps view_bandwidth, const MigrationConfig& config,
     const std::vector<Server>& servers,

@@ -1,5 +1,6 @@
 #include "vodsim/cluster/server.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace vodsim {
@@ -53,6 +54,14 @@ void Server::release_reservation(Mbps amount) {
 void Server::attach(Request& request, bool enforce_capacity) {
   assert(!enforce_capacity || can_admit(request.view_bandwidth()));
   (void)enforce_capacity;
+  if (active_.capacity() == active_.size()) {
+    // Reserve for as many streams as the link can carry at this view rate
+    // (plus slack for buffer-aware over-commitment), so steady-state
+    // attach/detach churn never reallocates.
+    const double fit = bandwidth_ / std::max(request.view_bandwidth(), 1e-9);
+    active_.reserve(std::max({active_.size() * 2, static_cast<std::size_t>(fit) + 8,
+                              std::size_t{16}}));
+  }
   request.active_index = active_.size();
   active_.push_back(&request);
   committed_ += request.view_bandwidth();

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file event_callback.h
+/// \brief Small-buffer-optimized, move-only event callback.
+///
+/// `std::function` heap-allocates any callable larger than its tiny internal
+/// buffer, which put an `operator new` on the simulator's hottest path:
+/// every predicted-event (re)schedule. EventCallback stores callables up to
+/// kInlineSize bytes inline — sized to fit every closure the engine
+/// schedules, including the largest (`[this, job, rate, start]` in the
+/// replication path, 48 bytes) — and falls back to a single heap allocation
+/// only for oversized callables, so growing a closure can never silently
+/// break compilation, only performance.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+class EventCallback {
+ public:
+  /// Inline storage, in bytes. Large enough for every engine closure; a
+  /// callable above this size is heap-allocated (correct but slow — keep
+  /// hot-path captures small).
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventCallback() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, EventCallback> &&
+                std::is_invocable_r_v<void, D&, Seconds>>>
+  EventCallback(F&& fn) {  // NOLINT(google-explicit-constructor): callable wrapper
+    if constexpr (stored_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invokes the held callable. Requires *this to be non-empty.
+  void operator()(Seconds time) { ops_->invoke(storage_, time); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage, Seconds time);
+    /// Move-constructs into \p dst from \p src and destroys \p src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  static constexpr bool stored_inline =
+      sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* inline_object(void* storage) {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+
+  template <typename D>
+  static D* heap_object(void* storage) {
+    return *std::launder(reinterpret_cast<D**>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* storage, Seconds time) { (*inline_object<D>(storage))(time); },
+      [](void* dst, void* src) {
+        D* object = inline_object<D>(src);
+        ::new (dst) D(std::move(*object));
+        object->~D();
+      },
+      [](void* storage) { inline_object<D>(storage)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* storage, Seconds time) { (*heap_object<D>(storage))(time); },
+      [](void* dst, void* src) {
+        ::new (dst) D*(heap_object<D>(src));  // steal the pointer
+      },
+      [](void* storage) { delete heap_object<D>(storage); },
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
+}  // namespace vodsim

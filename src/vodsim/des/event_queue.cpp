@@ -1,60 +1,18 @@
 #include "vodsim/des/event_queue.h"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
 
 namespace vodsim {
 
-EventId EventQueue::schedule(Seconds time, EventFn fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{time, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
-}
-
-void EventQueue::cancel(EventId id) {
-  if (id == kInvalidEventId) return;
-  handlers_.erase(id);
-  maybe_compact();
-}
-
-void EventQueue::maybe_compact() {
-  // Dead entries sink into the heap and would otherwise accumulate without
-  // bound when far-future events are cancelled and rescheduled repeatedly.
-  if (heap_.size() < 1024 || heap_.size() < handlers_.size() * 2) return;
-  std::vector<Entry> live;
-  live.reserve(handlers_.size());
-  while (!heap_.empty()) {
-    const Entry entry = heap_.top();
-    heap_.pop();
-    if (handlers_.find(entry.id) != handlers_.end()) live.push_back(entry);
-  }
-  // O(n) heapify instead of n pushes.
-  heap_ = decltype(heap_)(std::greater<Entry>(), std::move(live));
-}
-
-void EventQueue::skip_dead() {
-  while (!heap_.empty() && handlers_.find(heap_.top().id) == handlers_.end()) {
-    heap_.pop();
-  }
-}
-
-Seconds EventQueue::peek_time() {
-  skip_dead();
-  assert(!heap_.empty());
-  return heap_.top().time;
-}
-
-std::pair<Seconds, EventFn> EventQueue::pop() {
-  skip_dead();
-  assert(!heap_.empty());
-  const Entry entry = heap_.top();
-  heap_.pop();
-  auto it = handlers_.find(entry.id);
-  assert(it != handlers_.end());
-  EventFn fn = std::move(it->second);
-  handlers_.erase(it);
-  return {entry.time, std::move(fn)};
+void EventQueue::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& entry) {
+                               return !is_live(entry);
+                             }),
+              heap_.end());
+  // O(n) heapify of the surviving entries; order among equal keys is
+  // irrelevant to the heap invariant and pop still tie-breaks on seq.
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 }  // namespace vodsim

@@ -1,23 +1,35 @@
 #pragma once
 
 /// \file event_queue.h
-/// \brief Time-ordered event queue with O(log n) schedule and O(1) cancel.
+/// \brief Time-ordered event queue: O(log n) schedule/pop, O(1) cancel,
+/// zero steady-state heap allocations.
+///
+/// Handlers live in a generation-tagged slab: an EventId encodes a slot
+/// index plus the slot's generation at schedule time, so schedule, cancel
+/// and the liveness check on pop are all array indexing — no hash map, no
+/// per-event node allocation. A slot's generation is bumped every time it is
+/// freed, which makes stale handles (double cancel, cancel after fire)
+/// harmless no-ops.
 ///
 /// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
 /// on pop. The fluid transmission model reschedules per-request predicted
 /// events (transmission-complete, buffer-full) whenever a server's
-/// allocation changes, so cheap cancellation is essential.
+/// allocation changes, so cheap cancellation is essential. Dead entries are
+/// compacted in place (no allocation) when they outnumber live ones; the
+/// trigger is a cheap size comparison on the schedule path, keeping cancel
+/// strictly O(1).
 ///
 /// Ordering is deterministic: equal-time events fire in schedule order
 /// (stable tie-break on a monotonically increasing sequence number), which
 /// keeps whole simulations reproducible from a seed.
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "vodsim/des/event_callback.h"
 #include "vodsim/util/units.h"
 
 namespace vodsim {
@@ -28,7 +40,7 @@ using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
 /// Callback invoked when an event fires. Receives the firing time.
-using EventFn = std::function<void(Seconds)>;
+using EventFn = EventCallback;
 
 class EventQueue {
  public:
@@ -38,50 +50,155 @@ class EventQueue {
   /// cancel(). Times may be scheduled in any order, including in the past
   /// relative to other pending events (the caller — Simulator — enforces
   /// causality with respect to the clock).
-  EventId schedule(Seconds time, EventFn fn);
+  EventId schedule(Seconds time, EventFn fn) {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& entry = slots_[slot];
+    assert(!entry.live);
+    entry.fn = std::move(fn);
+    entry.live = true;
+    ++scheduled_;
+    ++live_;
+    heap_.push_back(HeapEntry{time, scheduled_, slot, entry.generation});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    // Compaction rides the schedule path (an O(1) size test), never the
+    // O(1)-contract cancel path.
+    if (heap_.size() >= kCompactMinEntries && heap_.size() > 2 * live_) compact();
+    return make_id(slot, entry.generation);
+  }
 
-  /// Cancels a pending event; no-op if the event already fired or was
-  /// cancelled (including kInvalidEventId).
-  void cancel(EventId id);
+  /// Cancels a pending event in O(1); no-op if the event already fired or
+  /// was cancelled (including kInvalidEventId and stale ids — the slot
+  /// generation no longer matches).
+  void cancel(EventId id) {
+    if (id == kInvalidEventId) return;
+    const std::uint32_t slot = id_slot(id);
+    if (slot >= slots_.size()) return;
+    Slot& entry = slots_[slot];
+    if (!entry.live || entry.generation != id_generation(id)) return;
+    release(slot);
+  }
 
   /// True if no live (non-cancelled) events remain.
-  bool empty() const { return handlers_.empty(); }
+  bool empty() const { return live_ == 0; }
 
   /// Number of live events.
-  std::size_t size() const { return handlers_.size(); }
+  std::size_t size() const { return live_; }
 
   /// Time of the earliest live event. Requires !empty().
-  Seconds peek_time();
+  Seconds peek_time() {
+    skip_dead();
+    assert(!heap_.empty());
+    return heap_.front().time;
+  }
 
   /// Removes and returns the earliest live event (handler + time).
   /// Requires !empty().
-  std::pair<Seconds, EventFn> pop();
+  std::pair<Seconds, EventFn> pop() {
+    skip_dead();
+    assert(!heap_.empty());
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    Slot& entry = slots_[top.slot];
+    assert(entry.live && entry.generation == top.generation);
+    EventFn fn = std::move(entry.fn);
+    release(top.slot);
+    return {top.time, std::move(fn)};
+  }
+
+  /// Pre-sizes the slab and heap for \p events concurrently pending events,
+  /// so the warmup phase does not grow them incrementally.
+  void reserve(std::size_t events) {
+    heap_.reserve(events);
+    slots_.reserve(events);
+    free_slots_.reserve(events);
+  }
 
   /// Total events ever scheduled (diagnostic).
-  std::uint64_t scheduled_count() const { return next_id_ - 1; }
+  std::uint64_t scheduled_count() const { return scheduled_; }
+
+  /// Heap entries currently held, live or dead (diagnostic; lets tests pin
+  /// the compaction behavior).
+  std::size_t heap_entries() const { return heap_.size(); }
 
  private:
-  struct Entry {
+  struct HeapEntry {
     Seconds time;
-    EventId id;
-    /// Min-heap: earliest time first; equal times in schedule (id) order.
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return id > other.id;
+    std::uint64_t seq;  ///< global schedule order: the equal-time tie-break
+    std::uint32_t slot;
+    std::uint32_t generation;
+  };
+
+  /// Min-heap comparator: true when \p a fires after \p b.
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+
+  /// Dead entries (heap size beyond this) are only worth sweeping once the
+  /// heap is non-trivial.
+  static constexpr std::size_t kCompactMinEntries = 1024;
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+  static std::uint32_t id_slot(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  static std::uint32_t id_generation(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  bool is_live(const HeapEntry& entry) const {
+    const Slot& slot = slots_[entry.slot];
+    return slot.live && slot.generation == entry.generation;
+  }
+
+  /// Frees a slot: destroys the handler, bumps the generation (invalidating
+  /// outstanding ids), and recycles the index.
+  void release(std::uint32_t slot) {
+    Slot& entry = slots_[slot];
+    entry.fn.reset();
+    entry.live = false;
+    ++entry.generation;
+    free_slots_.push_back(slot);
+    --live_;
+  }
+
   /// Drops cancelled entries from the heap top.
-  void skip_dead();
+  void skip_dead() {
+    while (!heap_.empty() && !is_live(heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
 
-  /// Rebuilds the heap without dead entries when cancellations dominate;
-  /// keeps memory proportional to the number of *live* events even under
-  /// heavy reschedule churn.
-  void maybe_compact();
+  /// Rebuilds the heap in place without dead entries when cancellations
+  /// dominate; keeps memory proportional to the number of *live* events
+  /// even under heavy reschedule churn, without allocating.
+  void compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_map<EventId, EventFn> handlers_;
-  EventId next_id_ = 1;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
+  std::uint64_t scheduled_ = 0;
 };
 
 }  // namespace vodsim

@@ -47,6 +47,9 @@ class Simulator {
   /// Live pending events.
   std::size_t pending_count() const { return queue_.size(); }
 
+  /// Pre-sizes the event queue for \p events concurrently pending events.
+  void reserve_events(std::size_t events) { queue_.reserve(events); }
+
  private:
   EventQueue queue_;
   Seconds now_ = 0.0;

@@ -87,6 +87,20 @@ void VodSimulation::build_world() {
   metrics_ = std::make_unique<Metrics>(config_.warmup, config_.duration,
                                        config_.system.total_bandwidth());
   occupancy_.assign(servers_.size(), TimeWeighted(config_.warmup, config_.duration));
+  recompute_state_.assign(servers_.size(), ServerRecomputeState{});
+
+  // Pre-size the hot-path buffers so the steady-state event loop never
+  // allocates: up to ~3 predicted events per concurrent stream plus
+  // playback-end/arrival bookkeeping, and one rate per stream per server.
+  const std::size_t max_streams = static_cast<std::size_t>(
+      config_.system.total_bandwidth() / config_.system.view_bandwidth);
+  sim_.reserve_events(4 * max_streams + 64);
+  const std::size_t per_server =
+      static_cast<std::size_t>(config_.system.server_bandwidth /
+                               config_.system.view_bandwidth) + 8;
+  rates_scratch_.reserve(per_server);
+  sched_scratch_.order.reserve(per_server);
+  sched_scratch_.aux.reserve(per_server);
 
   if (!arrivals_) {
     arrivals_ = std::make_unique<RequestGenerator>(
@@ -183,9 +197,11 @@ void VodSimulation::execute_migration(const MigrationStep& step) {
     // competing arrival cannot steal it.
     servers_[static_cast<std::size_t>(step.to)].reserve_bandwidth(
         request.view_bandwidth());
+    mark_server_dirty(step.to);
     sim_.schedule_in(latency, [this, &request, target = step.to](Seconds) {
       servers_[static_cast<std::size_t>(target)].release_reservation(
           request.view_bandwidth());
+      mark_server_dirty(target);
       if (request.state() == RequestState::kMigrating) {
         finish_migration(request, target);
       }
@@ -265,6 +281,7 @@ void VodSimulation::on_playback_end(Request& request) {
 
 void VodSimulation::apply_failure(const FailureEvent& event) {
   Server& server = servers_[static_cast<std::size_t>(event.server)];
+  mark_server_dirty(event.server);
   if (event.up) {
     server.set_available(true);
     return;
@@ -311,11 +328,22 @@ void VodSimulation::recover_streams_of_failed_server(Server& server) {
 
 void VodSimulation::recompute_server(ServerId server_id) {
   Server& server = servers_[static_cast<std::size_t>(server_id)];
+  ServerRecomputeState& state = recompute_state_[static_cast<std::size_t>(server_id)];
   const Seconds now = sim_.now();
+  // Memo: several events at one timestamp often recompute the same server.
+  // A repeat with unchanged inputs is a pure no-op — advance would see dt=0,
+  // allocate is deterministic in its inputs (including the intermittent
+  // scheduler's hysteresis latch, which is idempotent at fixed cover), and
+  // the exact-compare below would reschedule nothing — so skipping it is
+  // bit-identical. Exact double compare on purpose: only a repeat at the
+  // *same* event timestamp qualifies.
+  if (state.clean_time == now && state.clean_epoch == state.epoch) return;
+
   const std::vector<Request*>& active = server.active_requests();
   for (Request* request : active) advance_and_account(*request, now);
 
-  scheduler_->allocate(now, server.schedulable_bandwidth(), active, rates_scratch_);
+  scheduler_->allocate(now, server.schedulable_bandwidth(), active, rates_scratch_,
+                       sched_scratch_);
 
   for (std::size_t i = 0; i < active.size(); ++i) {
     Request& request = *active[i];
@@ -327,10 +355,22 @@ void VodSimulation::recompute_server(ServerId server_id) {
       reschedule_predicted_events(request);
     }
   }
+  // Record *after* the advances above bumped the epoch: the server is clean
+  // as of the state this pass just produced.
+  state.clean_time = now;
+  state.clean_epoch = state.epoch;
+}
+
+void VodSimulation::mark_server_dirty(ServerId server_id) {
+  if (server_id == kNoServer) return;
+  ++recompute_state_[static_cast<std::size_t>(server_id)].epoch;
 }
 
 void VodSimulation::advance_and_account(Request& request, Seconds now) {
   if (now <= request.last_update()) return;
+  // Real time elapsed: buffer level and remaining bytes moved, which feeds
+  // eligibility and finish-time ordering on the hosting server.
+  mark_server_dirty(request.server());
   const Seconds interval_start = request.last_update();
   metrics_->record_transmission(interval_start, now, request.allocation());
   const Megabits underflow = request.advance(now);
@@ -364,6 +404,7 @@ void VodSimulation::on_pause(Request& request) {
 
   advance_and_account(request, now);
   request.pause_viewing(now);
+  mark_server_dirty(request.server());  // drain stopped; minimum rate may be 0
   ++pauses_started_;
 
   // The deadline is frozen until resume; the pending end-of-playback event
@@ -388,6 +429,7 @@ void VodSimulation::on_resume(Request& request) {
   const Seconds now = sim_.now();
   advance_and_account(request, now);
   request.resume_viewing(now);
+  mark_server_dirty(request.server());  // drain restarted
 
   request.playback_end_event =
       sim_.schedule_at(request.playback_end(), [this, &request](Seconds) {
@@ -417,9 +459,11 @@ void VodSimulation::maybe_start_replication(VideoId video) {
   // tertiary storage.
   if (!job->from_tertiary()) {
     servers_[static_cast<std::size_t>(job->source)].reserve_bandwidth(rate);
+    mark_server_dirty(job->source);
     recompute_server(job->source);
   }
   destination.reserve_bandwidth(rate);
+  mark_server_dirty(job->destination);
   replication_->on_job_started();
   recompute_server(job->destination);
 
@@ -428,9 +472,11 @@ void VodSimulation::maybe_start_replication(VideoId video) {
     Server& dst = servers_[static_cast<std::size_t>(job.destination)];
     if (!job.from_tertiary()) {
       servers_[static_cast<std::size_t>(job.source)].release_reservation(rate);
+      mark_server_dirty(job.source);
       recompute_server(job.source);
     }
     dst.release_reservation(rate);
+    mark_server_dirty(job.destination);
     // Storage was verified when the job was planned; nothing else consumes
     // storage mid-run, so this cannot fail.
     const bool added = dst.add_replica(catalog_[job.video]);
@@ -443,6 +489,7 @@ void VodSimulation::maybe_start_replication(VideoId video) {
 
 void VodSimulation::attach_to(ServerId server_id, Request& request) {
   Server& server = servers_[static_cast<std::size_t>(server_id)];
+  mark_server_dirty(server_id);
   server.attach(request, /*enforce_capacity=*/!config_.admission.buffer_aware);
   occupancy_[static_cast<std::size_t>(server_id)].update(
       sim_.now(), static_cast<double>(server.active_count()));
@@ -450,6 +497,7 @@ void VodSimulation::attach_to(ServerId server_id, Request& request) {
 
 void VodSimulation::detach_from(ServerId server_id, Request& request) {
   Server& server = servers_[static_cast<std::size_t>(server_id)];
+  mark_server_dirty(server_id);
   server.detach(request);
   occupancy_[static_cast<std::size_t>(server_id)].update(
       sim_.now(), static_cast<double>(server.active_count()));

@@ -16,7 +16,7 @@
 /// its allocation actually changes, keeping event churn near-linear in the
 /// number of arrivals.
 
-#include <deque>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -33,6 +33,7 @@
 #include "vodsim/sched/scheduler.h"
 #include "vodsim/stats/time_weighted.h"
 #include "vodsim/util/rng.h"
+#include "vodsim/util/stable_vector.h"
 #include "vodsim/workload/drift.h"
 #include "vodsim/workload/request_generator.h"
 #include "vodsim/workload/trace.h"
@@ -67,7 +68,7 @@ class VodSimulation {
 
   /// Every request ever created (terminal states included); audit surface
   /// for tests.
-  const std::deque<Request>& requests() const { return requests_; }
+  const StableVector<Request>& requests() const { return requests_; }
 
   /// Playback continuity violations observed (should be 0 except under
   /// failure injection or nonzero switch latency).
@@ -110,7 +111,16 @@ class VodSimulation {
 
   /// Advances all active requests on \p server to now, reallocates rates,
   /// and reschedules predicted events for requests whose rate changed.
+  /// Memoized per server: a repeat call at the same timestamp with no
+  /// intervening input change (see mark_server_dirty) is a no-op.
   void recompute_server(ServerId server);
+
+  /// Records that \p server's allocation inputs changed (active set,
+  /// reservations, pause state, or fluid state advanced), invalidating the
+  /// recompute memo. Safe to call with kNoServer. Spurious bumps cost one
+  /// redundant recompute; a missing bump would skip a needed one — when in
+  /// doubt, bump.
+  void mark_server_dirty(ServerId server);
 
   /// Accounts the transmission interval [request.last_update(), now] to the
   /// metrics and integrates the request's fluid state.
@@ -142,14 +152,26 @@ class VodSimulation {
   std::vector<FailureEvent> failure_timeline_;
   std::vector<TimeWeighted> occupancy_;
 
-  std::deque<Request> requests_;
+  StableVector<Request> requests_;
   RequestId next_request_id_ = 0;
   std::uint64_t continuity_violations_ = 0;
   std::uint64_t pauses_started_ = 0;
   bool ran_ = false;
 
-  /// Scratch buffer for scheduler output (avoids per-event allocation).
+  /// Scratch buffers for scheduler output and working sets (reused across
+  /// events; the steady-state loop performs no per-event heap allocations).
   std::vector<Mbps> rates_scratch_;
+  AllocationScratch sched_scratch_;
+
+  /// Per-server recompute memo. `epoch` counts input changes; a server is
+  /// clean iff it was recomputed at exactly the current simulation time
+  /// (exact double compare) and its epoch has not moved since.
+  struct ServerRecomputeState {
+    std::uint64_t epoch = 1;
+    std::uint64_t clean_epoch = 0;  ///< epoch at the last completed recompute
+    Seconds clean_time = -1.0;      ///< sim time of the last completed recompute
+  };
+  std::vector<ServerRecomputeState> recompute_state_;
 };
 
 }  // namespace vodsim

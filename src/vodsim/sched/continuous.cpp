@@ -4,7 +4,8 @@ namespace vodsim {
 
 void ContinuousScheduler::allocate(Seconds /*now*/, Mbps capacity,
                                    const std::vector<Request*>& active,
-                                   std::vector<Mbps>& rates) const {
+                                   std::vector<Mbps>& rates,
+                                   AllocationScratch& /*scratch*/) const {
   (void)sched_detail::assign_minimum_flow(capacity, active, rates);
 }
 

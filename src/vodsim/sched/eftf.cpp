@@ -6,10 +6,15 @@ namespace vodsim {
 
 void EftfScheduler::allocate(Seconds now, Mbps capacity,
                              const std::vector<Request*>& active,
-                             std::vector<Mbps>& rates) const {
+                             std::vector<Mbps>& rates,
+                             AllocationScratch& scratch) const {
   const Mbps slack = sched_detail::assign_minimum_flow(capacity, active, rates);
+  // Zero slack — the common case at saturation, where the paper's
+  // interesting data points live — skips eligibility and the O(n log n)
+  // sort entirely.
   if (slack <= 0.0) return;
-  std::vector<std::size_t> order = sched_detail::eligible_indices(active);
+  std::vector<std::size_t>& order = scratch.order;
+  sched_detail::eligible_indices(active, order);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const Seconds fa = active[a]->projected_finish(now);
     const Seconds fb = active[b]->projected_finish(now);

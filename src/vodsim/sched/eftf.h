@@ -15,8 +15,10 @@ namespace vodsim {
 /// data", so one ascending sort suffices.
 class EftfScheduler final : public BandwidthScheduler {
  public:
+  using BandwidthScheduler::allocate;
   void allocate(Seconds now, Mbps capacity, const std::vector<Request*>& active,
-                std::vector<Mbps>& rates) const override;
+                std::vector<Mbps>& rates,
+                AllocationScratch& scratch) const override;
 
   std::string name() const override { return "eftf"; }
 };

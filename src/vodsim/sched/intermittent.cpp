@@ -36,7 +36,8 @@ Mbps absorption_cap(const Request& request, Seconds now) {
 
 void IntermittentScheduler::allocate(Seconds now, Mbps capacity,
                                      const std::vector<Request*>& active,
-                                     std::vector<Mbps>& rates) const {
+                                     std::vector<Mbps>& rates,
+                                     AllocationScratch& scratch) const {
   rates.assign(active.size(), 0.0);
   Mbps left = capacity;
 
@@ -48,7 +49,8 @@ void IntermittentScheduler::allocate(Seconds now, Mbps capacity,
   //     first) so they refill well clear of the threshold;
   //   - in a crunch (over-committed link), the shortfall is shared
   //     proportionally — membership stays stable while everyone drains.
-  std::vector<std::size_t> urgent;
+  std::vector<std::size_t>& urgent = scratch.aux;
+  urgent.clear();
   Mbps urgent_drain = 0.0;
   for (std::size_t i = 0; i < active.size(); ++i) {
     Request& request = *active[i];
@@ -109,8 +111,8 @@ void IntermittentScheduler::allocate(Seconds now, Mbps capacity,
   // Phase 2 — greedy workahead, earliest projected finish first, bounded by
   // what each client can absorb.
   if (left <= 0.0) return;
-  std::vector<std::size_t> order;
-  order.reserve(active.size());
+  std::vector<std::size_t>& order = scratch.order;
+  order.clear();
   for (std::size_t i = 0; i < active.size(); ++i) {
     const Request& request = *active[i];
     if (request.buffer().full()) continue;

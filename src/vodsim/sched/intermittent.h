@@ -31,8 +31,10 @@ class IntermittentScheduler final : public BandwidthScheduler {
   ///        is considered urgent and fed before any workahead.
   explicit IntermittentScheduler(Seconds safety_cover = 10.0);
 
+  using BandwidthScheduler::allocate;
   void allocate(Seconds now, Mbps capacity, const std::vector<Request*>& active,
-                std::vector<Mbps>& rates) const override;
+                std::vector<Mbps>& rates,
+                AllocationScratch& scratch) const override;
 
   std::string name() const override { return "intermittent"; }
 

@@ -6,18 +6,20 @@ namespace vodsim {
 
 void ProportionalShareScheduler::allocate(Seconds /*now*/, Mbps capacity,
                                           const std::vector<Request*>& active,
-                                          std::vector<Mbps>& rates) const {
+                                          std::vector<Mbps>& rates,
+                                          AllocationScratch& scratch) const {
   Mbps slack = sched_detail::assign_minimum_flow(capacity, active, rates);
   if (slack <= 0.0) return;
 
-  std::vector<std::size_t> eligible = sched_detail::eligible_indices(active);
+  std::vector<std::size_t>& eligible = scratch.order;
+  std::vector<std::size_t>& still_open = scratch.aux;
+  sched_detail::eligible_indices(active, eligible);
   // Water-filling: split slack evenly; capped requests leave the pool and
   // their surplus is redistributed in the next round.
   while (slack > 1e-9 && !eligible.empty()) {
     const Mbps share = slack / static_cast<double>(eligible.size());
     bool any_capped = false;
-    std::vector<std::size_t> still_open;
-    still_open.reserve(eligible.size());
+    still_open.clear();
     for (std::size_t index : eligible) {
       const Request& request = *active[index];
       const Mbps room = request.receive_bandwidth() - rates[index];

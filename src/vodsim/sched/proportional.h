@@ -13,8 +13,10 @@ namespace vodsim {
 
 class ProportionalShareScheduler final : public BandwidthScheduler {
  public:
+  using BandwidthScheduler::allocate;
   void allocate(Seconds now, Mbps capacity, const std::vector<Request*>& active,
-                std::vector<Mbps>& rates) const override;
+                std::vector<Mbps>& rates,
+                AllocationScratch& scratch) const override;
 
   std::string name() const override { return "proportional"; }
 };

@@ -75,13 +75,12 @@ bool workahead_eligible(const Request& request) {
          !request.finished();
 }
 
-std::vector<std::size_t> eligible_indices(const std::vector<Request*>& active) {
-  std::vector<std::size_t> indices;
-  indices.reserve(active.size());
+void eligible_indices(const std::vector<Request*>& active,
+                      std::vector<std::size_t>& out) {
+  out.clear();
   for (std::size_t i = 0; i < active.size(); ++i) {
-    if (workahead_eligible(*active[i])) indices.push_back(i);
+    if (workahead_eligible(*active[i])) out.push_back(i);
   }
-  return indices;
 }
 
 void distribute_greedy(Mbps slack, const std::vector<std::size_t>& order,

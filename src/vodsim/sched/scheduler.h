@@ -29,6 +29,17 @@
 
 namespace vodsim {
 
+/// Reusable working buffers for BandwidthScheduler::allocate. The engine
+/// reallocates on every event, so the scheduler must not construct fresh
+/// vectors per call: the caller owns one AllocationScratch and threads it
+/// through, and after a brief warmup every allocate() reuses its capacity —
+/// the steady-state hot path performs no heap allocations.
+struct AllocationScratch {
+  std::vector<std::size_t> order;  ///< workahead candidates, in grant order
+  std::vector<std::size_t> aux;    ///< second working set (water-filling pool,
+                                   ///< urgent list, ...)
+};
+
 /// Strategy interface: computes per-request rates for one server.
 class BandwidthScheduler {
  public:
@@ -36,7 +47,8 @@ class BandwidthScheduler {
 
   /// Computes allocations for \p active (the server's unfinished requests,
   /// all advanced to \p now) under total link \p capacity. Writes one rate
-  /// per request into \p rates (resized to active.size()).
+  /// per request into \p rates (resized to active.size()); \p scratch holds
+  /// reusable working buffers (contents are clobbered).
   ///
   /// Postconditions (enforced by all implementations, checked in tests):
   ///   rates[i] >= active[i]->view_bandwidth()   (minimum flow)
@@ -44,7 +56,17 @@ class BandwidthScheduler {
   ///   sum(rates) <= capacity (+ tolerance)
   virtual void allocate(Seconds now, Mbps capacity,
                         const std::vector<Request*>& active,
-                        std::vector<Mbps>& rates) const = 0;
+                        std::vector<Mbps>& rates,
+                        AllocationScratch& scratch) const = 0;
+
+  /// Convenience overload with a throwaway scratch, for tests and one-shot
+  /// callers. Hot paths must hold a persistent AllocationScratch instead.
+  /// (Derived classes re-export this via `using BandwidthScheduler::allocate`.)
+  void allocate(Seconds now, Mbps capacity, const std::vector<Request*>& active,
+                std::vector<Mbps>& rates) const {
+    AllocationScratch scratch;
+    allocate(now, capacity, active, rates, scratch);
+  }
 
   virtual std::string name() const = 0;
 };
@@ -71,8 +93,10 @@ Mbps assign_minimum_flow(Mbps capacity, const std::vector<Request*>& active,
 /// True if \p request can absorb workahead (buffer headroom + receive cap).
 bool workahead_eligible(const Request& request);
 
-/// Indices of workahead-eligible requests.
-std::vector<std::size_t> eligible_indices(const std::vector<Request*>& active);
+/// Fills \p out with the indices of workahead-eligible requests (cleared
+/// first; capacity is reused across calls — no allocation after warmup).
+void eligible_indices(const std::vector<Request*>& active,
+                      std::vector<std::size_t>& out);
 
 /// Greedy slack distribution over \p order (a permutation of eligible
 /// indices): each request in turn gets min(slack, receive_cap - rate).

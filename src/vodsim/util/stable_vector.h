@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file stable_vector.h
+/// \brief Append-only container with stable element addresses.
+///
+/// The engine hands out `Request&` references that are captured by pending
+/// event callbacks, so request storage must never relocate. std::deque
+/// satisfies that but allocates a node every ~512 bytes — with a ~176-byte
+/// Request that is one heap allocation per couple of arrivals, i.e. a
+/// steady-state allocation in the event loop. StableVector keeps the
+/// stable-address guarantee while allocating in large fixed chunks, making
+/// appends allocation-free outside chunk boundaries.
+///
+/// Append-only on purpose: erasing would invalidate the "audit surface"
+/// indices and is not something the engine ever needs.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace vodsim {
+
+template <typename T, std::size_t ChunkSize = 256>
+class StableVector {
+  static_assert(ChunkSize > 0);
+
+ public:
+  StableVector() = default;
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  ~StableVector() { clear(); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == chunks_.size() * ChunkSize) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    T* slot = element_ptr(size_);
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  T& operator[](std::size_t index) { return *element_ptr(index); }
+  const T& operator[](std::size_t index) const { return *element_ptr(index); }
+
+  T& back() { return *element_ptr(size_ - 1); }
+  const T& back() const { return *element_ptr(size_ - 1); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    for (std::size_t i = size_; i > 0; --i) element_ptr(i - 1)->~T();
+    size_ = 0;
+    chunks_.clear();
+  }
+
+  /// Forward iteration, const and mutable (enough for range-for audits).
+  template <bool Const>
+  class Iterator {
+   public:
+    using Container = std::conditional_t<Const, const StableVector, StableVector>;
+    using value_type = T;
+    using reference = std::conditional_t<Const, const T&, T&>;
+    using pointer = std::conditional_t<Const, const T*, T*>;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    Iterator() = default;
+    Iterator(Container* container, std::size_t index)
+        : container_(container), index_(index) {}
+
+    reference operator*() const { return (*container_)[index_]; }
+    pointer operator->() const { return &(*container_)[index_]; }
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator copy = *this;
+      ++index_;
+      return copy;
+    }
+    bool operator==(const Iterator& other) const { return index_ == other.index_; }
+    bool operator!=(const Iterator& other) const { return index_ != other.index_; }
+
+   private:
+    Container* container_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  using iterator = Iterator<false>;
+  using const_iterator = Iterator<true>;
+
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, size_}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size_}; }
+
+ private:
+  struct Chunk {
+    alignas(T) std::byte storage[ChunkSize * sizeof(T)];
+  };
+
+  T* element_ptr(std::size_t index) const {
+    Chunk& chunk = *chunks_[index / ChunkSize];
+    return std::launder(
+        reinterpret_cast<T*>(chunk.storage + (index % ChunkSize) * sizeof(T)));
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vodsim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "vodsim/des/event_queue.h"
@@ -80,6 +83,105 @@ TEST(EventQueue, ManyScheduleCancelCycles) {
   }
   while (!queue.empty()) queue.pop().second(0.0);
   EXPECT_EQ(fired, 1000);
+}
+
+TEST(EventQueue, CompactionUnderCancelChurnPreservesOrdering) {
+  // Reschedule churn leaves dead entries in the heap; once they outnumber
+  // live events past the compaction threshold, the heap is rebuilt in
+  // place. The rebuild must not disturb firing order — neither across times
+  // nor the schedule-order tie-break at equal times.
+  EventQueue queue;
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  // Interleave survivors with events that will all be cancelled. Half the
+  // survivors share one timestamp to exercise the equal-time tie-break
+  // across a compaction.
+  for (int i = 0; i < 4000; ++i) {
+    const Seconds time = (i % 2 == 0) ? 500.0 : static_cast<double>(i);
+    queue.schedule(time, [&fired, i](Seconds) { fired.push_back(i); });
+    // Two doomed events per survivor: compaction requires dead to strictly
+    // outnumber live.
+    doomed.push_back(
+        queue.schedule(static_cast<double>(i) + 0.25, [](Seconds) {}));
+    doomed.push_back(
+        queue.schedule(static_cast<double>(i) + 0.75, [](Seconds) {}));
+  }
+  const std::size_t entries_before = queue.heap_entries();
+  for (const EventId id : doomed) queue.cancel(id);
+  // Cancel itself never compacts (it is O(1)); the next schedule notices
+  // dead > live and sweeps in place.
+  EXPECT_EQ(queue.heap_entries(), entries_before);
+  queue.schedule(1e9, [](Seconds) {});
+  EXPECT_LT(queue.heap_entries(), entries_before / 2);
+  EXPECT_EQ(queue.size(), 4001u);
+
+  std::vector<int> expected;
+  Seconds last = -1.0;
+  while (!queue.empty()) {
+    auto [time, fn] = queue.pop();
+    EXPECT_GE(time, last);
+    last = time;
+    fn(time);
+  }
+  // Reconstruct the required order: ascending time, schedule order at ties.
+  std::vector<std::pair<Seconds, int>> keyed;
+  for (int i = 0; i < 4000; ++i) {
+    keyed.emplace_back((i % 2 == 0) ? 500.0 : static_cast<double>(i), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [time, index] : keyed) expected.push_back(index);
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  // After an event fires (or is cancelled), its slot is recycled with a
+  // bumped generation. An id retained from the old occupant must not be
+  // able to kill the slot's new event.
+  EventQueue queue;
+  const EventId stale = queue.schedule(1.0, [](Seconds) {});
+  queue.pop().second(1.0);  // fires; slot 0 freed
+
+  bool fired = false;
+  const EventId fresh = queue.schedule(2.0, [&](Seconds) { fired = true; });
+  // Slot is reused, so the ids alias the same slot but differ by generation.
+  EXPECT_NE(stale, fresh);
+  queue.cancel(stale);  // must be a no-op
+  EXPECT_EQ(queue.size(), 1u);
+  queue.pop().second(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelledIdStaysStaleAfterSlotReuse) {
+  EventQueue queue;
+  const EventId first = queue.schedule(1.0, [](Seconds) {});
+  queue.cancel(first);
+  bool fired = false;
+  queue.schedule(2.0, [&](Seconds) { fired = true; });
+  queue.cancel(first);  // double cancel aimed at a recycled slot: no-op
+  EXPECT_EQ(queue.size(), 1u);
+  queue.pop().second(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ScheduledCountIsMonotone) {
+  EventQueue queue;
+  std::uint64_t last = queue.scheduled_count();
+  EXPECT_EQ(last, 0u);
+  for (int i = 0; i < 3000; ++i) {
+    const EventId id = queue.schedule(static_cast<double>(i % 7), [](Seconds) {});
+    EXPECT_GT(queue.scheduled_count(), last);
+    last = queue.scheduled_count();
+    if (i % 3 == 0) {
+      queue.cancel(id);  // cancels must never roll the counter back
+      EXPECT_EQ(queue.scheduled_count(), last);
+    }
+    if (i % 5 == 0 && !queue.empty()) {
+      queue.pop();  // neither must pops
+      EXPECT_EQ(queue.scheduled_count(), last);
+    }
+  }
+  EXPECT_EQ(last, 3000u);
 }
 
 TEST(Simulator, ClockAdvancesToEventTimes) {

@@ -12,6 +12,7 @@
 #include "vodsim/util/csv.h"
 #include "vodsim/util/env.h"
 #include "vodsim/util/rng.h"
+#include "vodsim/util/stable_vector.h"
 #include "vodsim/util/table.h"
 #include "vodsim/util/thread_pool.h"
 #include "vodsim/util/units.h"
@@ -312,6 +313,49 @@ TEST(ThreadPool, SubmitFuture) {
   ThreadPool pool(1);
   auto future = pool.submit([] {});
   future.get();  // completes without throwing
+}
+
+TEST(StableVector, AddressesSurviveGrowth) {
+  // The engine captures Request& in pending event callbacks, so elements
+  // must never relocate — across as many chunk boundaries as we care to
+  // cross.
+  StableVector<int, 4> values;
+  std::vector<const int*> addresses;
+  for (int i = 0; i < 100; ++i) {
+    addresses.push_back(&values.emplace_back(i));
+  }
+  ASSERT_EQ(values.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(&values[static_cast<std::size_t>(i)], addresses[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(values[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(&values.back(), addresses.back());
+}
+
+TEST(StableVector, RangeForVisitsInOrder) {
+  StableVector<int, 3> values;
+  EXPECT_TRUE(values.empty());
+  for (int i = 0; i < 10; ++i) values.emplace_back(i * i);
+  int expected = 0;
+  for (const int& value : values) {
+    EXPECT_EQ(value, expected * expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 10);
+}
+
+TEST(StableVector, DestroysElementsOnClear) {
+  static int live = 0;
+  struct Probe {
+    Probe() { ++live; }
+    ~Probe() { --live; }
+  };
+  StableVector<Probe, 2> probes;
+  for (int i = 0; i < 7; ++i) probes.emplace_back();
+  EXPECT_EQ(live, 7);
+  probes.clear();
+  EXPECT_EQ(live, 0);
+  EXPECT_TRUE(probes.empty());
 }
 
 }  // namespace
