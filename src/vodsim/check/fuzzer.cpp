@@ -1,0 +1,512 @@
+#include "vodsim/check/fuzzer.h"
+
+#include <cmath>
+#include <functional>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "vodsim/check/reference_oracle.h"
+#include "vodsim/engine/vod_simulation.h"
+
+namespace vodsim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const char* qualified(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kEftf: return "vodsim::SchedulerKind::kEftf";
+    case SchedulerKind::kContinuous: return "vodsim::SchedulerKind::kContinuous";
+    case SchedulerKind::kProportional: return "vodsim::SchedulerKind::kProportional";
+    case SchedulerKind::kLftf: return "vodsim::SchedulerKind::kLftf";
+    case SchedulerKind::kIntermittent: return "vodsim::SchedulerKind::kIntermittent";
+  }
+  return "vodsim::SchedulerKind::kEftf";
+}
+
+const char* qualified(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kEven: return "vodsim::PlacementKind::kEven";
+    case PlacementKind::kPredictive: return "vodsim::PlacementKind::kPredictive";
+    case PlacementKind::kPartialPredictive:
+      return "vodsim::PlacementKind::kPartialPredictive";
+    case PlacementKind::kBsr: return "vodsim::PlacementKind::kBsr";
+  }
+  return "vodsim::PlacementKind::kEven";
+}
+
+const char* qualified(AssignmentKind kind) {
+  switch (kind) {
+    case AssignmentKind::kLeastLoaded:
+      return "vodsim::AssignmentKind::kLeastLoaded";
+    case AssignmentKind::kRandom: return "vodsim::AssignmentKind::kRandom";
+    case AssignmentKind::kFirstFit: return "vodsim::AssignmentKind::kFirstFit";
+    case AssignmentKind::kMostLoaded:
+      return "vodsim::AssignmentKind::kMostLoaded";
+  }
+  return "vodsim::AssignmentKind::kLeastLoaded";
+}
+
+const char* qualified(VictimStrategy strategy) {
+  switch (strategy) {
+    case VictimStrategy::kFirstFit: return "vodsim::VictimStrategy::kFirstFit";
+    case VictimStrategy::kLeastRemaining:
+      return "vodsim::VictimStrategy::kLeastRemaining";
+    case VictimStrategy::kMostRemaining:
+      return "vodsim::VictimStrategy::kMostRemaining";
+    case VictimStrategy::kMostBuffered:
+      return "vodsim::VictimStrategy::kMostBuffered";
+  }
+  return "vodsim::VictimStrategy::kFirstFit";
+}
+
+/// Round-trippable double literal for generated code.
+std::string literal(double value) {
+  if (std::isinf(value)) {
+    return value > 0 ? "std::numeric_limits<double>::infinity()"
+                     : "-std::numeric_limits<double>::infinity()";
+  }
+  std::ostringstream oss;
+  oss << std::setprecision(17) << value;
+  std::string text = oss.str();
+  // Bare integers would otherwise assign e.g. int-literal 600 to a double
+  // field — harmless, but ".0" makes the generated case read as intended.
+  if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+  return text;
+}
+
+std::string profile_literal(const std::vector<double>& profile) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (i) out += ", ";
+    out += literal(profile[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+SimulationConfig random_scenario(Rng& rng) {
+  SimulationConfig config;
+  config.system.name = "fuzz";
+
+  // World: 2-4 servers, 3-8 concurrent streams each, 1-5 minute clips.
+  config.system.num_servers = 2 + static_cast<int>(rng.uniform_int(3));
+  config.system.view_bandwidth = rng.uniform(1.5, 3.0);
+  const double streams_per_server = rng.uniform(3.0, 8.0);
+  config.system.server_bandwidth =
+      config.system.view_bandwidth * streams_per_server;
+  config.system.video_min_duration = rng.uniform(60.0, 120.0);
+  config.system.video_max_duration =
+      config.system.video_min_duration + rng.uniform(0.0, 180.0);
+  config.system.num_videos = 8 + static_cast<std::size_t>(rng.uniform_int(25));
+  config.system.avg_copies = rng.uniform(1.0, 2.5);
+
+  // Storage sized relative to the catalog: usually roomy, sometimes tight
+  // enough that placement falls short (orphans and replication pressure).
+  const Megabits mean_size = config.system.mean_video_size();
+  const double titles_per_server =
+      config.system.avg_copies * static_cast<double>(config.system.num_videos) /
+      config.system.num_servers;
+  const double storage_factor = rng.uniform() < 0.2 ? 0.6 : 1.5;
+  config.system.server_storage = storage_factor * titles_per_server * mean_size;
+
+  if (rng.uniform() < 0.25) {
+    config.system.bandwidth_profile.resize(
+        static_cast<std::size_t>(config.system.num_servers));
+    for (double& entry : config.system.bandwidth_profile) {
+      entry = rng.uniform(0.5, 2.0);
+    }
+  }
+  if (rng.uniform() < 0.15) {
+    config.system.storage_profile.resize(
+        static_cast<std::size_t>(config.system.num_servers));
+    for (double& entry : config.system.storage_profile) {
+      entry = rng.uniform(0.5, 2.0);
+    }
+  }
+
+  // Client staging: none / sliver / paper-scale / full video.
+  constexpr double kStagingOptions[] = {0.0, 0.02, 0.2, 1.0};
+  config.client.staging_fraction = kStagingOptions[rng.uniform_int(4)];
+  switch (rng.uniform_int(4)) {
+    case 0: config.client.receive_bandwidth = config.system.view_bandwidth; break;
+    case 1: config.client.receive_bandwidth = 2.0 * config.system.view_bandwidth; break;
+    case 2: config.client.receive_bandwidth = 10.0 * config.system.view_bandwidth; break;
+    default: config.client.receive_bandwidth = kInf; break;
+  }
+
+  constexpr PlacementKind kPlacements[] = {
+      PlacementKind::kEven, PlacementKind::kPredictive,
+      PlacementKind::kPartialPredictive, PlacementKind::kBsr};
+  config.placement.kind = kPlacements[rng.uniform_int(4)];
+
+  constexpr AssignmentKind kAssignments[] = {
+      AssignmentKind::kLeastLoaded, AssignmentKind::kRandom,
+      AssignmentKind::kFirstFit, AssignmentKind::kMostLoaded};
+  config.admission.assignment = kAssignments[rng.uniform_int(4)];
+
+  if (rng.uniform() < 0.6) {
+    config.admission.migration.enabled = true;
+    config.admission.migration.max_chain_length =
+        1 + static_cast<int>(rng.uniform_int(3));
+    config.admission.migration.max_hops_per_request =
+        rng.uniform() < 0.5 ? 1 : -1;
+    constexpr VictimStrategy kVictims[] = {
+        VictimStrategy::kFirstFit, VictimStrategy::kLeastRemaining,
+        VictimStrategy::kMostRemaining, VictimStrategy::kMostBuffered};
+    config.admission.migration.victim = kVictims[rng.uniform_int(4)];
+    // A victim is eligible only if its staged data covers the pause, so a
+    // positive latency is interesting only alongside staging.
+    if (config.client.staging_fraction > 0.0 && rng.uniform() < 0.3) {
+      config.admission.migration.switch_latency = rng.uniform(0.5, 5.0);
+    }
+  }
+
+  constexpr SchedulerKind kSchedulers[] = {
+      SchedulerKind::kEftf, SchedulerKind::kContinuous,
+      SchedulerKind::kProportional, SchedulerKind::kLftf,
+      SchedulerKind::kIntermittent};
+  config.scheduler = kSchedulers[rng.uniform_int(5)];
+  if (config.scheduler == SchedulerKind::kIntermittent) {
+    config.intermittent_safety_cover = rng.uniform(1.0, 20.0);
+    config.admission.buffer_aware = rng.uniform() < 0.4;
+  }
+
+  if (rng.uniform() < 0.3) {
+    config.failure.enabled = true;
+    config.failure.mean_time_between_failures = rng.uniform(150.0, 900.0);
+    config.failure.mean_time_to_repair = rng.uniform(20.0, 200.0);
+    config.failure.recover_via_migration = rng.uniform() < 0.5;
+  }
+  if (rng.uniform() < 0.3) {
+    config.replication.enabled = true;
+    config.replication.rejection_threshold =
+        1 + static_cast<int>(rng.uniform_int(3));
+    config.replication.window = rng.uniform(60.0, 600.0);
+    config.replication.transfer_bandwidth = rng.uniform(4.0, 12.0);
+    config.replication.max_concurrent = 1 + static_cast<int>(rng.uniform_int(2));
+    config.replication.allow_tertiary_source = rng.uniform() < 0.5;
+  }
+  if (rng.uniform() < 0.25) {
+    config.drift.enabled = true;
+    config.drift.period = rng.uniform(100.0, 600.0);
+    config.drift.step = 1 + static_cast<std::size_t>(rng.uniform_int(5));
+  }
+  // Interactivity scenarios are auditor-only (outside oracle_supports).
+  if (rng.uniform() < 0.25) {
+    config.interactivity.enabled = true;
+    config.interactivity.pauses_per_hour = rng.uniform(20.0, 120.0);
+    config.interactivity.mean_pause_duration = rng.uniform(5.0, 60.0);
+  }
+
+  config.zipf_theta = rng.uniform(-1.5, 1.0);
+  config.load_factor = rng.uniform(0.5, 1.4);
+  config.duration = rng.uniform(120.0, 600.0);
+  config.warmup = rng.uniform() < 0.5 ? 0.0 : 0.1 * config.duration;
+  config.seed = rng.next_u64();
+  return config;
+}
+
+std::vector<SimulationConfig> pathology_corpus() {
+  std::vector<SimulationConfig> corpus;
+
+  // Shared tiny-world base.
+  SimulationConfig base;
+  base.system.name = "pathology";
+  base.system.num_servers = 3;
+  base.system.server_bandwidth = 15.0;
+  base.system.server_storage = gigabytes(2);
+  base.system.video_min_duration = 90.0;
+  base.system.video_max_duration = 240.0;
+  base.system.num_videos = 20;
+  base.system.avg_copies = 1.8;
+  base.system.view_bandwidth = 3.0;
+  base.client.receive_bandwidth = 30.0;
+  base.duration = 600.0;
+  base.warmup = 0.0;
+  base.load_factor = 1.2;
+
+  // 1. Threshold chattering: intermittent scheduling with a hair-trigger
+  // safety cover and sliver buffers — streams hover at the urgency
+  // threshold, stressing the hysteresis latch and buffer-low predictions.
+  {
+    SimulationConfig config = base;
+    config.scheduler = SchedulerKind::kIntermittent;
+    config.intermittent_safety_cover = 2.0;
+    config.client.staging_fraction = 0.02;
+    config.seed = 101;
+    corpus.push_back(config);
+  }
+
+  // 2. Reschedule-heavy churn: tiny buffers fill in seconds at a 10x
+  // receive cap, so buffer-full/tx-complete predictions reschedule
+  // constantly — the slab queue's lazy cancellation under maximum stress.
+  {
+    SimulationConfig config = base;
+    config.client.staging_fraction = 0.02;
+    config.load_factor = 0.8;
+    config.seed = 102;
+    corpus.push_back(config);
+  }
+
+  // 3. Deep migration chains: overloaded cluster, chain length 3, unlimited
+  // hops — multi-step displacement plans with reservations in flight.
+  {
+    SimulationConfig config = base;
+    config.client.staging_fraction = 0.2;
+    config.admission.migration.enabled = true;
+    config.admission.migration.max_chain_length = 3;
+    config.admission.migration.max_hops_per_request = -1;
+    config.admission.migration.switch_latency = 1.0;
+    config.load_factor = 1.4;
+    config.seed = 103;
+    corpus.push_back(config);
+  }
+
+  // 4. Failure/repair churn with replication: servers flap every few
+  // minutes while rejection-triggered copies hold reservations — recovery
+  // migration racing replication bandwidth on both ends.
+  {
+    SimulationConfig config = base;
+    config.client.staging_fraction = 0.2;
+    config.admission.migration.enabled = true;
+    config.failure.enabled = true;
+    config.failure.mean_time_between_failures = 180.0;
+    config.failure.mean_time_to_repair = 45.0;
+    config.replication.enabled = true;
+    config.replication.rejection_threshold = 1;
+    config.replication.window = 300.0;
+    config.replication.transfer_bandwidth = 6.0;
+    config.seed = 104;
+    corpus.push_back(config);
+  }
+
+  // 5. Buffer-aware overcommit: nominal commitments deliberately exceed the
+  // link; the intermittent scheduler rations actual flow. Auditor-only
+  // (outside oracle_supports), exercising the relaxed capacity expectation.
+  {
+    SimulationConfig config = base;
+    config.scheduler = SchedulerKind::kIntermittent;
+    config.intermittent_safety_cover = 10.0;
+    config.admission.buffer_aware = true;
+    config.client.staging_fraction = 1.0;
+    config.load_factor = 1.4;
+    config.seed = 105;
+    corpus.push_back(config);
+  }
+
+  return corpus;
+}
+
+FuzzResult run_scenario(const SimulationConfig& config) {
+  FuzzResult result;
+  SimulationConfig audited = config;
+  audited.paranoid = true;
+  try {
+    const RequestTrace trace = engine_trace(audited);
+    VodSimulation engine(audited, trace);
+    engine.run();
+    if (oracle_supports(audited)) {
+      result.oracle_checked = true;
+      const OracleResult oracle = run_reference(audited, trace);
+      const std::string diff = compare_against_engine(engine, oracle);
+      if (!diff.empty()) {
+        result.passed = false;
+        result.failure = "oracle mismatch: " + diff;
+      }
+    }
+  } catch (const std::exception& error) {
+    result.passed = false;
+    result.failure = error.what();
+  }
+  return result;
+}
+
+SimulationConfig shrink_scenario(SimulationConfig config) {
+  if (run_scenario(config).passed) return config;
+
+  using Transform = std::function<void(SimulationConfig&)>;
+  // Ordered roughly by how much each removes: whole features first, then
+  // policy simplifications, then size halvings.
+  const std::vector<Transform> transforms = {
+      [](SimulationConfig& c) { c.interactivity.enabled = false; },
+      [](SimulationConfig& c) { c.failure.enabled = false; },
+      [](SimulationConfig& c) { c.replication.enabled = false; },
+      [](SimulationConfig& c) { c.drift.enabled = false; },
+      [](SimulationConfig& c) { c.admission.migration.enabled = false; },
+      [](SimulationConfig& c) { c.admission.migration.switch_latency = 0.0; },
+      [](SimulationConfig& c) { c.admission.migration.max_chain_length = 1; },
+      [](SimulationConfig& c) {
+        c.scheduler = SchedulerKind::kEftf;
+        c.admission.buffer_aware = false;
+      },
+      [](SimulationConfig& c) { c.admission.buffer_aware = false; },
+      [](SimulationConfig& c) { c.client.staging_fraction = 0.0; },
+      [](SimulationConfig& c) { c.client.receive_bandwidth = kInf; },
+      [](SimulationConfig& c) {
+        c.system.bandwidth_profile.clear();
+        c.system.storage_profile.clear();
+      },
+      [](SimulationConfig& c) {
+        c.placement.kind = PlacementKind::kEven;
+        c.admission.assignment = AssignmentKind::kLeastLoaded;
+      },
+      [](SimulationConfig& c) {
+        c.admission.migration.victim = VictimStrategy::kFirstFit;
+      },
+      [](SimulationConfig& c) { c.zipf_theta = 0.271; },
+      [](SimulationConfig& c) { c.system.avg_copies = 1.0; },
+      [](SimulationConfig& c) { c.warmup = 0.0; },
+      [](SimulationConfig& c) {
+        c.duration = 0.5 * c.duration;
+        if (c.warmup >= c.duration) c.warmup = 0.0;
+      },
+      [](SimulationConfig& c) {
+        if (c.system.num_servers > 1) {
+          c.system.num_servers = (c.system.num_servers + 1) / 2;
+          c.system.bandwidth_profile.clear();
+          c.system.storage_profile.clear();
+        }
+      },
+      [](SimulationConfig& c) {
+        if (c.system.num_videos > 2) {
+          c.system.num_videos = (c.system.num_videos + 1) / 2;
+        }
+      },
+      [](SimulationConfig& c) {
+        if (c.load_factor > 0.3) c.load_factor *= 0.5;
+      },
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transform& transform : transforms) {
+      SimulationConfig candidate = config;
+      transform(candidate);
+      // Idempotence check via the printed form — a transform that is
+      // already applied must not count as progress, or the loop never ends.
+      if (to_gtest_case(candidate, "s") == to_gtest_case(config, "s")) continue;
+      try {
+        candidate.validate();
+      } catch (const std::invalid_argument&) {
+        // A shrink that produces an invalid config would "fail" for the
+        // wrong reason; skip it rather than chase a fake reproducer.
+        continue;
+      }
+      if (!run_scenario(candidate).passed) {
+        config = candidate;
+        changed = true;
+      }
+    }
+  }
+  return config;
+}
+
+std::string to_gtest_case(const SimulationConfig& config,
+                          const std::string& name) {
+  std::ostringstream out;
+  out << "TEST(FuzzRegression, " << name << ") {\n";
+  out << "  vodsim::SimulationConfig config;\n";
+  out << "  config.system.name = \"fuzz\";\n";
+  out << "  config.system.num_servers = " << config.system.num_servers << ";\n";
+  out << "  config.system.server_bandwidth = "
+      << literal(config.system.server_bandwidth) << ";\n";
+  out << "  config.system.server_storage = "
+      << literal(config.system.server_storage) << ";\n";
+  out << "  config.system.video_min_duration = "
+      << literal(config.system.video_min_duration) << ";\n";
+  out << "  config.system.video_max_duration = "
+      << literal(config.system.video_max_duration) << ";\n";
+  out << "  config.system.num_videos = " << config.system.num_videos << ";\n";
+  out << "  config.system.avg_copies = " << literal(config.system.avg_copies)
+      << ";\n";
+  out << "  config.system.view_bandwidth = "
+      << literal(config.system.view_bandwidth) << ";\n";
+  if (!config.system.bandwidth_profile.empty()) {
+    out << "  config.system.bandwidth_profile = "
+        << profile_literal(config.system.bandwidth_profile) << ";\n";
+  }
+  if (!config.system.storage_profile.empty()) {
+    out << "  config.system.storage_profile = "
+        << profile_literal(config.system.storage_profile) << ";\n";
+  }
+  out << "  config.client.staging_fraction = "
+      << literal(config.client.staging_fraction) << ";\n";
+  out << "  config.client.receive_bandwidth = "
+      << literal(config.client.receive_bandwidth) << ";\n";
+  out << "  config.placement.kind = " << qualified(config.placement.kind)
+      << ";\n";
+  out << "  config.placement.partial_head_fraction = "
+      << literal(config.placement.partial_head_fraction) << ";\n";
+  out << "  config.placement.partial_tail_shift = "
+      << literal(config.placement.partial_tail_shift) << ";\n";
+  out << "  config.admission.assignment = "
+      << qualified(config.admission.assignment) << ";\n";
+  const MigrationConfig& migration = config.admission.migration;
+  out << "  config.admission.migration.enabled = "
+      << (migration.enabled ? "true" : "false") << ";\n";
+  out << "  config.admission.migration.max_chain_length = "
+      << migration.max_chain_length << ";\n";
+  out << "  config.admission.migration.max_hops_per_request = "
+      << migration.max_hops_per_request << ";\n";
+  out << "  config.admission.migration.victim = " << qualified(migration.victim)
+      << ";\n";
+  out << "  config.admission.migration.max_search_nodes = "
+      << migration.max_search_nodes << ";\n";
+  out << "  config.admission.migration.switch_latency = "
+      << literal(migration.switch_latency) << ";\n";
+  out << "  config.admission.buffer_aware = "
+      << (config.admission.buffer_aware ? "true" : "false") << ";\n";
+  out << "  config.admission.buffer_aware_horizon = "
+      << literal(config.admission.buffer_aware_horizon) << ";\n";
+  out << "  config.scheduler = " << qualified(config.scheduler) << ";\n";
+  out << "  config.intermittent_safety_cover = "
+      << literal(config.intermittent_safety_cover) << ";\n";
+  out << "  config.failure.enabled = "
+      << (config.failure.enabled ? "true" : "false") << ";\n";
+  out << "  config.failure.mean_time_between_failures = "
+      << literal(config.failure.mean_time_between_failures) << ";\n";
+  out << "  config.failure.mean_time_to_repair = "
+      << literal(config.failure.mean_time_to_repair) << ";\n";
+  out << "  config.failure.recover_via_migration = "
+      << (config.failure.recover_via_migration ? "true" : "false") << ";\n";
+  out << "  config.drift.enabled = " << (config.drift.enabled ? "true" : "false")
+      << ";\n";
+  out << "  config.drift.period = " << literal(config.drift.period) << ";\n";
+  out << "  config.drift.step = " << config.drift.step << ";\n";
+  out << "  config.replication.enabled = "
+      << (config.replication.enabled ? "true" : "false") << ";\n";
+  out << "  config.replication.rejection_threshold = "
+      << config.replication.rejection_threshold << ";\n";
+  out << "  config.replication.window = " << literal(config.replication.window)
+      << ";\n";
+  out << "  config.replication.transfer_bandwidth = "
+      << literal(config.replication.transfer_bandwidth) << ";\n";
+  out << "  config.replication.max_concurrent = "
+      << config.replication.max_concurrent << ";\n";
+  out << "  config.replication.max_total = " << config.replication.max_total
+      << ";\n";
+  out << "  config.replication.allow_tertiary_source = "
+      << (config.replication.allow_tertiary_source ? "true" : "false") << ";\n";
+  out << "  config.interactivity.enabled = "
+      << (config.interactivity.enabled ? "true" : "false") << ";\n";
+  out << "  config.interactivity.pauses_per_hour = "
+      << literal(config.interactivity.pauses_per_hour) << ";\n";
+  out << "  config.interactivity.mean_pause_duration = "
+      << literal(config.interactivity.mean_pause_duration) << ";\n";
+  out << "  config.zipf_theta = " << literal(config.zipf_theta) << ";\n";
+  out << "  config.load_factor = " << literal(config.load_factor) << ";\n";
+  out << "  config.duration = " << literal(config.duration) << ";\n";
+  out << "  config.warmup = " << literal(config.warmup) << ";\n";
+  out << "  config.seed = " << config.seed << "ULL;\n";
+  out << "  const vodsim::FuzzResult result = vodsim::run_scenario(config);\n";
+  out << "  EXPECT_TRUE(result.passed) << result.failure;\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace vodsim

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file fuzzer.h
+/// \brief Randomized differential testing of the simulation engine.
+///
+/// The fuzzer samples small randomized SimulationConfigs across the whole
+/// feature cross-product — schedulers × placement × migration × failures ×
+/// replication × drift × interactivity × heterogeneity — and runs each one
+/// through two independent harnesses:
+///
+///   1. the engine with the invariant auditor attached (every scenario), and
+///   2. the naive reference oracle (scenarios within `oracle_supports`),
+///      diffing end-of-run counters and fluid integrals.
+///
+/// On a failure, `shrink_scenario` greedily minimizes the configuration —
+/// disabling features, halving sizes — while the failure reproduces, and
+/// `to_gtest_case` renders the survivor as a ready-to-paste regression test.
+///
+/// Scenarios are deliberately tiny (a few servers, minutes of simulated
+/// time): the oracle is quadratic-ish by design, and small worlds shrink
+/// better. Coverage comes from the count of scenarios, not their size.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vodsim/engine/config.h"
+#include "vodsim/util/rng.h"
+
+namespace vodsim {
+
+/// Outcome of one fuzz scenario.
+struct FuzzResult {
+  bool passed = true;
+  /// True when the scenario was also cross-checked against the reference
+  /// oracle (i.e. oracle_supports() held), not just audited.
+  bool oracle_checked = false;
+  /// Empty when passed; otherwise the auditor's message or the oracle diff.
+  std::string failure;
+};
+
+/// Samples one randomized tiny scenario. Always returns a configuration
+/// that passes SimulationConfig::validate(). Consumes a deterministic
+/// number of draws per call, so a fixed \p rng seed yields a fixed
+/// scenario sequence.
+SimulationConfig random_scenario(Rng& rng);
+
+/// Hand-written pathological scenarios seeding every fuzz run: threshold
+/// chattering under intermittent scheduling, reschedule-heavy tiny-buffer
+/// churn, deep migration chains, failure/repair churn with replication, and
+/// buffer-aware overcommit.
+std::vector<SimulationConfig> pathology_corpus();
+
+/// Runs \p config through the engine with the auditor forced on, and — when
+/// the oracle supports it — diffs the run against the reference oracle.
+/// Exceptions (AuditFailure included) are captured into the result, never
+/// propagated.
+FuzzResult run_scenario(const SimulationConfig& config);
+
+/// Greedily minimizes a failing \p config: repeatedly applies shrinking
+/// transforms (disable a feature, halve a size, drop a policy back to its
+/// default) and keeps each one that still fails, until a fixpoint. Returns
+/// \p config unchanged if it does not fail in the first place.
+SimulationConfig shrink_scenario(SimulationConfig config);
+
+/// Renders \p config as a complete gtest TEST(FuzzRegression, <name>) case
+/// that rebuilds the exact configuration (every field, %.17g doubles) and
+/// asserts run_scenario passes. Paste into tests/check_fuzz_test.cpp.
+std::string to_gtest_case(const SimulationConfig& config,
+                          const std::string& name);
+
+}  // namespace vodsim

@@ -1,0 +1,224 @@
+#include "vodsim/check/invariant_auditor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "vodsim/cluster/request.h"
+#include "vodsim/cluster/server.h"
+#include "vodsim/engine/vod_simulation.h"
+
+namespace vodsim {
+
+namespace {
+
+/// Narrow failure helper: everything the operator needs to reproduce and
+/// localize the violation goes into the message (the throw site is cold).
+[[noreturn]] void fail(const std::string& invariant, const std::ostringstream& detail) {
+  throw AuditFailure("invariant violated: " + invariant + " — " + detail.str());
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(const VodSimulation& simulation)
+    : sim_(simulation) {
+  last_epochs_.assign(sim_.servers().size(), 0);
+}
+
+void InvariantAuditor::check_request(const Request& request, const Server& server,
+                                     std::size_t index_on_server) {
+  std::ostringstream d;
+  d << "request " << request.id() << " on server " << server.id();
+  if (request.state() != RequestState::kStreaming) {
+    d << ": state " << static_cast<int>(request.state());
+    fail("active requests are streaming", d);
+  }
+  if (request.server() != server.id()) {
+    d << ": back-pointer " << request.server();
+    fail("active request points at its server", d);
+  }
+  if (request.active_index != index_on_server) {
+    d << ": active_index " << request.active_index << " != " << index_on_server;
+    fail("active_index matches list position", d);
+  }
+  if (request.allocation() < -kTolerance) {
+    d << ": allocation " << request.allocation();
+    fail("allocation is nonnegative", d);
+  }
+  if (request.allocation() > request.receive_bandwidth() + kTolerance) {
+    d << ": allocation " << request.allocation() << " > receive cap "
+      << request.receive_bandwidth();
+    fail("allocation respects the client receive cap", d);
+  }
+  const StagingBuffer& buffer = request.buffer();
+  if (buffer.level() < -kTolerance || buffer.level() > buffer.capacity() + kTolerance) {
+    d << ": buffer level " << buffer.level() << " capacity " << buffer.capacity();
+    fail("staging buffer level within [0, capacity]", d);
+  }
+  if (request.remaining() < 0.0) {
+    d << ": remaining " << request.remaining();
+    fail("remaining data is nonnegative", d);
+  }
+}
+
+void InvariantAuditor::check_server(const Server& server,
+                                    const ServerExpectations& expect) {
+  const std::vector<Request*>& active = server.active_requests();
+
+  if (server.reserved_bandwidth() < -kTolerance) {
+    std::ostringstream d;
+    d << "server " << server.id() << ": reserved " << server.reserved_bandwidth();
+    fail("reservations are nonnegative", d);
+  }
+  if (!server.available() && !active.empty()) {
+    std::ostringstream d;
+    d << "server " << server.id() << ": " << active.size() << " active streams";
+    fail("failed servers host no streams", d);
+  }
+
+  Mbps allocated = 0.0;
+  Mbps committed = 0.0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const Request& request = *active[i];
+    check_request(request, server, i);
+    allocated += request.allocation();
+    committed += request.view_bandwidth();
+    if (expect.minimum_flow &&
+        request.allocation() < request.minimum_rate() - kTolerance) {
+      std::ostringstream d;
+      d << "request " << request.id() << " on server " << server.id()
+        << ": allocation " << request.allocation() << " < minimum "
+        << request.minimum_rate();
+      fail("minimum-flow guarantee", d);
+    }
+  }
+
+  if (std::abs(server.committed_bandwidth() - committed) > kTolerance) {
+    std::ostringstream d;
+    d << "server " << server.id() << ": committed_bandwidth "
+      << server.committed_bandwidth() << " vs active sum " << committed;
+    fail("commitment bookkeeping matches the active set", d);
+  }
+  if (expect.enforce_capacity &&
+      server.committed_bandwidth() > server.bandwidth() + kTolerance) {
+    std::ostringstream d;
+    d << "server " << server.id() << ": committed " << server.committed_bandwidth()
+      << " > link " << server.bandwidth();
+    fail("admission never over-commits a server", d);
+  }
+  // Allocations must fit the physical link. Not schedulable_bandwidth():
+  // a fresh migration reservation constrains only *future* allocations —
+  // existing workahead keeps flowing until the next recompute touches the
+  // server — so the reservation-adjusted bound would false-positive.
+  if (allocated > server.bandwidth() + kTolerance) {
+    std::ostringstream d;
+    d << "server " << server.id() << ": allocated " << allocated << " > link "
+      << server.bandwidth();
+    fail("allocations fit the link", d);
+  }
+}
+
+void InvariantAuditor::on_event() {
+  const Seconds now = sim_.simulator().now();
+  if (now + 1e-9 < last_event_time_) {
+    std::ostringstream d;
+    d << "now " << now << " after event at " << last_event_time_;
+    fail("simulation time is monotone", d);
+  }
+  last_event_time_ = now;
+
+  ServerExpectations expect;
+  expect.minimum_flow = sim_.scheduler().minimum_flow();
+  expect.enforce_capacity = !sim_.controller().config().buffer_aware;
+
+  const std::vector<Server>& servers = sim_.servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const Server& server = servers[i];
+    const std::uint64_t epoch = sim_.recompute_epoch(server.id());
+    if (epoch < last_epochs_[i]) {
+      std::ostringstream d;
+      d << "server " << server.id() << ": epoch " << epoch << " after "
+        << last_epochs_[i];
+      fail("recompute epochs only move forward", d);
+    }
+    last_epochs_[i] = epoch;
+
+    check_server(server, expect);
+    for (const Request* request : server.active_requests()) {
+      if (request->last_update() > now + 1e-9) {
+        std::ostringstream d;
+        d << "request " << request->id() << " updated at "
+          << request->last_update() << ", now " << now;
+        fail("fluid state never runs ahead of the clock", d);
+      }
+    }
+    checks_run_ += 1 + server.active_requests().size();
+  }
+  ++events_audited_;
+}
+
+void InvariantAuditor::on_advance(const Request& request, Seconds t0, Seconds t1) {
+  if (t1 < t0 - 1e-12) {
+    std::ostringstream d;
+    d << "request " << request.id() << ": [" << t0 << ", " << t1 << "]";
+    fail("transmission intervals run forward", d);
+  }
+  observed_flow_ += request.allocation() * (t1 - t0);
+  ++intervals_observed_;
+}
+
+void InvariantAuditor::finalize() const {
+  double delivered = 0.0;
+  std::size_t request_count = 0;
+  for (const Request& request : sim_.requests()) {
+    delivered += request.delivered();
+    ++request_count;
+
+    if (request.state() == RequestState::kStreaming) {
+      // Cut off by the horizon mid-stream: it must still be exactly where
+      // its server's active list says it is.
+      const auto server_index = static_cast<std::size_t>(request.server());
+      if (server_index >= sim_.servers().size()) {
+        std::ostringstream d;
+        d << "request " << request.id() << ": server " << request.server();
+        fail("streaming requests name a real server", d);
+      }
+      const Server& server = sim_.servers()[server_index];
+      const std::vector<Request*>& active = server.active_requests();
+      if (request.active_index >= active.size() ||
+          active[request.active_index] != &request) {
+        std::ostringstream d;
+        d << "request " << request.id() << " missing from server "
+          << server.id() << "'s active list";
+        fail("streaming requests sit on their server's active list", d);
+      }
+    }
+  }
+
+  // Bits conservation: the flow integral the auditor accumulated on its own
+  // must equal the per-request delivery ledger. Slop covers the per-
+  // completion clamp (a predicted completion firing a float-ulp late
+  // over-integrates by ~rate * ulp) plus relative accumulation error.
+  const double slop =
+      kTolerance * (1.0 + static_cast<double>(request_count)) + 1e-9 * observed_flow_;
+  if (std::abs(observed_flow_ - delivered) > slop) {
+    std::ostringstream d;
+    d << "flow integral " << observed_flow_ << " Mb vs delivered " << delivered
+      << " Mb over " << request_count << " requests";
+    fail("transmitted bits reconcile with request sizes", d);
+  }
+  // The metrics meter the same intervals clipped to the window, so it can
+  // only see less than the physical flow.
+  if (sim_.metrics().transmitted() > observed_flow_ + slop) {
+    std::ostringstream d;
+    d << "metered " << sim_.metrics().transmitted() << " Mb vs physical flow "
+      << observed_flow_ << " Mb";
+    fail("metered transmission never exceeds physical flow", d);
+  }
+  if (sim_.metrics().utilization() > 1.0 + 1e-9) {
+    std::ostringstream d;
+    d << "utilization " << sim_.metrics().utilization();
+    fail("utilization cannot exceed 1", d);
+  }
+}
+
+}  // namespace vodsim

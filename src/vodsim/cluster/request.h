@@ -80,6 +80,10 @@ class Request {
   /// True if all data has been transmitted.
   bool finished() const { return remaining_ <= kRemainingTolerance; }
 
+  /// Megabits delivered to the client so far (audit surface: the invariant
+  /// auditor reconciles the sum of these against the integrated fluid flow).
+  Megabits delivered() const { return total_size_ - remaining_; }
+
   /// Integrates the fluid state from last_update() to \p now at the current
   /// allocation: decreases remaining data, fills/drains the staging buffer
   /// against playback. Returns megabits of playback underflow in the

@@ -22,6 +22,7 @@ bool Simulator::step() {
   now_ = time;
   ++executed_;
   fn(time);
+  if (post_event_hook_) post_event_hook_(time);
   return true;
 }
 

@@ -9,6 +9,8 @@
 /// event" follow-ups.
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "vodsim/des/event_queue.h"
 #include "vodsim/util/units.h"
@@ -50,10 +52,19 @@ class Simulator {
   /// Pre-sizes the event queue for \p events concurrently pending events.
   void reserve_events(std::size_t events) { queue_.reserve(events); }
 
+  /// Observer invoked after every executed event, with the event's time.
+  /// At most one hook; empty (the default) disables it, leaving one branch
+  /// on the hot path. Used by the paranoid-mode invariant auditor.
+  using PostEventHook = std::function<void(Seconds)>;
+  void set_post_event_hook(PostEventHook hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
  private:
   EventQueue queue_;
   Seconds now_ = 0.0;
   std::uint64_t executed_ = 0;
+  PostEventHook post_event_hook_;
 };
 
 }  // namespace vodsim

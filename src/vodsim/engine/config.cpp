@@ -4,9 +4,22 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "vodsim/util/rng.h"
 #include "vodsim/workload/poisson.h"
 
 namespace vodsim {
+
+SeedPlan SeedPlan::derive(std::uint64_t master_seed) {
+  Rng master(master_seed);
+  SeedPlan plan;
+  plan.catalog = master.fork_seed();
+  plan.placement = master.fork_seed();
+  plan.arrival = master.fork_seed();
+  plan.decision = master.fork_seed();
+  plan.failure = master.fork_seed();
+  plan.interactivity = master.fork_seed();
+  return plan;
+}
 
 SystemConfig SystemConfig::small_system() {
   SystemConfig config;

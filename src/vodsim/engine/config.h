@@ -137,6 +137,15 @@ struct SimulationConfig {
   Seconds warmup = hours(20);
   std::uint64_t seed = 1;
 
+  /// Attach the runtime invariant auditor (check/invariant_auditor.h) to
+  /// this trial: every executed event is followed by a full physical-state
+  /// audit (minimum flow, capacity, buffer bounds, epoch monotonicity) and
+  /// the run ends with a bits-conservation reconciliation. Off by default —
+  /// the audit pass costs O(active streams) per event. The VODSIM_PARANOID
+  /// environment variable (nonzero) forces it on regardless of this flag.
+  /// The auditor observes only; results are bit-identical either way.
+  bool paranoid = false;
+
   /// Staging buffer capacity in megabits for this config.
   Megabits staging_capacity() const {
     return client.staging_fraction * system.mean_video_size();
@@ -147,6 +156,21 @@ struct SimulationConfig {
 
   /// Throws std::invalid_argument on inconsistent parameters.
   void validate() const;
+};
+
+/// Per-component RNG seeds derived from a trial's master seed, in the
+/// engine's canonical fork order. Factored out of VodSimulation::build_world
+/// so the reference oracle (check/reference_oracle.h) can reproduce the
+/// exact same streams without duplicating the order-sensitive sequence.
+struct SeedPlan {
+  std::uint64_t catalog = 0;
+  std::uint64_t placement = 0;
+  std::uint64_t arrival = 0;
+  std::uint64_t decision = 0;
+  std::uint64_t failure = 0;
+  std::uint64_t interactivity = 0;
+
+  static SeedPlan derive(std::uint64_t master_seed);
 };
 
 /// Builds the server vector, applying (normalized) heterogeneity profiles.

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <limits>
 
+#include "vodsim/check/invariant_auditor.h"
 #include "vodsim/placement/partial_predictive.h"
 #include "vodsim/sched/intermittent.h"
+#include "vodsim/util/env.h"
 #include "vodsim/util/log.h"
 #include "vodsim/workload/catalog.h"
 #include "vodsim/workload/poisson.h"
@@ -29,17 +31,11 @@ void VodSimulation::build_world() {
 
   // Independent deterministic streams for each stochastic component, so
   // e.g. changing the placement policy does not perturb the arrival stream.
-  Rng master(config_.seed);
-  const std::uint64_t catalog_seed = master.fork_seed();
-  const std::uint64_t placement_seed = master.fork_seed();
-  const std::uint64_t arrival_seed = master.fork_seed();
-  const std::uint64_t decision_seed = master.fork_seed();
-  const std::uint64_t failure_seed = master.fork_seed();
-  const std::uint64_t interactivity_seed = master.fork_seed();
-  rng_ = Rng(decision_seed);
-  interactivity_rng_ = Rng(interactivity_seed);
+  const SeedPlan seeds = SeedPlan::derive(config_.seed);
+  rng_ = Rng(seeds.decision);
+  interactivity_rng_ = Rng(seeds.interactivity);
 
-  Rng catalog_rng(catalog_seed);
+  Rng catalog_rng(seeds.catalog);
   CatalogSpec spec;
   spec.num_videos = config_.system.num_videos;
   spec.min_duration = config_.system.video_min_duration;
@@ -64,7 +60,7 @@ void VodSimulation::build_world() {
   } else {
     placement = make_placement(config_.placement.kind);
   }
-  Rng placement_rng(placement_seed);
+  Rng placement_rng(seeds.placement);
   // Placement sees the popularity law as of t = 0 — a drifting workload
   // later invalidates a "perfect" prediction, which is exactly what the
   // drift experiment studies.
@@ -104,12 +100,20 @@ void VodSimulation::build_world() {
 
   if (!arrivals_) {
     arrivals_ = std::make_unique<RequestGenerator>(
-        PoissonProcess(config_.arrival_rate()), *popularity_, arrival_seed);
+        PoissonProcess(config_.arrival_rate()), *popularity_, seeds.arrival);
   }
 
-  Rng failure_rng(failure_seed);
+  Rng failure_rng(seeds.failure);
   failure_timeline_ = generate_failure_timeline(
       config_.failure, config_.system.num_servers, config_.duration, failure_rng);
+
+  // The auditor is a pure observer: it reads state after each event and
+  // throws AuditFailure on a violated invariant, never mutating anything,
+  // so enabling it cannot perturb results (pinned by determinism_test).
+  if (config_.paranoid || env_long("VODSIM_PARANOID", 0) != 0) {
+    auditor_ = std::make_unique<InvariantAuditor>(*this);
+    sim_.set_post_event_hook([this](Seconds) { auditor_->on_event(); });
+  }
 }
 
 const Metrics& VodSimulation::run() {
@@ -130,6 +134,7 @@ const Metrics& VodSimulation::run() {
     }
     occupancy_[static_cast<std::size_t>(server.id())].flush(config_.duration);
   }
+  if (auditor_) auditor_->finalize();
   return *metrics_;
 }
 
@@ -373,6 +378,7 @@ void VodSimulation::advance_and_account(Request& request, Seconds now) {
   mark_server_dirty(request.server());
   const Seconds interval_start = request.last_update();
   metrics_->record_transmission(interval_start, now, request.allocation());
+  if (auditor_) auditor_->on_advance(request, interval_start, now);
   const Megabits underflow = request.advance(now);
   if (underflow > 0.0) {
     ++continuity_violations_;

@@ -40,6 +40,8 @@
 
 namespace vodsim {
 
+class InvariantAuditor;
+
 class VodSimulation {
  public:
   /// Validates \p config (throws std::invalid_argument) and builds the
@@ -65,6 +67,21 @@ class VodSimulation {
   const ReplicaDirectory& directory() const { return directory_; }
   const Metrics& metrics() const { return *metrics_; }
   const Simulator& simulator() const { return sim_; }
+  const BandwidthScheduler& scheduler() const { return *scheduler_; }
+  const AdmissionController& controller() const { return *controller_; }
+  const std::vector<FailureEvent>& failure_timeline() const {
+    return failure_timeline_;
+  }
+
+  /// Recompute-memo epoch of \p server: bumps whenever the server's
+  /// allocation inputs change and never otherwise. The invariant auditor
+  /// checks monotonicity; exposed for it and for tests.
+  std::uint64_t recompute_epoch(ServerId server) const {
+    return recompute_state_[static_cast<std::size_t>(server)].epoch;
+  }
+
+  /// The attached auditor, or nullptr unless paranoid mode is on.
+  const InvariantAuditor* auditor() const { return auditor_.get(); }
 
   /// Every request ever created (terminal states included); audit surface
   /// for tests.
@@ -154,6 +171,8 @@ class VodSimulation {
 
   StableVector<Request> requests_;
   RequestId next_request_id_ = 0;
+  /// Present only in paranoid mode (config.paranoid or VODSIM_PARANOID).
+  std::unique_ptr<InvariantAuditor> auditor_;
   std::uint64_t continuity_violations_ = 0;
   std::uint64_t pauses_started_ = 0;
   bool ran_ = false;

@@ -38,6 +38,8 @@ class IntermittentScheduler final : public BandwidthScheduler {
 
   std::string name() const override { return "intermittent"; }
 
+  bool minimum_flow() const override { return false; }
+
   Seconds safety_cover() const { return safety_cover_; }
 
  private:

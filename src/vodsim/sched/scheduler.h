@@ -69,6 +69,13 @@ class BandwidthScheduler {
   }
 
   virtual std::string name() const = 0;
+
+  /// True for members of the minimum-flow family (§3.3): every unfinished
+  /// request is guaranteed at least its minimum rate in every allocation.
+  /// The intermittent scheduler returns false — deliberate starvation is
+  /// its defining feature — which tells the invariant auditor not to assert
+  /// the per-request lower bound.
+  virtual bool minimum_flow() const { return true; }
 };
 
 /// Scheduler registry keys (used by engine::Config and the CLI).

@@ -1,0 +1,46 @@
+// Bounded fuzzing under ctest: the pathology corpus plus a fixed batch of
+// random scenarios, every one run through the engine with the invariant
+// auditor attached and — where supported — diffed against the reference
+// oracle. The seed is pinned so the batch is reproducible; use the
+// standalone `vodsim_fuzz` tool for open-ended exploration.
+
+#include <gtest/gtest.h>
+
+#include "vodsim/check/fuzzer.h"
+#include "vodsim/util/rng.h"
+
+namespace vodsim {
+namespace {
+
+TEST(ScenarioFuzz, CorpusAndRandomBatchPass) {
+  int oracle_checked = 0;
+
+  for (const SimulationConfig& config : pathology_corpus()) {
+    const FuzzResult result = run_scenario(config);
+    if (result.oracle_checked) ++oracle_checked;
+    ASSERT_TRUE(result.passed)
+        << "corpus seed=" << config.seed << ": " << result.failure
+        << "\n"
+        << to_gtest_case(shrink_scenario(config), "ShrunkCorpusReproducer");
+  }
+
+  constexpr int kScenarios = 250;
+  Rng rng(42);
+  for (int i = 0; i < kScenarios; ++i) {
+    const SimulationConfig config = random_scenario(rng);
+    const FuzzResult result = run_scenario(config);
+    if (result.oracle_checked) ++oracle_checked;
+    ASSERT_TRUE(result.passed)
+        << "scenario " << i << " seed=" << config.seed << ": " << result.failure
+        << "\n"
+        << to_gtest_case(shrink_scenario(config), "ShrunkReproducer");
+  }
+
+  // The oracle's exclusions (interactivity, buffer-aware admission) must
+  // not hollow out the differential side of the batch: the majority of
+  // scenarios stay within its scope.
+  EXPECT_GE(oracle_checked, kScenarios / 2);
+}
+
+}  // namespace
+}  // namespace vodsim

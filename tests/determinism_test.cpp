@@ -92,6 +92,73 @@ TEST(GoldenDeterminism, ThreadedRunnerMatchesDirectRuns) {
   }
 }
 
+// --- feature-config golden runs ------------------------------------------
+// The base matrix above exercises the paper's eight policies; these configs
+// pin bit-exactness on the extension subsystems, each asserting the feature
+// actually fired so the comparison is not vacuous.
+
+TEST(GoldenDeterminism, FailureInjectionIsBitIdentical) {
+  SimulationConfig config = golden_config(figure6_policies().front(), 11);
+  config.failure.enabled = true;
+  config.failure.mean_time_between_failures = hours(0.05);
+  config.failure.mean_time_to_repair = hours(0.02);
+
+  VodSimulation first(config);
+  first.run();
+  ASSERT_FALSE(first.failure_timeline().empty());  // failures actually fired
+
+  const TrialResult a = TrialResult::from(first);
+  const TrialResult b = run_once(config);
+  expect_bit_identical(a, b);
+}
+
+TEST(GoldenDeterminism, DynamicReplicationIsBitIdentical) {
+  // Overload a single-copy catalog so rejections trigger replication.
+  SimulationConfig config = golden_config(figure6_policies()[2], 13);
+  config.load_factor = 2.0;
+  config.system.avg_copies = 1.0;
+  config.replication.enabled = true;
+  config.replication.rejection_threshold = 1;
+  config.replication.window = 600.0;
+
+  VodSimulation first(config);
+  first.run();
+  ASSERT_GT(first.metrics().replications(), 0u);  // copies actually made
+
+  const TrialResult a = TrialResult::from(first);
+  const TrialResult b = run_once(config);
+  expect_bit_identical(a, b);
+  EXPECT_EQ(first.metrics().replications(), [&] {
+    VodSimulation again(config);
+    again.run();
+    return again.metrics().replications();
+  }());
+}
+
+TEST(GoldenDeterminism, InteractivityIsBitIdentical) {
+  SimulationConfig config = golden_config(figure6_policies()[2], 17);
+  config.interactivity.enabled = true;
+  config.interactivity.pauses_per_hour = 40.0;
+  config.interactivity.mean_pause_duration = 30.0;
+
+  VodSimulation first(config);
+  first.run();
+  ASSERT_GT(first.pauses_started(), 0u);  // pauses actually fired
+
+  const TrialResult a = TrialResult::from(first);
+  const TrialResult b = run_once(config);
+  expect_bit_identical(a, b);
+}
+
+TEST(GoldenDeterminism, ParanoidRunIsBitIdentical) {
+  // The auditor observes only: attaching it cannot perturb a single bit of
+  // the result (the audit hooks run outside the fluid arithmetic).
+  const SimulationConfig plain = golden_config(figure6_policies().front(), 7);
+  SimulationConfig paranoid = plain;
+  paranoid.paranoid = true;
+  expect_bit_identical(run_once(plain), run_once(paranoid));
+}
+
 TEST(GoldenDeterminism, DistinctSeedsDiverge) {
   // Sanity check that the comparisons above are not vacuous: different
   // seeds must actually change the outcome.

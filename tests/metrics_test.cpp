@@ -1,0 +1,103 @@
+// Metrics window-boundary semantics. engine_test.cpp covers the broad
+// strokes (clipping, ratios); this file pins the exact edge conventions the
+// warmup logic depends on: the window is half-open [start, end), events at
+// each edge land on the documented side, zero-length and inverted intervals
+// contribute nothing, and replication accounting stays separate from (and
+// is counted differently than) delivered video.
+
+#include <gtest/gtest.h>
+
+#include "vodsim/engine/metrics.h"
+
+namespace vodsim {
+namespace {
+
+constexpr Seconds kStart = 100.0;
+constexpr Seconds kEnd = 200.0;
+constexpr Mbps kCapacity = 10.0;
+
+TEST(MetricsWindow, CountEventsAreHalfOpenOnTheWindow) {
+  Metrics metrics(kStart, kEnd, kCapacity);
+
+  // Exactly at window start: inside.
+  metrics.record_arrival(kStart);
+  metrics.record_acceptance(kStart, false);
+  metrics.record_completion(kStart);
+  metrics.record_drop(kStart);
+  EXPECT_EQ(metrics.arrivals(), 1u);
+  EXPECT_EQ(metrics.accepts(), 1u);
+  EXPECT_EQ(metrics.completions(), 1u);
+  EXPECT_EQ(metrics.drops(), 1u);
+
+  // Exactly at window end: outside (half-open).
+  metrics.record_arrival(kEnd);
+  metrics.record_rejection(kEnd);
+  metrics.record_migration_chain(kEnd, 3);
+  metrics.record_underflow(kEnd, 5.0);
+  EXPECT_EQ(metrics.arrivals(), 1u);
+  EXPECT_EQ(metrics.rejects(), 0u);
+  EXPECT_EQ(metrics.migration_steps(), 0u);
+  EXPECT_EQ(metrics.underflow_events(), 0u);
+
+  // Just before the end: inside.
+  metrics.record_rejection(kEnd - 1e-9);
+  EXPECT_EQ(metrics.rejects(), 1u);
+}
+
+TEST(MetricsWindow, TransmissionIntervalsAtTheEdges) {
+  Metrics metrics(kStart, kEnd, kCapacity);
+
+  // Ends exactly at window start: zero overlap.
+  metrics.record_transmission(50.0, kStart, 4.0);
+  EXPECT_EQ(metrics.transmitted(), 0.0);
+
+  // Starts exactly at window end: zero overlap.
+  metrics.record_transmission(kEnd, 300.0, 4.0);
+  EXPECT_EQ(metrics.transmitted(), 0.0);
+
+  // Straddles the start: only the inside part counts.
+  metrics.record_transmission(kStart - 10.0, kStart + 10.0, 4.0);
+  EXPECT_DOUBLE_EQ(metrics.transmitted(), 40.0);
+
+  // Straddles the end: only the inside part counts.
+  metrics.record_transmission(kEnd - 5.0, kEnd + 5.0, 4.0);
+  EXPECT_DOUBLE_EQ(metrics.transmitted(), 60.0);
+
+  // Covers the whole window and beyond: clipped to the window exactly.
+  Metrics whole(kStart, kEnd, kCapacity);
+  whole.record_transmission(0.0, 1000.0, kCapacity);
+  EXPECT_DOUBLE_EQ(whole.transmitted(), kCapacity * (kEnd - kStart));
+  EXPECT_DOUBLE_EQ(whole.utilization(), 1.0);
+}
+
+TEST(MetricsWindow, DegenerateIntervalsContributeNothing) {
+  Metrics metrics(kStart, kEnd, kCapacity);
+  metrics.record_transmission(150.0, 150.0, 4.0);  // zero-length
+  metrics.record_transmission(160.0, 150.0, 4.0);  // inverted
+  metrics.record_transmission(150.0, 160.0, 0.0);  // zero rate
+  metrics.record_transmission(150.0, 160.0, -1.0); // negative rate
+  EXPECT_EQ(metrics.transmitted(), 0.0);
+  EXPECT_EQ(metrics.utilization(), 0.0);
+}
+
+TEST(MetricsWindow, ReplicationSeparateFromDelivery) {
+  Metrics metrics(kStart, kEnd, kCapacity);
+
+  // Replication traffic is overhead: its megabits are window-clipped like
+  // transmission, but never appear in transmitted()/utilization().
+  metrics.record_replication(kStart - 10.0, kStart + 20.0, 2.0);
+  EXPECT_EQ(metrics.replications(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.replication_megabits(), 40.0);
+  EXPECT_EQ(metrics.transmitted(), 0.0);
+  EXPECT_EQ(metrics.utilization(), 0.0);
+
+  // A copy completing entirely during warmup still *counts* — the replica
+  // it created shapes the whole measured window — but moves no in-window
+  // megabits.
+  metrics.record_replication(10.0, 50.0, 2.0);
+  EXPECT_EQ(metrics.replications(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.replication_megabits(), 40.0);
+}
+
+}  // namespace
+}  // namespace vodsim

@@ -1,0 +1,121 @@
+// ThreadPool failure-path and lifecycle tests. The basics (tasks run,
+// indices cover the range) live in util_test.cpp; this file pins the
+// contracts experiments actually lean on: exception propagation out of
+// parallel_for picks the first failing index, a throw does not poison the
+// pool, the destructor drains every queued task, and concurrent submitters
+// cannot lose work.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vodsim/util/thread_pool.h"
+
+namespace vodsim {
+namespace {
+
+/// Distinct type so the tests can prove the *original* exception object
+/// crosses the pool boundary, not a translation of it.
+struct TrialError : std::runtime_error {
+  explicit TrialError(std::size_t index)
+      : std::runtime_error("trial " + std::to_string(index) + " failed"),
+        index(index) {}
+  std::size_t index;
+};
+
+TEST(ThreadPoolErrors, ParallelForRethrowsFirstFailingIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      if (i == 10 || i == 40) throw TrialError(i);
+      completed.fetch_add(1);
+    });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const TrialError& error) {
+    // Futures are collected in index order, so the lowest failing index
+    // wins regardless of which worker thread ran it first.
+    EXPECT_EQ(error.index, 10u);
+  }
+  // Every non-throwing task still ran to completion before the rethrow:
+  // parallel_for must not abandon in-flight work.
+  EXPECT_EQ(completed.load(), 62);
+}
+
+TEST(ThreadPoolErrors, PoolSurvivesATaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8, [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+
+  // The same pool keeps accepting and completing work afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+
+  auto future = pool.submit([&] { counter.fetch_add(1); });
+  future.get();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPoolErrors, SubmitFutureCarriesTaskException) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw TrialError(7); });
+  try {
+    future.get();
+    FAIL() << "future.get() swallowed the exception";
+  } catch (const TrialError& error) {
+    EXPECT_EQ(error.index, 7u);
+  }
+}
+
+TEST(ThreadPoolLifecycle, DestructorDrainsQueuedTasks) {
+  // Queue far more slow-ish tasks than workers, then destroy the pool
+  // immediately: shutdown must run every queued task, not abandon the queue.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolLifecycle, ConcurrentSubmittersLoseNoWork) {
+  // Several threads hammer submit() while workers drain; every future must
+  // resolve and every task must run exactly once.
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 250;
+  std::atomic<int> ran{0};
+  ThreadPool pool(3);
+
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<void>>> futures(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      futures[static_cast<std::size_t>(s)].reserve(kTasksEach);
+      for (int i = 0; i < kTasksEach; ++i) {
+        futures[static_cast<std::size_t>(s)].push_back(
+            pool.submit([&] { ran.fetch_add(1); }));
+      }
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  for (auto& batch : futures) {
+    for (auto& future : batch) future.get();
+  }
+  EXPECT_EQ(ran.load(), kSubmitters * kTasksEach);
+}
+
+}  // namespace
+}  // namespace vodsim
