@@ -18,6 +18,7 @@
 #include "vodsim/des/simulator.h"
 #include "vodsim/engine/policy_matrix.h"
 #include "vodsim/engine/vod_simulation.h"
+#include "vodsim/obs/trace.h"
 #include "vodsim/sched/eftf.h"
 #include "vodsim/util/rng.h"
 #include "vodsim/workload/zipf.h"
@@ -256,6 +257,28 @@ BENCHMARK(BM_RecomputeServer)
     ->Args({100, 0})
     ->ArgNames({"streams", "saturated"});
 
+void BM_TraceRecorderRecord(benchmark::State& state) {
+  // Cost of one enabled-path trace emission: a bounds-masked store into the
+  // preallocated ring. Steady state (including ring wrap-around) must not
+  // allocate.
+  TraceConfig config;
+  config.enabled = true;
+  config.capacity = 1u << 16;
+  TraceRecorder recorder(config);
+  Seconds t = 0.0;
+  RequestId request = 0;
+  const std::uint64_t allocs_before = heap_allocs();
+  for (auto _ : state) {
+    t += 1e-3;
+    recorder.record(t, TraceEventType::kAllocationChange, 0, request++, 0, 3.0,
+                    4.5);
+    benchmark::DoNotOptimize(recorder.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_allocs_per_op(state, allocs_before, 1);
+}
+BENCHMARK(BM_TraceRecorderRecord);
+
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.271);
   Rng rng(4);
@@ -287,6 +310,44 @@ void BM_EndToEndSmallSystemHour(benchmark::State& state) {
   state.SetLabel("items = simulator events");
 }
 BENCHMARK(BM_EndToEndSmallSystemHour)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndObservedHour(benchmark::State& state) {
+  // Observability overhead on the whole-engine hot loop. The same run as
+  // BM_EndToEndSmallSystemHour with the trace recorder (all categories)
+  // and/or the probe samplers attached. BM_EndToEndSmallSystemHour itself
+  // is the disabled path (null recorder pointer at every emission site) —
+  // the acceptance contract is that it stays within noise of the
+  // pre-observability baseline, while the fully-on configurations here show
+  // the cost of actually recording.
+  const bool trace = state.range(0) != 0;
+  const bool probe = state.range(1) != 0;
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SimulationConfig config;
+    config.system = SystemConfig::small_system();
+    config.zipf_theta = 0.271;
+    config.client.staging_fraction = 0.2;
+    config.client.receive_bandwidth = 30.0;
+    config.admission.migration.enabled = true;
+    config.duration = hours(1);
+    config.warmup = 0.0;
+    config.seed = seed++;
+    config.trace.enabled = trace;
+    config.probe.enabled = probe;
+    VodSimulation simulation(config);
+    simulation.run();
+    events += simulation.simulator().executed_count();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_EndToEndObservedHour)
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->ArgNames({"trace", "probe"})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndFig7PolicyMatrix(benchmark::State& state) {
   // The PR-acceptance macro-benchmark: simulated events per second on the

@@ -5,10 +5,17 @@
 /// Usage:
 ///   quickstart [--theta 0.271] [--hours 60] [--staging 0.2]
 ///              [--migration true] [--seed 1]
+///              [--trace-out trace.json] [--probe-out probes.csv]
+///
+/// `--trace-out trace.json` records every admission/migration/stream event
+/// and writes a Chrome tracing file — open chrome://tracing (or
+/// https://ui.perfetto.dev) and load it to scrub through the run.
 
+#include <fstream>
 #include <iostream>
 
 #include "vodsim/engine/vod_simulation.h"
+#include "vodsim/obs/exporters.h"
 #include "vodsim/util/cli.h"
 #include "vodsim/util/table.h"
 
@@ -21,6 +28,8 @@ int main(int argc, char** argv) {
                                  "average video size");
   cli.add_flag("migration", "true", "enable dynamic request migration");
   cli.add_flag("seed", "1", "RNG seed");
+  cli.add_flag("trace-out", "", "write a chrome://tracing JSON trace here");
+  cli.add_flag("probe-out", "", "write the probe time series CSV here");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
 
   // 1. Describe the cluster: the paper's small system (5 servers x
@@ -44,6 +53,13 @@ int main(int argc, char** argv) {
   config.duration = vodsim::hours(cli.get_double("hours"));
   config.warmup = vodsim::hours(cli.get_double("hours") / 12.0);
   config.seed = static_cast<std::uint64_t>(cli.get_long("seed"));
+
+  // Optional observability: tracing observes only, so these artifacts come
+  // from the exact run reported below.
+  const std::string trace_out = cli.get_string("trace-out");
+  const std::string probe_out = cli.get_string("probe-out");
+  config.trace.enabled = !trace_out.empty();
+  config.probe.enabled = !probe_out.empty();
 
   // 5. Run.
   vodsim::VodSimulation simulation(config);
@@ -71,5 +87,18 @@ int main(int argc, char** argv) {
             << " copies of " << simulation.catalog().size() << " videos across "
             << simulation.servers().size() << " servers (shortfall "
             << simulation.placement_result().shortfall << ")\n";
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    vodsim::write_chrome_trace(out, *simulation.trace(), simulation.probes(),
+                               simulation.servers().size());
+    std::cout << "\nwrote Chrome trace to " << trace_out
+              << " — load it in chrome://tracing\n";
+  }
+  if (!probe_out.empty()) {
+    std::ofstream out(probe_out);
+    vodsim::write_probe_csv(out, *simulation.probes());
+    std::cout << "wrote probe series to " << probe_out << "\n";
+  }
   return 0;
 }

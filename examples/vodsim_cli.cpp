@@ -10,9 +10,12 @@
 ///   vodsim_cli --servers 8 --bandwidth 200 --videos 400 --scheduler lftf
 ///   vodsim_cli --system small --buffer-aware true --scheduler intermittent
 
+#include <fstream>
 #include <iostream>
 
 #include "vodsim/engine/experiment.h"
+#include "vodsim/engine/vod_simulation.h"
+#include "vodsim/obs/exporters.h"
 #include "vodsim/util/cli.h"
 #include "vodsim/util/table.h"
 
@@ -60,6 +63,14 @@ int main(int argc, char** argv) {
   cli.add_flag("warmup-hours", "5", "discarded warmup");
   cli.add_flag("trials", "1", "independent trials (mean ± 95% CI if > 1)");
   cli.add_flag("seed", "42", "master seed");
+  // Observability (re-runs trial 0 with tracing attached; observe-only, so
+  // the traced run is bit-identical to the reported one).
+  cli.add_flag("trace-out", "", "write a chrome://tracing JSON trace here");
+  cli.add_flag("trace-jsonl", "", "write a vodsim-trace-v1 JSONL trace here");
+  cli.add_flag("trace-categories", "all",
+               "categories to record: all, or e.g. admission,migration");
+  cli.add_flag("probe-out", "", "write the probe time series CSV here");
+  cli.add_flag("probe-period", "60", "probe sampling period, seconds");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
 
   SimulationConfig config;
@@ -155,5 +166,56 @@ int main(int argc, char** argv) {
   table.add_row({"dropped streams", std::to_string(drops)});
   table.add_row({"continuity violations", std::to_string(underflows)});
   table.print(std::cout);
+
+  // Observability artifacts: re-run trial 0 with the recorder/probes
+  // attached. Tracing is observe-only, so this run is bit-identical to the
+  // trial reported above.
+  const std::string trace_out = cli.get_string("trace-out");
+  const std::string trace_jsonl = cli.get_string("trace-jsonl");
+  const std::string probe_out = cli.get_string("probe-out");
+  if (!trace_out.empty() || !trace_jsonl.empty() || !probe_out.empty()) {
+    SimulationConfig traced = config;
+    traced.seed = ExperimentRunner::derive_seed(config.seed, 0);
+    traced.trace.enabled = !trace_out.empty() || !trace_jsonl.empty();
+    traced.trace.categories =
+        parse_trace_categories(cli.get_string("trace-categories"));
+    traced.probe.enabled = !probe_out.empty();
+    traced.probe.period = cli.get_double("probe-period");
+
+    VodSimulation simulation(traced);
+    simulation.run();
+
+    auto open = [](const std::string& path) {
+      std::ofstream out(path);
+      if (!out) std::cerr << "cannot write " << path << "\n";
+      return out;
+    };
+    std::cout << "\n";
+    if (!trace_out.empty()) {
+      if (auto out = open(trace_out)) {
+        write_chrome_trace(out, *simulation.trace(), simulation.probes(),
+                           simulation.servers().size());
+        std::cout << "wrote Chrome trace (load in chrome://tracing) to "
+                  << trace_out << "\n";
+      }
+    }
+    if (!trace_jsonl.empty()) {
+      if (auto out = open(trace_jsonl)) {
+        write_trace_jsonl(out, *simulation.trace());
+        std::cout << "wrote JSONL trace to " << trace_jsonl << "\n";
+      }
+    }
+    if (!probe_out.empty()) {
+      if (auto out = open(probe_out)) {
+        write_probe_csv(out, *simulation.probes());
+        std::cout << "wrote probe series to " << probe_out << "\n";
+      }
+    }
+    if (simulation.trace() != nullptr && simulation.trace()->dropped() > 0) {
+      std::cout << "note: ring dropped " << simulation.trace()->dropped()
+                << " events; raise VODSIM_TRACE_CAPACITY or narrow "
+                   "--trace-categories\n";
+    }
+  }
   return 0;
 }

@@ -47,7 +47,8 @@ bool AdmissionController::feasible(const Server& server,
   return need <= server.bandwidth() + 1e-9;
 }
 
-AdmissionDecision AdmissionController::decide(VideoId video, Mbps view_bandwidth,
+AdmissionDecision AdmissionController::decide(Seconds now, VideoId video,
+                                              Mbps view_bandwidth,
                                               const std::vector<Server>& servers,
                                               Rng& rng) const {
   AdmissionDecision decision;
@@ -69,6 +70,12 @@ AdmissionDecision AdmissionController::decide(VideoId video, Mbps view_bandwidth
   // Step 2: all holders full — try dynamic request migration.
   auto plan = find_migration_plan(video, view_bandwidth, config_.migration, servers,
                                   directory_.all(), search_scratch_);
+  if (trace_ != nullptr && trace_->wants(kTraceMigration) &&
+      config_.migration.enabled) {
+    trace_->record(now, TraceEventType::kMigrationSearch, kNoServer, -1, video,
+                   static_cast<double>(search_scratch_.nodes_explored),
+                   plan ? static_cast<double>(plan->steps.size()) : -1.0);
+  }
   if (plan) {
     decision.accepted = true;
     decision.server = plan->admit_on;

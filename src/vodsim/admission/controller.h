@@ -15,6 +15,7 @@
 #include "vodsim/admission/migration.h"
 #include "vodsim/cluster/server.h"
 #include "vodsim/cluster/video.h"
+#include "vodsim/obs/trace.h"
 
 namespace vodsim {
 
@@ -73,15 +74,20 @@ class AdmissionController {
   /// \param directory must outlive the controller.
   AdmissionController(AdmissionConfig config, const ReplicaDirectory& directory);
 
-  /// Decides the fate of an arrival for \p video at \p view_bandwidth.
-  /// Does not mutate any server; the engine applies the decision. Runs on
-  /// every arrival, so its working buffers are reused across calls (the
-  /// mutable scratch below) — a controller serves exactly one simulation
-  /// and is not safe to share across threads.
-  AdmissionDecision decide(VideoId video, Mbps view_bandwidth,
+  /// Decides the fate of an arrival for \p video at \p view_bandwidth, at
+  /// simulation time \p now (used only for trace attribution — the decision
+  /// itself is time-invariant). Does not mutate any server; the engine
+  /// applies the decision. Runs on every arrival, so its working buffers
+  /// are reused across calls (the mutable scratch below) — a controller
+  /// serves exactly one simulation and is not safe to share across threads.
+  AdmissionDecision decide(Seconds now, VideoId video, Mbps view_bandwidth,
                            const std::vector<Server>& servers, Rng& rng) const;
 
   const AdmissionConfig& config() const { return config_; }
+
+  /// Attaches a trace recorder (observe-only; null detaches). The
+  /// controller emits migration-search telemetry under kTraceMigration.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
   /// The admission feasibility predicate (Server::can_admit under the
   /// paper's minimum-flow rule; the near-term-need test when buffer-aware).
@@ -90,6 +96,7 @@ class AdmissionController {
  private:
   AdmissionConfig config_;
   const ReplicaDirectory& directory_;
+  TraceRecorder* trace_ = nullptr;
   /// Reused across decide() calls; after warmup the admission hot path
   /// performs no heap allocations.
   mutable std::vector<ServerId> candidates_scratch_;

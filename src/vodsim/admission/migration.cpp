@@ -152,6 +152,7 @@ std::optional<MigrationPlan> find_migration_plan(
     const std::vector<Server>& servers,
     const std::vector<std::vector<ServerId>>& holders_of,
     MigrationSearchScratch& scratch) {
+  scratch.nodes_explored = 0;
   if (!config.enabled || config.max_chain_length <= 0) return std::nullopt;
 
   // Try holders in least-loaded order: the cheapest slot to free.
@@ -173,7 +174,9 @@ std::optional<MigrationPlan> find_migration_plan(
     SearchContext ctx{config,       servers,      holders_of,
                       scratch.delta, scratch.used, scratch.victims,
                       config.max_search_nodes};
-    if (free_room(ctx, holder, view_bandwidth, scratch.steps, 0)) {
+    const bool found = free_room(ctx, holder, view_bandwidth, scratch.steps, 0);
+    scratch.nodes_explored += config.max_search_nodes - std::max(ctx.budget, 0);
+    if (found) {
       // Copy (not move) the steps so the scratch keeps its capacity.
       return MigrationPlan{scratch.steps, holder};
     }

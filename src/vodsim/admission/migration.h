@@ -85,6 +85,11 @@ struct MigrationSearchScratch {
   std::vector<const Request*> used;         ///< victims already in the plan
   std::vector<MigrationStep> steps;         ///< plan under construction
   std::vector<std::vector<Request*>> victims;  ///< one candidate list per depth
+
+  /// (victim, target) pairs examined by the most recent search — an
+  /// observability output (the admission controller traces it), reset on
+  /// every find_migration_plan call.
+  int nodes_explored = 0;
 };
 
 /// Searches for a plan to admit a request for \p video of rate

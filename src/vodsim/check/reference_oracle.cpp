@@ -259,7 +259,8 @@ class Oracle {
     metrics_.record_arrival(now_);
     const Video& video = catalog_[arrival.video];
     const AdmissionDecision decision =
-        controller_->decide(arrival.video, video.view_bandwidth, servers_, rng_);
+        controller_->decide(now_, arrival.video, video.view_bandwidth, servers_,
+                            rng_);
 
     requests_.emplace_back(next_request_id_++, video, now_, profile_);
     preds_.emplace_back();

@@ -112,6 +112,8 @@ void SimulationConfig::validate() const {
     }
     if (replication.max_concurrent < 1) fail("replication max_concurrent must be >= 1");
   }
+  if (trace.enabled && trace.capacity < 1) fail("trace capacity must be >= 1");
+  if (probe.enabled && probe.period <= 0.0) fail("probe period must be > 0");
 }
 
 std::vector<double> normalize_profile(const std::vector<double>& profile,

@@ -15,6 +15,8 @@
 
 #include "vodsim/admission/controller.h"
 #include "vodsim/cluster/server.h"
+#include "vodsim/obs/probes.h"
+#include "vodsim/obs/trace.h"
 #include "vodsim/placement/placement.h"
 #include "vodsim/replication/replication.h"
 #include "vodsim/sched/scheduler.h"
@@ -145,6 +147,20 @@ struct SimulationConfig {
   /// environment variable (nonzero) forces it on regardless of this flag.
   /// The auditor observes only; results are bit-identical either way.
   bool paranoid = false;
+
+  /// Structured tracing (obs/trace.h): a ring buffer of typed events the
+  /// engine, schedulers and admission controller emit. Observe-only and
+  /// bit-identical (pinned by determinism_test); the disabled path costs a
+  /// null-pointer branch per emission site. The VODSIM_TRACE environment
+  /// variable forces it on: a plain number enables all categories, a
+  /// comma-separated list ("admission,migration,...") selects some.
+  TraceConfig trace;
+
+  /// Periodic cluster probes (obs/probes.h): per-server committed
+  /// bandwidth / active streams / staging fill plus queue depth, sampled on
+  /// a fixed grid without scheduling simulator events. VODSIM_PROBE=<period
+  /// seconds> forces it on. Observe-only, like tracing.
+  ProbeConfig probe;
 
   /// Staging buffer capacity in megabits for this config.
   Megabits staging_capacity() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <limits>
 
 #include "vodsim/check/invariant_auditor.h"
@@ -112,7 +113,51 @@ void VodSimulation::build_world() {
   // so enabling it cannot perturb results (pinned by determinism_test).
   if (config_.paranoid || env_long("VODSIM_PARANOID", 0) != 0) {
     auditor_ = std::make_unique<InvariantAuditor>(*this);
-    sim_.set_post_event_hook([this](Seconds) { auditor_->on_event(); });
+  }
+
+  // Tracing and probes are observers too: they read state, schedule no
+  // simulator events, and touch no RNG, so a traced/probed run is
+  // bit-identical to a plain one (also pinned by determinism_test).
+  // VODSIM_TRACE: a plain number turns every category on (0 = leave off), a
+  // name list ("admission,migration") selects categories.
+  TraceConfig trace_config = config_.trace;
+  const std::string env_trace = env_string("VODSIM_TRACE", "");
+  if (!env_trace.empty()) {
+    char* end = nullptr;
+    const long numeric = std::strtol(env_trace.c_str(), &end, 0);
+    if (end != nullptr && *end == '\0') {
+      if (numeric != 0) {
+        trace_config.enabled = true;
+        trace_config.categories = kTraceAllCategories;
+      }
+    } else {
+      trace_config.enabled = true;
+      trace_config.categories = parse_trace_categories(env_trace);
+    }
+  }
+  trace_config.capacity = static_cast<std::size_t>(env_long(
+      "VODSIM_TRACE_CAPACITY", static_cast<long>(trace_config.capacity)));
+  if (trace_config.enabled) {
+    trace_ = std::make_unique<TraceRecorder>(trace_config);
+    controller_->set_trace(trace_.get());
+    scheduler_->set_trace(trace_.get());
+  }
+
+  ProbeConfig probe_config = config_.probe;
+  const double env_probe = env_double("VODSIM_PROBE", 0.0);
+  if (env_probe > 0.0) {
+    probe_config.enabled = true;
+    probe_config.period = env_probe;
+  }
+  if (probe_config.enabled) {
+    probes_ = std::make_unique<ProbeSet>(probe_config, servers_.size());
+  }
+
+  if (auditor_ || probes_) {
+    sim_.set_post_event_hook([this](Seconds now) {
+      if (probes_) probes_->on_event(now, servers_, sim_.pending_count());
+      if (auditor_) auditor_->on_event();
+    });
   }
 }
 
@@ -134,6 +179,7 @@ const Metrics& VodSimulation::run() {
     }
     occupancy_[static_cast<std::size_t>(server.id())].flush(config_.duration);
   }
+  if (probes_) probes_->finalize(config_.duration, servers_, sim_.pending_count());
   if (auditor_) auditor_->finalize();
   return *metrics_;
 }
@@ -152,19 +198,26 @@ void VodSimulation::handle_arrival(const Arrival& arrival) {
   metrics_->record_arrival(now);
 
   const Video& video = catalog_[arrival.video];
+  note(TraceEventType::kArrival, kTraceAdmission, kNoServer, next_request_id_,
+       arrival.video);
   const AdmissionDecision decision =
-      controller_->decide(arrival.video, video.view_bandwidth, servers_, rng_);
+      controller_->decide(now, arrival.video, video.view_bandwidth, servers_, rng_);
 
   requests_.emplace_back(next_request_id_++, video, now, client_profile_);
   Request& request = requests_.back();
 
   if (!decision.accepted) {
+    note(TraceEventType::kReject, kTraceAdmission, kNoServer, request.id(),
+         arrival.video,
+         static_cast<double>(directory_.holders(arrival.video).size()));
     request.mark_rejected();
     metrics_->record_rejection(now);
     maybe_start_replication(arrival.video);
     return;
   }
 
+  note(TraceEventType::kAdmit, kTraceAdmission, decision.server, request.id(),
+       arrival.video, static_cast<double>(decision.migrations.size()));
   if (decision.used_migration()) {
     for (const MigrationStep& step : decision.migrations) execute_migration(step);
     metrics_->record_migration_chain(now, decision.migrations.size());
@@ -188,6 +241,9 @@ void VodSimulation::execute_migration(const MigrationStep& step) {
   assert(request.state() == RequestState::kStreaming);
   assert(request.server() == step.from);
 
+  note(TraceEventType::kMigrateBegin, kTraceMigration, step.from, request.id(),
+       request.video_id(), static_cast<double>(step.to),
+       request.buffer().level());
   advance_and_account(request, now);
   cancel_predicted_events(request);
   detach_from(step.from, request);
@@ -220,6 +276,8 @@ void VodSimulation::finish_migration(Request& request, ServerId target) {
   advance_and_account(request, now);  // drains the buffer over the pause
   request.complete_migration(now, target);
   attach_to(target, request);
+  note(TraceEventType::kMigrateEnd, kTraceMigration, target, request.id(),
+       request.video_id());
   recompute_server(target);
 }
 
@@ -237,6 +295,8 @@ void VodSimulation::on_tx_complete(Request& request) {
   cancel_predicted_events(request);
   detach_from(server, request);
   request.mark_tx_complete(now);
+  note(TraceEventType::kTxComplete, kTraceLifecycle, server, request.id(),
+       request.video_id());
   recompute_server(server);
 }
 
@@ -244,6 +304,8 @@ void VodSimulation::on_buffer_full(Request& request) {
   // The request is advanced (and its allocation corrected) as part of the
   // server-wide reallocation.
   assert(request.server() != kNoServer);
+  note(TraceEventType::kBufferFull, kTraceBuffer, request.server(), request.id(),
+       request.video_id(), request.buffer().level());
   recompute_server(request.server());
 }
 
@@ -256,6 +318,8 @@ void VodSimulation::on_playback_end(Request& request) {
       advance_and_account(request, now);
       request.mark_done(now);
       metrics_->record_completion(now);
+      note(TraceEventType::kPlaybackEnd, kTraceLifecycle, kNoServer,
+           request.id(), request.video_id());
       break;
     }
     case RequestState::kStreaming: {
@@ -267,6 +331,8 @@ void VodSimulation::on_playback_end(Request& request) {
       detach_from(server, request);
       request.mark_done(now);
       metrics_->record_completion(now);
+      note(TraceEventType::kPlaybackEnd, kTraceLifecycle, server, request.id(),
+           request.video_id());
       recompute_server(server);
       break;
     }
@@ -274,6 +340,8 @@ void VodSimulation::on_playback_end(Request& request) {
       advance_and_account(request, now);
       request.mark_done(now);
       metrics_->record_completion(now);
+      note(TraceEventType::kPlaybackEnd, kTraceLifecycle, kNoServer,
+           request.id(), request.video_id());
       break;
     }
     case RequestState::kDone:
@@ -289,10 +357,12 @@ void VodSimulation::apply_failure(const FailureEvent& event) {
   mark_server_dirty(event.server);
   if (event.up) {
     server.set_available(true);
+    note(TraceEventType::kServerUp, kTraceFailure, event.server);
     return;
   }
   if (!server.available()) return;
   server.set_available(false);
+  note(TraceEventType::kServerDown, kTraceFailure, event.server);
   recover_streams_of_failed_server(server);
 }
 
@@ -322,9 +392,13 @@ void VodSimulation::recover_streams_of_failed_server(Server& server) {
       }
     }
     if (target == kNoServer) {
+      note(TraceEventType::kStreamDropped, kTraceFailure, server.id(),
+           request.id(), request.video_id());
       request.mark_done(now);  // stream lost
       metrics_->record_drop(now);
     } else {
+      note(TraceEventType::kStreamRecovered, kTraceFailure, target,
+           request.id(), request.video_id());
       request.begin_migration(now);
       finish_migration(request, target);
     }
@@ -345,6 +419,8 @@ void VodSimulation::recompute_server(ServerId server_id) {
   if (state.clean_time == now && state.clean_epoch == state.epoch) return;
 
   const std::vector<Request*>& active = server.active_requests();
+  note(TraceEventType::kRecompute, kTraceSched, server_id, -1, -1,
+       static_cast<double>(active.size()), server.schedulable_bandwidth());
   for (Request* request : active) advance_and_account(*request, now);
 
   scheduler_->allocate(now, server.schedulable_bandwidth(), active, rates_scratch_,
@@ -356,6 +432,9 @@ void VodSimulation::recompute_server(ServerId server_id) {
     // assigned from the same double every recomputation) stays bit-identical,
     // so unchanged requests keep their predicted events.
     if (rates_scratch_[i] != request.allocation()) {
+      note(TraceEventType::kAllocationChange, kTraceAllocation, server_id,
+           request.id(), request.video_id(), request.allocation(),
+           rates_scratch_[i]);
       request.set_allocation(now, rates_scratch_[i]);
       reschedule_predicted_events(request);
     }
@@ -383,6 +462,8 @@ void VodSimulation::advance_and_account(Request& request, Seconds now) {
   if (underflow > 0.0) {
     ++continuity_violations_;
     metrics_->record_underflow(now, underflow);
+    note(TraceEventType::kUnderflow, kTraceBuffer, request.server(),
+         request.id(), request.video_id(), underflow);
     VODSIM_DEBUG << "continuity violation: request " << request.id() << " short "
                  << underflow << " Mb over [" << interval_start << ", " << now
                  << "] at rate " << request.allocation() << " (state "
@@ -412,6 +493,8 @@ void VodSimulation::on_pause(Request& request) {
   request.pause_viewing(now);
   mark_server_dirty(request.server());  // drain stopped; minimum rate may be 0
   ++pauses_started_;
+  note(TraceEventType::kPause, kTraceLifecycle, request.server(), request.id(),
+       request.video_id(), request.buffer().level());
 
   // The deadline is frozen until resume; the pending end-of-playback event
   // would fire at the stale time.
@@ -436,6 +519,8 @@ void VodSimulation::on_resume(Request& request) {
   advance_and_account(request, now);
   request.resume_viewing(now);
   mark_server_dirty(request.server());  // drain restarted
+  note(TraceEventType::kResume, kTraceLifecycle, request.server(), request.id(),
+       request.video_id(), request.buffer().level());
 
   request.playback_end_event =
       sim_.schedule_at(request.playback_end(), [this, &request](Seconds) {
@@ -471,6 +556,9 @@ void VodSimulation::maybe_start_replication(VideoId video) {
   destination.reserve_bandwidth(rate);
   mark_server_dirty(job->destination);
   replication_->on_job_started();
+  note(TraceEventType::kReplicationBegin, kTraceReplication, job->destination,
+       -1, job->video,
+       job->from_tertiary() ? -2.0 : static_cast<double>(job->source), rate);
   recompute_server(job->destination);
 
   sim_.schedule_in(job->transfer_time, [this, job = *job, rate, start = now](Seconds) {
@@ -489,6 +577,8 @@ void VodSimulation::maybe_start_replication(VideoId video) {
     if (added) directory_.add_holder(job.video, job.destination);
     metrics_->record_replication(start, end, rate);
     replication_->on_job_finished(job.video);
+    note(TraceEventType::kReplicationEnd, kTraceReplication, job.destination,
+         -1, job.video);
     recompute_server(job.destination);
   });
 }
@@ -581,6 +671,9 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
             sim_.schedule_at(low_at, [this, &request](Seconds) {
               request.buffer_low_event = kInvalidEventId;
               if (request.state() == RequestState::kStreaming) {
+                note(TraceEventType::kBufferLow, kTraceBuffer, request.server(),
+                     request.id(), request.video_id(),
+                     request.buffer().level());
                 recompute_server(request.server());
               }
             });

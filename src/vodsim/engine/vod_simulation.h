@@ -28,6 +28,8 @@
 #include "vodsim/engine/config.h"
 #include "vodsim/engine/failure.h"
 #include "vodsim/engine/metrics.h"
+#include "vodsim/obs/probes.h"
+#include "vodsim/obs/trace.h"
 #include "vodsim/placement/placement.h"
 #include "vodsim/replication/replication.h"
 #include "vodsim/sched/scheduler.h"
@@ -82,6 +84,15 @@ class VodSimulation {
 
   /// The attached auditor, or nullptr unless paranoid mode is on.
   const InvariantAuditor* auditor() const { return auditor_.get(); }
+
+  /// The trace recorder, or nullptr unless tracing is on (config.trace /
+  /// VODSIM_TRACE). Observe-only: a traced run is bit-identical to an
+  /// untraced one.
+  const TraceRecorder* trace() const { return trace_.get(); }
+
+  /// The probe set, or nullptr unless probing is on (config.probe /
+  /// VODSIM_PROBE). Observe-only, like the trace recorder.
+  const ProbeSet* probes() const { return probes_.get(); }
 
   /// Every request ever created (terminal states included); audit surface
   /// for tests.
@@ -146,6 +157,17 @@ class VodSimulation {
   void cancel_predicted_events(Request& request);
   void reschedule_predicted_events(Request& request);
 
+  /// Trace emission helper. The null check is the entire disabled-tracing
+  /// hot path (one load + branch per emission site); the category mask is
+  /// only consulted once a recorder is attached.
+  void note(TraceEventType type, std::uint32_t category,
+            ServerId server = kNoServer, RequestId request = -1,
+            VideoId video = -1, double a = 0.0, double b = 0.0) {
+    if (trace_ != nullptr && trace_->wants(category)) {
+      trace_->record(sim_.now(), type, server, request, video, a, b);
+    }
+  }
+
   /// attach/detach wrappers that keep the occupancy statistics current.
   void attach_to(ServerId server, Request& request);
   void detach_from(ServerId server, Request& request);
@@ -173,6 +195,10 @@ class VodSimulation {
   RequestId next_request_id_ = 0;
   /// Present only in paranoid mode (config.paranoid or VODSIM_PARANOID).
   std::unique_ptr<InvariantAuditor> auditor_;
+  /// Present only when tracing is on (config.trace or VODSIM_TRACE).
+  std::unique_ptr<TraceRecorder> trace_;
+  /// Present only when probing is on (config.probe or VODSIM_PROBE).
+  std::unique_ptr<ProbeSet> probes_;
   std::uint64_t continuity_violations_ = 0;
   std::uint64_t pauses_started_ = 0;
   bool ran_ = false;

@@ -1,0 +1,159 @@
+#include "vodsim/obs/exporters.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "vodsim/util/csv.h"
+
+namespace vodsim {
+
+namespace {
+
+/// JSON number with round-trip precision; non-finite values (which JSON
+/// cannot represent) degrade to null.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Simulation seconds -> Chrome trace microseconds.
+std::string chrome_ts(Seconds t) { return json_number(t * 1e6); }
+
+/// Track (tid) an event renders on: its server's track, or the cluster-wide
+/// track (one past the last server) when no server applies.
+long chrome_tid(const TraceEvent& event, std::size_t num_servers) {
+  return event.server == kNoServer ? static_cast<long>(num_servers)
+                                   : static_cast<long>(event.server);
+}
+
+void write_event_args(std::ostream& out, const TraceEvent& event) {
+  out << "{\"request\":" << event.request << ",\"video\":" << event.video
+      << ",\"a\":" << json_number(event.a) << ",\"b\":" << json_number(event.b)
+      << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceRecorder& trace,
+                        const ProbeSet* probes, std::size_t num_servers) {
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"schema\":\"vodsim-chrome-trace-v1\",\"emitted\":" << trace.emitted()
+      << ",\"dropped\":" << trace.dropped() << "},\"traceEvents\":[\n";
+
+  bool first = true;
+  auto sep = [&]() -> std::ostream& {
+    if (!first) out << ",\n";
+    first = false;
+    return out;
+  };
+
+  // Metadata: name the process and one track per server plus the cluster
+  // track so chrome://tracing shows meaningful labels.
+  sep() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+           "\"args\":{\"name\":\"vodsim cluster\"}}";
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    sep() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << s
+          << ",\"args\":{\"name\":\"server " << s << "\"}}";
+  }
+  sep() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+        << num_servers << ",\"args\":{\"name\":\"cluster\"}}";
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& event = trace[i];
+    const char* name = to_string(event.type);
+    const char* cat = to_string(trace_event_category(event.type));
+    switch (event.type) {
+      case TraceEventType::kMigrateBegin:
+      case TraceEventType::kReplicationBegin: {
+        const bool migration = event.type == TraceEventType::kMigrateBegin;
+        sep() << "{\"name\":\"" << (migration ? "migration" : "replication")
+              << "\",\"cat\":\"" << cat << "\",\"ph\":\"b\",\"id\":"
+              << (migration ? event.request
+                            : static_cast<RequestId>(event.video))
+              << ",\"ts\":" << chrome_ts(event.time)
+              << ",\"pid\":0,\"tid\":" << chrome_tid(event, num_servers)
+              << ",\"args\":";
+        write_event_args(out, event);
+        out << "}";
+        break;
+      }
+      case TraceEventType::kMigrateEnd:
+      case TraceEventType::kReplicationEnd: {
+        const bool migration = event.type == TraceEventType::kMigrateEnd;
+        sep() << "{\"name\":\"" << (migration ? "migration" : "replication")
+              << "\",\"cat\":\"" << cat << "\",\"ph\":\"e\",\"id\":"
+              << (migration ? event.request
+                            : static_cast<RequestId>(event.video))
+              << ",\"ts\":" << chrome_ts(event.time)
+              << ",\"pid\":0,\"tid\":" << chrome_tid(event, num_servers)
+              << ",\"args\":";
+        write_event_args(out, event);
+        out << "}";
+        break;
+      }
+      default: {
+        sep() << "{\"name\":\"" << name << "\",\"cat\":\"" << cat
+              << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << chrome_ts(event.time)
+              << ",\"pid\":0,\"tid\":" << chrome_tid(event, num_servers)
+              << ",\"args\":";
+        write_event_args(out, event);
+        out << "}";
+        break;
+      }
+    }
+  }
+
+  if (probes != nullptr) {
+    for (const ProbeRow& row : probes->rows()) {
+      const bool aggregate = row.server == kNoServer;
+      sep() << "{\"name\":\""
+            << (aggregate ? std::string("cluster")
+                          : "server " + std::to_string(row.server))
+            << "\",\"cat\":\"probe\",\"ph\":\"C\",\"ts\":" << chrome_ts(row.time)
+            << ",\"pid\":0,\"tid\":0,\"args\":{\"committed_mbps\":"
+            << json_number(row.committed_mbps) << ",\"active_streams\":"
+            << json_number(row.active_streams);
+      if (aggregate) {
+        out << ",\"pending_events\":" << json_number(row.pending_events);
+      }
+      out << "}}";
+    }
+  }
+
+  out << "\n]}\n";
+}
+
+void write_trace_jsonl(std::ostream& out, const TraceRecorder& trace) {
+  out << "{\"schema\":\"vodsim-trace-v1\",\"events\":" << trace.size()
+      << ",\"emitted\":" << trace.emitted() << ",\"dropped\":" << trace.dropped()
+      << ",\"categories\":" << trace.categories() << "}\n";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& event = trace[i];
+    out << "{\"seq\":" << event.seq << ",\"t\":" << json_number(event.time)
+        << ",\"type\":\"" << to_string(event.type) << "\",\"cat\":\""
+        << to_string(trace_event_category(event.type)) << "\",\"server\":"
+        << event.server << ",\"request\":" << event.request << ",\"video\":"
+        << event.video << ",\"a\":" << json_number(event.a) << ",\"b\":"
+        << json_number(event.b) << "}\n";
+  }
+}
+
+void write_probe_csv(std::ostream& out, const ProbeSet& probes) {
+  CsvWriter writer(out);
+  writer.write_row({"time", "server", "committed_mbps", "reserved_mbps",
+                    "active_streams", "mean_buffer_fill", "pending_events"});
+  for (const ProbeRow& row : probes.rows()) {
+    writer.write_row({CsvWriter::field(row.time),
+                      CsvWriter::field(static_cast<std::int64_t>(row.server)),
+                      CsvWriter::field(row.committed_mbps),
+                      CsvWriter::field(row.reserved_mbps),
+                      CsvWriter::field(row.active_streams),
+                      CsvWriter::field(row.mean_buffer_fill),
+                      CsvWriter::field(row.pending_events)});
+  }
+}
+
+}  // namespace vodsim

@@ -1,0 +1,85 @@
+#include "vodsim/obs/probes.h"
+
+#include <cassert>
+
+namespace vodsim {
+
+ProbeSet::ProbeSet(const ProbeConfig& config, std::size_t num_servers)
+    : period_(config.period),
+      next_(config.period),  // t = 0 is the empty cluster; skip it
+      fill_hist_(0.0, 1.0, 20) {
+  assert(period_ > 0.0);
+  committed_.assign(num_servers, TimeWeighted());
+}
+
+void ProbeSet::on_event(Seconds now, const std::vector<Server>& servers,
+                        std::size_t pending_events) {
+  while (next_ <= now) {
+    sample(next_, servers, pending_events);
+    next_ += period_;
+  }
+}
+
+void ProbeSet::finalize(Seconds horizon, const std::vector<Server>& servers,
+                        std::size_t pending_events) {
+  while (next_ <= horizon) {
+    sample(next_, servers, pending_events);
+    next_ += period_;
+  }
+  for (TimeWeighted& tw : committed_) tw.flush(horizon);
+}
+
+void ProbeSet::sample(Seconds grid_time, const std::vector<Server>& servers,
+                      std::size_t pending_events) {
+  ++samples_;
+  double total_committed = 0.0;
+  double total_reserved = 0.0;
+  double total_active = 0.0;
+  double total_fill = 0.0;
+  std::uint64_t total_streams = 0;
+
+  for (const Server& server : servers) {
+    ProbeRow row;
+    row.time = grid_time;
+    row.server = server.id();
+    row.committed_mbps = server.committed_bandwidth();
+    row.reserved_mbps = server.reserved_bandwidth();
+    row.active_streams = static_cast<double>(server.active_count());
+
+    double fill_sum = 0.0;
+    std::uint64_t with_buffer = 0;
+    for (const Request* request : server.active_requests()) {
+      const Megabits capacity = request->buffer().capacity();
+      if (capacity <= 0.0) continue;
+      const double fill = request->buffer().level() / capacity;
+      fill_hist_.add(fill);
+      fill_sum += fill;
+      ++with_buffer;
+    }
+    row.mean_buffer_fill =
+        with_buffer > 0 ? fill_sum / static_cast<double>(with_buffer) : 0.0;
+    rows_.push_back(row);
+
+    committed_[static_cast<std::size_t>(server.id())].update(
+        grid_time, row.committed_mbps);
+
+    total_committed += row.committed_mbps;
+    total_reserved += row.reserved_mbps;
+    total_active += row.active_streams;
+    total_fill += fill_sum;
+    total_streams += with_buffer;
+  }
+
+  ProbeRow aggregate;
+  aggregate.time = grid_time;
+  aggregate.server = kNoServer;
+  aggregate.committed_mbps = total_committed;
+  aggregate.reserved_mbps = total_reserved;
+  aggregate.active_streams = total_active;
+  aggregate.mean_buffer_fill =
+      total_streams > 0 ? total_fill / static_cast<double>(total_streams) : 0.0;
+  aggregate.pending_events = static_cast<double>(pending_events);
+  rows_.push_back(aggregate);
+}
+
+}  // namespace vodsim

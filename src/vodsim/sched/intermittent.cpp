@@ -64,10 +64,18 @@ void IntermittentScheduler::allocate(Seconds now, Mbps capacity,
     // The engine's buffer-low wake-up fires when cover *reaches* the
     // threshold (and then stops waking, trusting the scheduler), so the
     // latch must engage at equality too — hence the tolerance.
+    const bool was_urgent = request.workahead_urgent;
     if (cover <= safety_cover_ + kCoverTolerance) {
       request.workahead_urgent = true;
     } else if (cover >= 2.0 * safety_cover_) {
       request.workahead_urgent = false;
+    }
+    if (request.workahead_urgent != was_urgent && trace_ != nullptr &&
+        trace_->wants(kTraceSched)) {
+      trace_->record(now,
+                     request.workahead_urgent ? TraceEventType::kUrgentOn
+                                              : TraceEventType::kUrgentOff,
+                     request.server(), request.id(), request.video_id(), cover);
     }
     if (request.workahead_urgent) {
       urgent.push_back(i);

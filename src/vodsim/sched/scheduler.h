@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "vodsim/cluster/request.h"
+#include "vodsim/obs/trace.h"
 #include "vodsim/util/units.h"
 
 namespace vodsim {
@@ -76,6 +77,14 @@ class BandwidthScheduler {
   /// its defining feature — which tells the invariant auditor not to assert
   /// the per-request lower bound.
   virtual bool minimum_flow() const { return true; }
+
+  /// Attaches a trace recorder (observe-only; null detaches). Schedulers
+  /// emit pathology signals under kTraceSched — today the intermittent
+  /// scheduler's urgency-latch transitions.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+ protected:
+  TraceRecorder* trace_ = nullptr;
 };
 
 /// Scheduler registry keys (used by engine::Config and the CLI).

@@ -1,6 +1,7 @@
 #include "vodsim/util/csv.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace vodsim {
@@ -24,6 +25,53 @@ std::string escape(const std::string& field) {
   return out;
 }
 
+enum class ParseResult {
+  kOk,
+  kMalformed,
+  /// The text ended inside a quoted field — for a single line that is an
+  /// error, for a record it means "feed me the next physical line".
+  kUnterminatedQuote,
+};
+
+ParseResult parse_fields(const std::string& text, std::vector<std::string>& fields) {
+  fields.clear();
+  std::string current;
+  bool in_quotes = false;
+  bool closed_quote = false;  // current field's quoting just closed
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+          closed_quote = true;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (closed_quote && c != ',' && c != '\r') {
+      return ParseResult::kMalformed;  // e.g. `"ab"c` — text after the quote
+    } else if (c == '"') {
+      if (!current.empty()) return ParseResult::kMalformed;  // `ab"c`
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      closed_quote = false;
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return ParseResult::kUnterminatedQuote;
+  fields.push_back(std::move(current));
+  return ParseResult::kOk;
+}
+
 }  // namespace
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
@@ -35,6 +83,8 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
 }
 
 std::string CsvWriter::field(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0.0 ? "inf" : "-inf";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
@@ -45,37 +95,22 @@ std::string CsvWriter::field(std::uint64_t value) { return std::to_string(value)
 std::string CsvWriter::field(std::int64_t value) { return std::to_string(value); }
 
 bool parse_csv_line(const std::string& line, std::vector<std::string>& fields) {
+  return parse_fields(line, fields) == ParseResult::kOk;
+}
+
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields) {
   fields.clear();
-  std::string current;
-  bool in_quotes = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          current.push_back('"');
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        current.push_back(c);
-      }
-    } else if (c == '"') {
-      if (!current.empty()) return false;  // quote must open a field
-      in_quotes = true;
-    } else if (c == ',') {
-      fields.push_back(std::move(current));
-      current.clear();
-    } else if (c == '\r') {
-      // tolerate CRLF line endings
-    } else {
-      current.push_back(c);
-    }
+  std::string record;
+  if (!std::getline(in, record)) return false;
+  ParseResult result = parse_fields(record, fields);
+  while (result == ParseResult::kUnterminatedQuote) {
+    std::string next;
+    if (!std::getline(in, next)) return false;  // EOF inside a quoted field
+    record.push_back('\n');
+    record += next;
+    result = parse_fields(record, fields);
   }
-  if (in_quotes) return false;
-  fields.push_back(std::move(current));
-  return true;
+  return result == ParseResult::kOk;
 }
 
 }  // namespace vodsim

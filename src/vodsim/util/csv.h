@@ -8,6 +8,7 @@
 /// doubled (RFC 4180 subset). Numeric fields round-trip at full double
 /// precision.
 
+#include <istream>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -23,6 +24,8 @@ class CsvWriter {
   void write_row(const std::vector<std::string>& fields);
 
   /// Convenience: formats doubles with enough digits to round-trip.
+  /// Non-finite values are normalized to "inf" / "-inf" / "nan" regardless
+  /// of the platform's printf spelling (pandas and spreadsheets read those).
   static std::string field(double value);
   static std::string field(std::uint64_t value);
   static std::string field(std::int64_t value);
@@ -32,7 +35,17 @@ class CsvWriter {
 };
 
 /// Parses one CSV line into fields (inverse of CsvWriter::write_row).
-/// Returns false on malformed quoting.
+/// Returns false on malformed quoting: an unterminated quote, a quote
+/// opening mid-field (`ab"c`), or text after a closing quote (`"ab"c`).
+/// A field whose quotes close before the line ends cannot contain an
+/// embedded newline — use read_csv_record for that.
 bool parse_csv_line(const std::string& line, std::vector<std::string>& fields);
+
+/// Reads one CSV *record* from \p in — possibly spanning several physical
+/// lines when a quoted field embeds newlines — into fields. Returns false
+/// at end of input or on malformed quoting (including EOF inside a quoted
+/// field). Together with CsvWriter this round-trips any string, embedded
+/// commas/quotes/newlines included.
+bool read_csv_record(std::istream& in, std::vector<std::string>& fields);
 
 }  // namespace vodsim

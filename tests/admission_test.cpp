@@ -382,7 +382,7 @@ TEST(Controller, DirectAssignmentPreferred) {
   AdmissionConfig config;
   AdmissionController controller(config, directory);
   Rng rng(1);
-  const auto decision = controller.decide(0, kView, world.servers(), rng);
+  const auto decision = controller.decide(0.0, 0, kView, world.servers(), rng);
   EXPECT_TRUE(decision.accepted);
   EXPECT_EQ(decision.server, 1);  // least loaded
   EXPECT_FALSE(decision.used_migration());
@@ -395,7 +395,7 @@ TEST(Controller, RejectsWhenFullWithoutMigration) {
   const ReplicaDirectory directory = world.directory();
   AdmissionController controller(AdmissionConfig{}, directory);
   Rng rng(1);
-  const auto decision = controller.decide(0, kView, world.servers(), rng);
+  const auto decision = controller.decide(0.0, 0, kView, world.servers(), rng);
   EXPECT_FALSE(decision.accepted);
   EXPECT_EQ(decision.server, kNoServer);
 }
@@ -410,7 +410,7 @@ TEST(Controller, UsesMigrationWhenEnabled) {
   config.migration = migration_on();
   AdmissionController controller(config, directory);
   Rng rng(1);
-  const auto decision = controller.decide(0, kView, world.servers(), rng);
+  const auto decision = controller.decide(0.0, 0, kView, world.servers(), rng);
   EXPECT_TRUE(decision.accepted);
   EXPECT_TRUE(decision.used_migration());
   EXPECT_EQ(decision.server, 0);
@@ -424,7 +424,7 @@ TEST(Controller, RejectsVideoWithNoReplica) {
   const ReplicaDirectory directory = world.directory();
   AdmissionController controller(AdmissionConfig{}, directory);
   Rng rng(1);
-  EXPECT_FALSE(controller.decide(1, kView, world.servers(), rng).accepted);
+  EXPECT_FALSE(controller.decide(0.0, 1, kView, world.servers(), rng).accepted);
 }
 
 }  // namespace

@@ -159,6 +159,45 @@ TEST(GoldenDeterminism, ParanoidRunIsBitIdentical) {
   expect_bit_identical(run_once(plain), run_once(paranoid));
 }
 
+TEST(GoldenDeterminism, TracedRunIsBitIdentical) {
+  // The trace recorder and probe samplers observe only: they read state on
+  // the way past, schedule no simulator events and touch no RNG, so turning
+  // them on — alone or together with the auditor — cannot perturb a bit.
+  // Use a policy with migration enabled so the admission/migration emission
+  // sites actually run.
+  const SimulationConfig plain = golden_config(figure6_policies()[2], 7);
+
+  SimulationConfig traced = plain;
+  traced.trace.enabled = true;
+  traced.probe.enabled = true;
+  traced.probe.period = 30.0;
+
+  SimulationConfig everything = traced;
+  everything.paranoid = true;
+
+  const TrialResult base = run_once(plain);
+
+  VodSimulation traced_sim(traced);
+  traced_sim.run();
+  ASSERT_NE(traced_sim.trace(), nullptr);
+  ASSERT_GT(traced_sim.trace()->emitted(), 0u);  // tracing actually fired
+  ASSERT_NE(traced_sim.probes(), nullptr);
+  ASSERT_GT(traced_sim.probes()->rows().size(), 0u);
+  expect_bit_identical(base, TrialResult::from(traced_sim));
+
+  VodSimulation everything_sim(everything);
+  everything_sim.run();
+  ASSERT_NE(everything_sim.auditor(), nullptr);
+  expect_bit_identical(base, TrialResult::from(everything_sim));
+
+  // Category filtering only mutes emission sites; it cannot change results
+  // either.
+  SimulationConfig filtered = plain;
+  filtered.trace.enabled = true;
+  filtered.trace.categories = kTraceAdmission | kTraceMigration;
+  expect_bit_identical(base, run_once(filtered));
+}
+
 TEST(GoldenDeterminism, DistinctSeedsDiverge) {
   // Sanity check that the comparisons above are not vacuous: different
   // seeds must actually change the outcome.

@@ -221,8 +221,8 @@ TEST(BufferAware, FeasibilityIgnoresCoastingStreams) {
   EXPECT_FALSE(conservative.feasible(servers[0], kView));
 
   Rng rng(1);
-  EXPECT_TRUE(aggressive.decide(0, kView, servers, rng).accepted);
-  EXPECT_FALSE(conservative.decide(0, kView, servers, rng).accepted);
+  EXPECT_TRUE(aggressive.decide(0.0, 0, kView, servers, rng).accepted);
+  EXPECT_FALSE(conservative.decide(0.0, 0, kView, servers, rng).accepted);
 }
 
 TEST(BufferAware, AggressiveAdmissionStillBounded) {

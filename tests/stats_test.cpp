@@ -144,6 +144,45 @@ TEST(BatchMeans, TooFewBatchesSafe) {
   EXPECT_DOUBLE_EQ(bm.batch_lag1_autocorrelation(), 0.0);
 }
 
+TEST(BatchMeans, OneCompleteBatchCiIsZero) {
+  // Exactly one batch: a Student-t CI needs >= 2, so the half-width must
+  // degrade to 0 rather than divide by zero degrees of freedom.
+  BatchMeans bm(/*batch_size=*/3);
+  for (double x : {1.0, 2.0, 3.0}) bm.add(x);
+  EXPECT_EQ(bm.batch_count(), 1u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(bm.ci_half_width(), 0.0);
+}
+
+TEST(BatchMeans, NonDivisibleRunLengthExcludesTail) {
+  // 10 observations, batch size 4: the mean covers the first 8 only — the
+  // partial tail must not bias the estimate.
+  BatchMeans bm(/*batch_size=*/4);
+  for (int i = 1; i <= 10; ++i) bm.add(static_cast<double>(i));
+  EXPECT_EQ(bm.batch_count(), 2u);
+  EXPECT_EQ(bm.observations(), 10u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 4.5);  // mean of 1..8, not 1..10
+}
+
+TEST(BatchMeans, ConstantDataHasZeroAutocorrelation) {
+  // Zero variance makes the autocorrelation denominator 0; the diagnostic
+  // must return 0, not NaN.
+  BatchMeans bm(/*batch_size=*/2);
+  for (int i = 0; i < 10; ++i) bm.add(7.0);
+  EXPECT_EQ(bm.batch_count(), 5u);
+  EXPECT_DOUBLE_EQ(bm.batch_lag1_autocorrelation(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.ci_half_width(), 0.0);
+}
+
+TEST(BatchMeans, WarmupLongerThanRunIsSafe) {
+  BatchMeans bm(/*batch_size=*/2, /*warmup=*/100);
+  for (int i = 0; i < 5; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.batch_count(), 0u);
+  EXPECT_EQ(bm.observations(), 5u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.ci_half_width(), 0.0);
+}
+
 // ---------------------------------------------------------------- student t
 
 TEST(StudentT, KnownQuantiles) {
@@ -228,6 +267,56 @@ TEST(Histogram, ToStringShowsNonEmptyBins) {
   h.add(0.5);
   const std::string text = h.to_string();
   EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Histogram, EmptyQuantileReturnsLowerEdge) {
+  Histogram h(2.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, SingleSampleQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.2);
+  // Every positive quantile lands in the one occupied bin's midpoint;
+  // q = 0 is the lower edge by convention.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5);
+}
+
+TEST(Histogram, QuantileAtBucketEdges) {
+  // 4 equal bins, 1 sample each: cumulative counts hit the quantile targets
+  // exactly at bin boundaries — the estimate must be the covering bin's
+  // midpoint, with no off-by-one at the edge.
+  Histogram h(0.0, 4.0, 4);
+  for (double x : {0.5, 1.5, 2.5, 3.5}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.5);   // target 1, reached by bin 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);    // target 2, reached by bin 1
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5);
+}
+
+TEST(Histogram, QuantileWithOutOfRangeMass) {
+  // Underflow mass counts toward low quantiles (clamped to lo); overflow
+  // mass pushes high quantiles to hi.
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0, 2);  // clamped below
+  h.add(0.25);
+  h.add(9.0);      // clamped above
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);    // inside the underflow mass
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 0.25);  // the one in-range sample
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);    // overflow pins the top at hi
+}
+
+TEST(Histogram, TopEdgeJoinsLastBinNotOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(1.0);
+  EXPECT_EQ(h.bin(3), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
 }
 
 // ---------------------------------------------------------------- time weighted

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -197,6 +198,61 @@ TEST(Csv, ParseToleratesCrLf) {
   std::vector<std::string> fields;
   ASSERT_TRUE(parse_csv_line("a,b\r", fields));
   EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Csv, ParseRejectsTextAfterClosingQuote) {
+  // `"ab"c` is not valid RFC 4180 — a lenient parse would silently merge
+  // the stray text and corrupt the field.
+  std::vector<std::string> fields;
+  EXPECT_FALSE(parse_csv_line("\"ab\"c", fields));
+  EXPECT_FALSE(parse_csv_line("\"ab\"\"cd\"x,next", fields));
+  EXPECT_FALSE(parse_csv_line("a,\"b\"c,d", fields));
+}
+
+TEST(Csv, ParseRejectsQuoteOpeningMidField) {
+  std::vector<std::string> fields;
+  EXPECT_FALSE(parse_csv_line("ab\"c\"", fields));
+}
+
+TEST(Csv, ParseAllowsQuotedFieldThenComma) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(parse_csv_line("\"a,b\",c", fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a,b", "c"}));
+  ASSERT_TRUE(parse_csv_line("\"quoted\"\r", fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"quoted"}));
+}
+
+TEST(Csv, RecordRoundTripsEmbeddedNewlines) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const std::vector<std::string> row1 = {"multi\nline", "with,comma",
+                                         "quote\"and\nnewline"};
+  const std::vector<std::string> row2 = {"plain", "second"};
+  writer.write_row(row1);
+  writer.write_row(row2);
+
+  std::istringstream in(out.str());
+  std::vector<std::string> parsed;
+  ASSERT_TRUE(read_csv_record(in, parsed));
+  EXPECT_EQ(parsed, row1);
+  ASSERT_TRUE(read_csv_record(in, parsed));
+  EXPECT_EQ(parsed, row2);
+  EXPECT_FALSE(read_csv_record(in, parsed));  // end of input
+}
+
+TEST(Csv, RecordRejectsEofInsideQuotes) {
+  std::istringstream in("\"never closed\nstill going");
+  std::vector<std::string> fields;
+  EXPECT_FALSE(read_csv_record(in, fields));
+}
+
+TEST(Csv, NonFiniteDoublesNormalized) {
+  // pandas and spreadsheets parse these spellings; platform printf output
+  // for non-finite values varies, so field() pins them.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(CsvWriter::field(inf), "inf");
+  EXPECT_EQ(CsvWriter::field(-inf), "-inf");
+  EXPECT_EQ(CsvWriter::field(std::nan("")), "nan");
 }
 
 // ---------------------------------------------------------------- table
