@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
@@ -16,10 +17,13 @@
 
 #include "vodsim/des/event_queue.h"
 #include "vodsim/des/simulator.h"
+#include "vodsim/engine/experiment.h"
 #include "vodsim/engine/policy_matrix.h"
+#include "vodsim/engine/sweep_context.h"
 #include "vodsim/engine/vod_simulation.h"
 #include "vodsim/obs/trace.h"
 #include "vodsim/sched/eftf.h"
+#include "vodsim/sched/finish_order.h"
 #include "vodsim/util/rng.h"
 #include "vodsim/workload/zipf.h"
 
@@ -114,8 +118,8 @@ void BM_EventQueueSteadyChurn(benchmark::State& state) {
   // pending population: each op cancels one live predicted event and
   // schedules its replacement, exactly the reallocation pattern of
   // VodSimulation::reschedule_predicted_events. After warmup this must not
-  // allocate at all (allocs_per_op ~ 0): the slab reuses slots and heap
-  // compaction works in place.
+  // allocate at all (allocs_per_op ~ 0): the slab reuses slots and eager
+  // cancel removes heap entries in place.
   const std::size_t population = 4096;
   EventQueue queue;
   Rng rng(7);
@@ -125,8 +129,8 @@ void BM_EventQueueSteadyChurn(benchmark::State& state) {
   for (std::size_t i = 0; i < population; ++i) {
     pending.push_back(queue.schedule(t + rng.uniform(0.0, 100.0), [](Seconds) {}));
   }
-  // Warm the churn path (grows the heap to its steady footprint, triggers
-  // the first compactions) before counting allocations.
+  // Warm the churn path (grows the heap and slab to their steady
+  // footprints) before counting allocations.
   std::size_t cursor = 0;
   for (int i = 0; i < 200000; ++i) {
     queue.cancel(pending[cursor]);
@@ -143,6 +147,37 @@ void BM_EventQueueSteadyChurn(benchmark::State& state) {
   report_allocs_per_op(state, allocs_before, 1);
 }
 BENCHMARK(BM_EventQueueSteadyChurn);
+
+void BM_EventQueueRetimeChurn(benchmark::State& state) {
+  // Same persistent population as BM_EventQueueSteadyChurn, but each op
+  // *retimes* a live predicted event in place (EventQueue::reschedule)
+  // instead of cancelling and scheduling a replacement. This is what
+  // VodSimulation::reschedule_predicted_events does when a prediction
+  // merely moves: no dead entry left in the heap, no slab slot turnover,
+  // one sift instead of a lazy-pop plus push.
+  const std::size_t population = 4096;
+  EventQueue queue;
+  Rng rng(7);
+  std::vector<EventId> pending;
+  pending.reserve(population);
+  Seconds t = 0.0;
+  for (std::size_t i = 0; i < population; ++i) {
+    pending.push_back(queue.schedule(t + rng.uniform(0.0, 100.0), [](Seconds) {}));
+  }
+  std::size_t cursor = 0;
+  for (int i = 0; i < 200000; ++i) {  // warm, as in the churn benchmark
+    queue.reschedule(pending[cursor], t + rng.uniform(0.0, 100.0));
+    cursor = (cursor + 1) % population;
+  }
+  const std::uint64_t allocs_before = heap_allocs();
+  for (auto _ : state) {
+    queue.reschedule(pending[cursor], t + rng.uniform(0.0, 100.0));
+    cursor = (cursor + 1) % population;
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_allocs_per_op(state, allocs_before, 1);
+}
+BENCHMARK(BM_EventQueueRetimeChurn);
 
 void BM_EftfAllocate(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -206,6 +241,7 @@ void BM_RecomputeServer(benchmark::State& state) {
     request.begin_streaming(0.0, 0);
     request.set_allocation(0.0, 3.0);
     request.advance(rng.uniform(1.0, 600.0));
+    request.active_index = i;  // cache seeding keys off this (finish_order.h)
     active.push_back(&request);
   }
   const Mbps capacity =
@@ -214,27 +250,37 @@ void BM_RecomputeServer(benchmark::State& state) {
   EventQueue queue;
   std::vector<Mbps> rates;
   AllocationScratch scratch;
+  SchedCache cache;
   Seconds now = 600.0;
 
   auto recompute = [&](Seconds t) {
     for (Request* request : active) request->advance(t);
-    scheduler.allocate(t, capacity, active, rates, scratch);
+    scheduler.allocate(t, capacity, active, rates, scratch, &cache);
     for (std::size_t i = 0; i < active.size(); ++i) {
       Request& request = *active[i];
       if (rates[i] == request.allocation()) continue;
       request.set_allocation(t, rates[i]);
-      queue.cancel(request.tx_complete_event);
-      queue.cancel(request.buffer_full_event);
-      request.tx_complete_event = kInvalidEventId;
-      request.buffer_full_event = kInvalidEventId;
+      // Engine pattern (reschedule_predicted_events): retime live
+      // predictions in place, fall back to cancel + schedule only when the
+      // prediction appears or disappears.
       if (rates[i] > 0.0) {
-        request.tx_complete_event =
-            queue.schedule(t + request.remaining() / rates[i], [](Seconds) {});
+        const Seconds when = t + request.remaining() / rates[i];
+        if (!queue.reschedule(request.tx_complete_event, when)) {
+          request.tx_complete_event = queue.schedule(when, [](Seconds) {});
+        }
+      } else {
+        queue.cancel(request.tx_complete_event);
+        request.tx_complete_event = kInvalidEventId;
       }
       const Mbps surplus = rates[i] - request.drain_rate(t);
       if (surplus > 1e-12 && !request.buffer().full()) {
-        request.buffer_full_event = queue.schedule(
-            t + request.buffer().headroom() / surplus, [](Seconds) {});
+        const Seconds when = t + request.buffer().headroom() / surplus;
+        if (!queue.reschedule(request.buffer_full_event, when)) {
+          request.buffer_full_event = queue.schedule(when, [](Seconds) {});
+        }
+      } else {
+        queue.cancel(request.buffer_full_event);
+        request.buffer_full_event = kInvalidEventId;
       }
     }
   };
@@ -256,6 +302,75 @@ BENCHMARK(BM_RecomputeServer)
     ->Args({100, 1})
     ->Args({100, 0})
     ->ArgNames({"streams", "saturated"});
+
+void BM_RecomputeSingleStreamDelta(benchmark::State& state) {
+  // The ordering kernel of recompute_server, isolated, under the engine's
+  // dominant delta: one stream changed since the previous pass, everyone
+  // else is where the last grant left them. incremental=1 is what ships —
+  // sort_by_projected_finish repairing the previous grant order through a
+  // warm SchedCache. incremental=0 is the pre-cache reference: a full
+  // std::sort evaluating projected_finish inside the comparator.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool incremental = state.range(1) != 0;
+  Rng rng(11);
+  Video video;
+  video.id = 0;
+  video.duration = 2.0 * 3600.0;
+  video.view_bandwidth = 3.0;
+  ClientProfile client{0.2 * video.size(), 30.0};
+  std::vector<std::unique_ptr<Request>> owner;
+  std::vector<Request*> active;
+  for (std::size_t i = 0; i < n; ++i) {
+    owner.push_back(std::make_unique<Request>(static_cast<RequestId>(i), video,
+                                              0.0, client));
+    Request& request = *owner.back();
+    request.begin_streaming(0.0, 0);
+    request.set_allocation(0.0, 3.0);
+    request.advance(rng.uniform(1.0, 600.0));
+    request.active_index = i;
+    active.push_back(&request);
+  }
+  AllocationScratch scratch;
+  SchedCache cache;
+  Seconds now = 600.0;
+  std::size_t victim = 0;
+  auto fill_order = [&] {
+    scratch.order.clear();
+    for (std::size_t i = 0; i < n; ++i) scratch.order.push_back(i);
+  };
+  fill_order();
+  sched_detail::sort_by_projected_finish(now, true, active, scratch, &cache);
+
+  const std::uint64_t allocs_before = heap_allocs();
+  for (auto _ : state) {
+    now += 1e-3;
+    active[victim]->advance(now);  // the single delta: one stream moved
+    victim = (victim + 1) % n;
+    fill_order();
+    if (incremental) {
+      sched_detail::sort_by_projected_finish(now, /*earliest_first=*/true,
+                                             active, scratch, &cache);
+    } else {
+      std::sort(scratch.order.begin(), scratch.order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const Seconds fa = active[a]->projected_finish(now);
+                  const Seconds fb = active[b]->projected_finish(now);
+                  if (fa != fb) return fa < fb;
+                  return active[a]->id() < active[b]->id();
+                });
+    }
+    benchmark::DoNotOptimize(scratch.order.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  report_allocs_per_op(state, allocs_before, 1);
+}
+BENCHMARK(BM_RecomputeSingleStreamDelta)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({300, 0})
+    ->Args({300, 1})
+    ->ArgNames({"streams", "incremental"});
 
 void BM_TraceRecorderRecord(benchmark::State& state) {
   // Cost of one enabled-path trace emission: a bounds-masked store into the
@@ -376,6 +491,51 @@ void BM_EndToEndFig7PolicyMatrix(benchmark::State& state) {
   state.SetLabel("items = simulator events");
 }
 BENCHMARK(BM_EndToEndFig7PolicyMatrix)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndFig7SweepPaired(benchmark::State& state) {
+  // The production shape of the fig7 experiment: all policy rows share one
+  // master seed per iteration (paired trials — how `fig7_policies` and
+  // every other experiment binary actually runs the matrix, so rows see
+  // identical arrival streams), and the sweep_context:1 variant routes
+  // world construction through a SweepContext prepared once per sweep,
+  // exactly as ExperimentRunner::run_sweep does. The 0-vs-1 ratio isolates
+  // what shared catalogs/popularity/placement-blueprints are worth on a
+  // matrix whose per-cell runtime is only half a simulated hour;
+  // BM_EndToEndFig7PolicyMatrix above keeps the independent-seed workload
+  // for continuity with pre-PR4 recordings.
+  const bool use_context = state.range(0) != 0;
+  std::uint64_t events = 0;
+  std::uint64_t master_seed = 1;
+  for (auto _ : state) {
+    std::vector<SimulationConfig> configs;
+    for (const PolicySpec& policy : figure6_policies()) {
+      SimulationConfig config;
+      config.system = SystemConfig::small_system();
+      config.zipf_theta = 0.271;
+      config.client.receive_bandwidth = 30.0;
+      config.duration = hours(0.5);
+      config.warmup = 0.0;
+      configs.push_back(apply_policy(std::move(config), policy));
+    }
+    SweepContext context;
+    if (use_context) context.prepare(configs, 1, master_seed);
+    for (SimulationConfig config : configs) {
+      config.seed = ExperimentRunner::derive_seed(master_seed, 0);
+      VodSimulation simulation(std::move(config),
+                               use_context ? &context : nullptr);
+      simulation.run();
+      events += simulation.simulator().executed_count();
+    }
+    ++master_seed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_EndToEndFig7SweepPaired)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"sweep_context"})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,29 +1,33 @@
 #pragma once
 
 /// \file event_queue.h
-/// \brief Time-ordered event queue: O(log n) schedule/pop, O(1) cancel,
+/// \brief Time-ordered event queue: O(log n) schedule/pop/cancel/retime,
 /// zero steady-state heap allocations.
 ///
 /// Handlers live in a generation-tagged slab: an EventId encodes a slot
 /// index plus the slot's generation at schedule time, so schedule, cancel
-/// and the liveness check on pop are all array indexing — no hash map, no
+/// and reschedule validation are all array indexing — no hash map, no
 /// per-event node allocation. A slot's generation is bumped every time it is
 /// freed, which makes stale handles (double cancel, cancel after fire)
 /// harmless no-ops.
 ///
-/// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
-/// on pop. The fluid transmission model reschedules per-request predicted
-/// events (transmission-complete, buffer-full) whenever a server's
-/// allocation changes, so cheap cancellation is essential. Dead entries are
-/// compacted in place (no allocation) when they outnumber live ones; the
-/// trigger is a cheap size comparison on the schedule path, keeping cancel
-/// strictly O(1).
+/// Every live slot tracks its heap position (the heap is hand-sifted rather
+/// than run through std::push_heap/pop_heap precisely so moves can maintain
+/// that index). The index buys two things:
+///   - reschedule() retimes an event in place — rewrite the entry's
+///     (time, seq) key, one O(log n) sift, no slot churn — which is what
+///     makes per-rate-change predicted-event retiming cheaper than the
+///     cancel+insert pair it replaces;
+///   - cancel() removes its entry eagerly (move the last entry into the
+///     hole, sift). The heap therefore only ever holds live entries: pop
+///     never skips dead ones, no compaction pass is needed, memory is
+///     proportional to pending events, and position maintenance during
+///     sifts is a single unconditional store.
 ///
 /// Ordering is deterministic: equal-time events fire in schedule order
 /// (stable tie-break on a monotonically increasing sequence number), which
 /// keeps whole simulations reproducible from a seed.
 
-#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <utility>
@@ -64,48 +68,69 @@ class EventQueue {
     entry.fn = std::move(fn);
     entry.live = true;
     ++scheduled_;
-    ++live_;
     heap_.push_back(HeapEntry{time, scheduled_, slot, entry.generation});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-    // Compaction rides the schedule path (an O(1) size test), never the
-    // O(1)-contract cancel path.
-    if (heap_.size() >= kCompactMinEntries && heap_.size() > 2 * live_) compact();
+    sift_up(heap_.size() - 1);
     return make_id(slot, entry.generation);
   }
 
-  /// Cancels a pending event in O(1); no-op if the event already fired or
-  /// was cancelled (including kInvalidEventId and stale ids — the slot
-  /// generation no longer matches).
+  /// Retimes a pending event in place: one O(log n) sift, no slot churn.
+  /// The handle stays valid and the handler is untouched.
+  ///
+  /// Consumes one sequence number, so the retimed event ties with
+  /// equal-time events exactly as if it had been cancelled and freshly
+  /// scheduled — pop order is uniquely (time, seq)-determined, which is what
+  /// the determinism contract pins; the heap's internal layout is free to
+  /// differ. Returns false (and does nothing) for dead or stale ids; the
+  /// caller schedules a fresh event instead.
+  bool reschedule(EventId id, Seconds time) {
+    if (id == kInvalidEventId) return false;
+    const std::uint32_t slot = id_slot(id);
+    if (slot >= slots_.size()) return false;
+    Slot& entry = slots_[slot];
+    if (!entry.live || entry.generation != id_generation(id)) return false;
+    const std::size_t pos = entry.heap_pos;
+    assert(pos < heap_.size() && heap_[pos].slot == slot &&
+           heap_[pos].generation == entry.generation);
+    heap_[pos].time = time;
+    heap_[pos].seq = ++scheduled_;
+    // An earlier time moves up; a later time — or the same time, now losing
+    // the seq tie-break — moves down. Try up first; if it did not move,
+    // settle downward.
+    if (sift_up(pos) == pos) sift_down(pos);
+    return true;
+  }
+
+  /// Cancels a pending event in O(log n), removing its heap entry in place;
+  /// no-op if the event already fired or was cancelled (including
+  /// kInvalidEventId and stale ids — the slot generation no longer matches).
   void cancel(EventId id) {
     if (id == kInvalidEventId) return;
     const std::uint32_t slot = id_slot(id);
     if (slot >= slots_.size()) return;
     Slot& entry = slots_[slot];
     if (!entry.live || entry.generation != id_generation(id)) return;
+    remove_at(entry.heap_pos);
     release(slot);
   }
 
-  /// True if no live (non-cancelled) events remain.
-  bool empty() const { return live_ == 0; }
+  /// True if no pending events remain.
+  bool empty() const { return heap_.empty(); }
 
-  /// Number of live events.
-  std::size_t size() const { return live_; }
+  /// Number of pending events.
+  std::size_t size() const { return heap_.size(); }
 
-  /// Time of the earliest live event. Requires !empty().
-  Seconds peek_time() {
-    skip_dead();
+  /// Time of the earliest pending event. Requires !empty().
+  Seconds peek_time() const {
     assert(!heap_.empty());
     return heap_.front().time;
   }
 
-  /// Removes and returns the earliest live event (handler + time).
+  /// Removes and returns the earliest pending event (handler + time).
   /// Requires !empty().
   std::pair<Seconds, EventFn> pop() {
-    skip_dead();
     assert(!heap_.empty());
     const HeapEntry top = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    remove_at(0);
     Slot& entry = slots_[top.slot];
     assert(entry.live && entry.generation == top.generation);
     EventFn fn = std::move(entry.fn);
@@ -124,8 +149,8 @@ class EventQueue {
   /// Total events ever scheduled (diagnostic).
   std::uint64_t scheduled_count() const { return scheduled_; }
 
-  /// Heap entries currently held, live or dead (diagnostic; lets tests pin
-  /// the compaction behavior).
+  /// Heap entries currently held (diagnostic). Eager removal keeps this
+  /// identical to size(); tests pin that no dead ballast accumulates.
   std::size_t heap_entries() const { return heap_.size(); }
 
  private:
@@ -133,7 +158,7 @@ class EventQueue {
     Seconds time;
     std::uint64_t seq;  ///< global schedule order: the equal-time tie-break
     std::uint32_t slot;
-    std::uint32_t generation;
+    std::uint32_t generation;  ///< redundant with slot (asserts only)
   };
 
   /// Min-heap comparator: true when \p a fires after \p b.
@@ -147,12 +172,9 @@ class EventQueue {
   struct Slot {
     EventFn fn;
     std::uint32_t generation = 0;
+    std::uint32_t heap_pos = 0;  ///< current heap index; valid while live
     bool live = false;
   };
-
-  /// Dead entries (heap size beyond this) are only worth sweeping once the
-  /// heap is non-trivial.
-  static constexpr std::size_t kCompactMinEntries = 1024;
 
   static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
     return (static_cast<EventId>(generation) << 32) |
@@ -165,11 +187,6 @@ class EventQueue {
     return static_cast<std::uint32_t>(id >> 32);
   }
 
-  bool is_live(const HeapEntry& entry) const {
-    const Slot& slot = slots_[entry.slot];
-    return slot.live && slot.generation == entry.generation;
-  }
-
   /// Frees a slot: destroys the handler, bumps the generation (invalidating
   /// outstanding ids), and recycles the index.
   void release(std::uint32_t slot) {
@@ -178,26 +195,68 @@ class EventQueue {
     entry.live = false;
     ++entry.generation;
     free_slots_.push_back(slot);
-    --live_;
   }
 
-  /// Drops cancelled entries from the heap top.
-  void skip_dead() {
-    while (!heap_.empty() && !is_live(heap_.front())) {
-      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  /// Writes \p pos into the owning slot's position index. Unconditional:
+  /// eager removal guarantees every heap entry is live and owns its slot.
+  void set_pos(const HeapEntry& entry, std::size_t pos) {
+    assert(slots_[entry.slot].live &&
+           slots_[entry.slot].generation == entry.generation);
+    slots_[entry.slot].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+
+  /// Moves heap_[i] toward the root while it fires before its parent,
+  /// maintaining position indices. Returns the final index.
+  std::size_t sift_up(std::size_t i) {
+    HeapEntry entry = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!Later{}(heap_[parent], entry)) break;
+      heap_[i] = heap_[parent];
+      set_pos(heap_[i], i);
+      i = parent;
+    }
+    heap_[i] = std::move(entry);
+    set_pos(heap_[i], i);
+    return i;
+  }
+
+  /// Moves heap_[i] toward the leaves while a child fires before it,
+  /// maintaining position indices.
+  void sift_down(std::size_t i) {
+    HeapEntry entry = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && Later{}(heap_[child], heap_[child + 1])) ++child;
+      if (!Later{}(entry, heap_[child])) break;
+      heap_[i] = heap_[child];
+      set_pos(heap_[i], i);
+      i = child;
+    }
+    heap_[i] = std::move(entry);
+    set_pos(heap_[i], i);
+  }
+
+  /// Removes the entry at \p pos: the last entry fills the hole and sifts
+  /// to its place (either direction — the hole's parent/children bear no
+  /// relation to the tail entry's key).
+  void remove_at(std::size_t pos) {
+    assert(pos < heap_.size());
+    const std::size_t last = heap_.size() - 1;
+    if (pos != last) {
+      heap_[pos] = heap_[last];
+      heap_.pop_back();
+      if (sift_up(pos) == pos) sift_down(pos);
+    } else {
       heap_.pop_back();
     }
   }
 
-  /// Rebuilds the heap in place without dead entries when cancellations
-  /// dominate; keeps memory proportional to the number of *live* events
-  /// even under heavy reschedule churn, without allocating.
-  void compact();
-
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
-  std::size_t live_ = 0;
   std::uint64_t scheduled_ = 0;
 };
 

@@ -15,6 +15,10 @@ EventId Simulator::schedule_in(Seconds delay, EventFn fn) {
 
 void Simulator::cancel(EventId id) { queue_.cancel(id); }
 
+bool Simulator::reschedule_at(Seconds time, EventId id) {
+  return queue_.reschedule(id, std::max(time, now_));
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto [time, fn] = queue_.pop();

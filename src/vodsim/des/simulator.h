@@ -33,6 +33,11 @@ class Simulator {
   /// Cancels a pending event (no-op on invalid/fired handles).
   void cancel(EventId id);
 
+  /// Retimes a pending event to absolute time max(time, now()) in place —
+  /// same clock clamp as schedule_at, same handle, same handler. Returns
+  /// false (no-op) on invalid/fired handles; the caller schedules afresh.
+  bool reschedule_at(Seconds time, EventId id);
+
   /// Fires the earliest pending event. Returns false if none remain.
   bool step();
 

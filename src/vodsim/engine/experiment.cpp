@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "vodsim/engine/sweep_context.h"
 #include "vodsim/util/rng.h"
 
 namespace vodsim {
@@ -53,6 +54,13 @@ std::vector<ExperimentPoint> ExperimentRunner::run_sweep(
   std::vector<std::vector<TrialResult>> results(
       n_configs, std::vector<TrialResult>(static_cast<std::size_t>(trials)));
 
+  // Build the shared immutable world state (catalogs, popularity tables,
+  // placement blueprints) once, serially, then hand every cell a const view.
+  // Cells sharing a (system, seed) pair skip catalog generation and the
+  // placement solve entirely; results stay bit-identical (sweep_context.h).
+  SweepContext context;
+  context.prepare(configs, trials, master_seed);
+
   pool_.parallel_for(n_configs * static_cast<std::size_t>(trials),
                      [&](std::size_t task) {
                        const std::size_t c = task / static_cast<std::size_t>(trials);
@@ -60,7 +68,7 @@ std::vector<ExperimentPoint> ExperimentRunner::run_sweep(
                            task % static_cast<std::size_t>(trials));
                        SimulationConfig config = configs[c];
                        config.seed = derive_seed(master_seed, t);
-                       VodSimulation simulation(std::move(config));
+                       VodSimulation simulation(std::move(config), &context);
                        simulation.run();
                        results[c][static_cast<std::size_t>(t)] =
                            TrialResult::from(simulation);

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file sweep_context.h
+/// \brief Shared immutable world-construction state for experiment sweeps.
+///
+/// A sweep runs (configs x trials) independent VodSimulation cells, and most
+/// of them rebuild identical static worlds: the catalog depends only on a
+/// handful of system fields plus the trial's catalog seed, the popularity
+/// model is a pure function of (n, theta, drift), and the placement is a
+/// deterministic function of (system, placement policy, catalog, seed).
+/// Rebuilding these per cell is pure waste — the Zipf CDF alone is O(n) of
+/// pow() calls, and placement re-sorts the catalog per cell.
+///
+/// SweepContext memoizes all three behind value-derived keys. `prepare` runs
+/// *serially* before the pool fans out and constructs one instance per
+/// distinct key; during the run, lookups are const, lock-free, and
+/// shared_ptr-copy cheap. A VodSimulation handed a context adopts the shared
+/// objects instead of building its own.
+///
+/// Bit-exactness contract: a trial run with a context is bit-identical to
+/// one without. This holds because
+///   - keys capture *every* input of the memoized computation (numeric
+///     fields are stringified with "%a" so distinct doubles never collide);
+///   - catalogs/popularity models are immutable after construction and hold
+///     no RNG state, so sharing them across threads is safe;
+///   - placement mutates servers, so it cannot be shared directly. Instead
+///     `prepare` runs the placement once on a scratch server vector and
+///     records a PlacementBlueprint: the PlacementResult plus each server's
+///     replica list *in install order*. Replay calls Server::add_replica in
+///     that recorded order, so per-server free-storage accounting performs
+///     the identical FP subtraction sequence as the original run.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vodsim/cluster/video.h"
+#include "vodsim/engine/config.h"
+#include "vodsim/placement/placement.h"
+#include "vodsim/workload/drift.h"
+
+namespace vodsim {
+
+/// A placement decision, replayable onto a fresh server vector.
+struct PlacementBlueprint {
+  PlacementResult result;
+  /// server_replicas[s] = the VideoIds installed on server s, in the order
+  /// PlacementPolicy::place called add_replica for them.
+  std::vector<std::vector<VideoId>> server_replicas;
+};
+
+class SweepContext {
+ public:
+  SweepContext() = default;
+  SweepContext(const SweepContext&) = delete;
+  SweepContext& operator=(const SweepContext&) = delete;
+
+  /// Builds every catalog / popularity model / placement blueprint the
+  /// sweep will need. Call once, from one thread, before running trials.
+  /// Trial k of any config uses seed derive(master_seed, k) — the same
+  /// derivation ExperimentRunner applies — so lookups during the run hit.
+  void prepare(const std::vector<SimulationConfig>& configs, int trials,
+               std::uint64_t master_seed);
+
+  /// Lookups keyed by the fully-derived per-trial config (config.seed must
+  /// already be the trial seed). Return nullptr on a miss — the caller
+  /// falls back to local construction, so a miss is slow, never wrong.
+  std::shared_ptr<const VideoCatalog> find_catalog(
+      const SimulationConfig& config) const;
+  std::shared_ptr<const PopularityModel> find_popularity(
+      const SimulationConfig& config) const;
+  std::shared_ptr<const PlacementBlueprint> find_placement(
+      const SimulationConfig& config) const;
+
+  // Cache sizes, for tests and sweep diagnostics.
+  std::size_t catalog_count() const { return catalogs_.size(); }
+  std::size_t popularity_count() const { return popularity_.size(); }
+  std::size_t placement_count() const { return placements_.size(); }
+
+ private:
+  static std::string catalog_key(const SimulationConfig& config);
+  static std::string popularity_key(const SimulationConfig& config);
+  static std::string placement_key(const SimulationConfig& config);
+
+  std::unordered_map<std::string, std::shared_ptr<const VideoCatalog>> catalogs_;
+  std::unordered_map<std::string, std::shared_ptr<const PopularityModel>>
+      popularity_;
+  std::unordered_map<std::string, std::shared_ptr<const PlacementBlueprint>>
+      placements_;
+};
+
+}  // namespace vodsim

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "vodsim/check/invariant_auditor.h"
+#include "vodsim/engine/sweep_context.h"
 #include "vodsim/placement/partial_predictive.h"
 #include "vodsim/sched/intermittent.h"
 #include "vodsim/util/env.h"
@@ -16,6 +17,11 @@
 namespace vodsim {
 
 VodSimulation::VodSimulation(SimulationConfig config) : config_(std::move(config)) {
+  build_world();
+}
+
+VodSimulation::VodSimulation(SimulationConfig config, const SweepContext* context)
+    : config_(std::move(config)), sweep_context_(context) {
   build_world();
 }
 
@@ -36,39 +42,67 @@ void VodSimulation::build_world() {
   rng_ = Rng(seeds.decision);
   interactivity_rng_ = Rng(seeds.interactivity);
 
-  Rng catalog_rng(seeds.catalog);
-  CatalogSpec spec;
-  spec.num_videos = config_.system.num_videos;
-  spec.min_duration = config_.system.video_min_duration;
-  spec.max_duration = config_.system.video_max_duration;
-  spec.view_bandwidth = config_.system.view_bandwidth;
-  catalog_ = generate_catalog(spec, catalog_rng);
+  // A sweep context supplies prebuilt shared world state; every lookup may
+  // miss (returning nullptr), in which case the plain construction path
+  // below runs. Adoption is bit-exact: the context built these objects with
+  // the identical code and RNG streams (engine/sweep_context.cpp).
+  std::shared_ptr<const PlacementBlueprint> blueprint;
+  if (sweep_context_ != nullptr) {
+    catalog_ = sweep_context_->find_catalog(config_);
+    popularity_ = sweep_context_->find_popularity(config_);
+    blueprint = sweep_context_->find_placement(config_);
+  }
 
-  if (config_.drift.enabled) {
-    popularity_ = std::make_unique<DriftingZipfPopularity>(
-        config_.system.num_videos, config_.zipf_theta, config_.drift.period,
-        config_.drift.step);
-  } else {
-    popularity_ = std::make_unique<StaticZipfPopularity>(config_.system.num_videos,
-                                                         config_.zipf_theta);
+  if (!catalog_) {
+    Rng catalog_rng(seeds.catalog);
+    CatalogSpec spec;
+    spec.num_videos = config_.system.num_videos;
+    spec.min_duration = config_.system.video_min_duration;
+    spec.max_duration = config_.system.video_max_duration;
+    spec.view_bandwidth = config_.system.view_bandwidth;
+    catalog_ =
+        std::make_shared<const VideoCatalog>(generate_catalog(spec, catalog_rng));
+  }
+
+  if (!popularity_) {
+    if (config_.drift.enabled) {
+      popularity_ = std::make_shared<const DriftingZipfPopularity>(
+          config_.system.num_videos, config_.zipf_theta, config_.drift.period,
+          config_.drift.step);
+    } else {
+      popularity_ = std::make_shared<const StaticZipfPopularity>(
+          config_.system.num_videos, config_.zipf_theta);
+    }
   }
 
   servers_ = make_servers(config_.system);
-  std::unique_ptr<PlacementPolicy> placement;
-  if (config_.placement.kind == PlacementKind::kPartialPredictive) {
-    placement = std::make_unique<PartialPredictivePlacement>(
-        config_.placement.partial_head_fraction, config_.placement.partial_tail_shift);
+  if (blueprint) {
+    // Replay the recorded placement: add_replica per server in install
+    // order reproduces the original free-storage FP subtraction sequence.
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      for (VideoId video : blueprint->server_replicas[s]) {
+        servers_[s].add_replica((*catalog_)[video]);
+      }
+    }
+    placement_result_ = blueprint->result;
   } else {
-    placement = make_placement(config_.placement.kind);
+    std::unique_ptr<PlacementPolicy> placement;
+    if (config_.placement.kind == PlacementKind::kPartialPredictive) {
+      placement = std::make_unique<PartialPredictivePlacement>(
+          config_.placement.partial_head_fraction,
+          config_.placement.partial_tail_shift);
+    } else {
+      placement = make_placement(config_.placement.kind);
+    }
+    Rng placement_rng(seeds.placement);
+    // Placement sees the popularity law as of t = 0 — a drifting workload
+    // later invalidates a "perfect" prediction, which is exactly what the
+    // drift experiment studies.
+    placement_result_ = placement->place(*catalog_, popularity_->probabilities(0.0),
+                                         config_.system.avg_copies, servers_,
+                                         placement_rng);
   }
-  Rng placement_rng(seeds.placement);
-  // Placement sees the popularity law as of t = 0 — a drifting workload
-  // later invalidates a "perfect" prediction, which is exactly what the
-  // drift experiment studies.
-  placement_result_ = placement->place(catalog_, popularity_->probabilities(0.0),
-                                       config_.system.avg_copies, servers_,
-                                       placement_rng);
-  directory_ = ReplicaDirectory(catalog_.size(), servers_);
+  directory_ = ReplicaDirectory(catalog_->size(), servers_);
   controller_ = std::make_unique<AdmissionController>(config_.admission, directory_);
   if (config_.scheduler == SchedulerKind::kIntermittent) {
     scheduler_ = std::make_unique<IntermittentScheduler>(
@@ -197,7 +231,7 @@ void VodSimulation::handle_arrival(const Arrival& arrival) {
   const Seconds now = sim_.now();
   metrics_->record_arrival(now);
 
-  const Video& video = catalog_[arrival.video];
+  const Video& video = (*catalog_)[arrival.video];
   note(TraceEventType::kArrival, kTraceAdmission, kNoServer, next_request_id_,
        arrival.video);
   const AdmissionDecision decision =
@@ -424,7 +458,7 @@ void VodSimulation::recompute_server(ServerId server_id) {
   for (Request* request : active) advance_and_account(*request, now);
 
   scheduler_->allocate(now, server.schedulable_bandwidth(), active, rates_scratch_,
-                       sched_scratch_);
+                       sched_scratch_, &state.sched_cache);
 
   for (std::size_t i = 0; i < active.size(); ++i) {
     Request& request = *active[i];
@@ -538,7 +572,7 @@ void VodSimulation::on_resume(Request& request) {
 void VodSimulation::maybe_start_replication(VideoId video) {
   const Seconds now = sim_.now();
   auto job =
-      replication_->on_rejection(video, now, catalog_, servers_, directory_);
+      replication_->on_rejection(video, now, *catalog_, servers_, directory_);
   if (!job) return;
 
   Server& destination = servers_[static_cast<std::size_t>(job->destination)];
@@ -573,7 +607,7 @@ void VodSimulation::maybe_start_replication(VideoId video) {
     mark_server_dirty(job.destination);
     // Storage was verified when the job was planned; nothing else consumes
     // storage mid-run, so this cannot fail.
-    const bool added = dst.add_replica(catalog_[job.video]);
+    const bool added = dst.add_replica((*catalog_)[job.video]);
     if (added) directory_.add_holder(job.video, job.destination);
     metrics_->record_replication(start, end, rate);
     replication_->on_job_finished(job.video);
@@ -629,18 +663,35 @@ void VodSimulation::cancel_predicted_events(Request& request) {
 }
 
 void VodSimulation::reschedule_predicted_events(Request& request) {
-  cancel_predicted_events(request);
-  if (request.state() != RequestState::kStreaming) return;
+  if (request.state() != RequestState::kStreaming) {
+    cancel_predicted_events(request);
+    return;
+  }
   const Seconds now = sim_.now();
   const Mbps rate = request.allocation();
 
+  // Each prediction retimes its pending event in place when one is live (the
+  // common case — every allocation change moves all of them) and only
+  // schedules or cancels on a liveness transition. Sequence-number parity
+  // with the cancel+schedule pairs this replaces is load-bearing: exactly
+  // one seq is consumed per *kept* prediction, in the same order
+  // (transmission-complete, then buffer-full, then buffer-low), so
+  // equal-time events tie-break identically and the simulation stays on the
+  // seed trajectory bit for bit. Cancels consume no seq, on either path.
   Seconds tx_at = std::numeric_limits<Seconds>::infinity();
+  bool keep_tx = false;
+  bool keep_full = false;
+  bool keep_low = false;
   if (rate > 0.0) {
     tx_at = now + request.remaining() / rate;
-    request.tx_complete_event = sim_.schedule_at(tx_at, [this, &request](Seconds) {
-      request.tx_complete_event = kInvalidEventId;
-      on_tx_complete(request);
-    });
+    keep_tx = true;
+    if (!sim_.reschedule_at(tx_at, request.tx_complete_event)) {
+      request.tx_complete_event =
+          sim_.schedule_at(tx_at, [this, &request](Seconds) {
+            request.tx_complete_event = kInvalidEventId;
+            on_tx_complete(request);
+          });
+    }
   }
 
   // The buffer fills at (rate - drain); drain is the view bandwidth while
@@ -649,11 +700,14 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
   if (surplus > 1e-12 && !request.buffer().full()) {
     const Seconds full_at = now + request.buffer().headroom() / surplus;
     if (full_at < tx_at) {
-      request.buffer_full_event =
-          sim_.schedule_at(full_at, [this, &request](Seconds) {
-            request.buffer_full_event = kInvalidEventId;
-            on_buffer_full(request);
-          });
+      keep_full = true;
+      if (!sim_.reschedule_at(full_at, request.buffer_full_event)) {
+        request.buffer_full_event =
+            sim_.schedule_at(full_at, [this, &request](Seconds) {
+              request.buffer_full_event = kInvalidEventId;
+              on_buffer_full(request);
+            });
+      }
     }
   } else if (surplus < -1e-12) {
     // Intermittent scheduling: the stream is draining faster than it
@@ -667,18 +721,34 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
     if (level > threshold + StagingBuffer::kLevelTolerance) {
       const Seconds low_at = now + (level - threshold) / -surplus;
       if (low_at < tx_at) {
-        request.buffer_low_event =
-            sim_.schedule_at(low_at, [this, &request](Seconds) {
-              request.buffer_low_event = kInvalidEventId;
-              if (request.state() == RequestState::kStreaming) {
-                note(TraceEventType::kBufferLow, kTraceBuffer, request.server(),
-                     request.id(), request.video_id(),
-                     request.buffer().level());
-                recompute_server(request.server());
-              }
-            });
+        keep_low = true;
+        if (!sim_.reschedule_at(low_at, request.buffer_low_event)) {
+          request.buffer_low_event =
+              sim_.schedule_at(low_at, [this, &request](Seconds) {
+                request.buffer_low_event = kInvalidEventId;
+                if (request.state() == RequestState::kStreaming) {
+                  note(TraceEventType::kBufferLow, kTraceBuffer,
+                       request.server(), request.id(), request.video_id(),
+                       request.buffer().level());
+                  recompute_server(request.server());
+                }
+              });
+        }
       }
     }
+  }
+
+  if (!keep_tx) {
+    sim_.cancel(request.tx_complete_event);
+    request.tx_complete_event = kInvalidEventId;
+  }
+  if (!keep_full) {
+    sim_.cancel(request.buffer_full_event);
+    request.buffer_full_event = kInvalidEventId;
+  }
+  if (!keep_low) {
+    sim_.cancel(request.buffer_low_event);
+    request.buffer_low_event = kInvalidEventId;
   }
 }
 

@@ -32,6 +32,7 @@
 #include "vodsim/obs/trace.h"
 #include "vodsim/placement/placement.h"
 #include "vodsim/replication/replication.h"
+#include "vodsim/sched/finish_order.h"
 #include "vodsim/sched/scheduler.h"
 #include "vodsim/stats/time_weighted.h"
 #include "vodsim/util/rng.h"
@@ -43,12 +44,20 @@
 namespace vodsim {
 
 class InvariantAuditor;
+class SweepContext;
 
 class VodSimulation {
  public:
   /// Validates \p config (throws std::invalid_argument) and builds the
   /// static world: catalog, servers, placement, replica directory.
   explicit VodSimulation(SimulationConfig config);
+
+  /// As above, but adopts shared immutable world state (catalog, popularity
+  /// model, placement blueprint) from \p context when it has matching
+  /// entries, constructing locally otherwise. Results are bit-identical
+  /// either way (engine/sweep_context.h). The context must outlive the
+  /// simulation; nullptr degrades to plain construction.
+  VodSimulation(SimulationConfig config, const SweepContext* context);
 
   /// As above, but replays \p trace instead of generating arrivals (used
   /// for paired policy comparisons). The trace must outlive the simulation.
@@ -63,7 +72,7 @@ class VodSimulation {
 
   // --- introspection ----------------------------------------------------
   const SimulationConfig& config() const { return config_; }
-  const VideoCatalog& catalog() const { return catalog_; }
+  const VideoCatalog& catalog() const { return *catalog_; }
   const std::vector<Server>& servers() const { return servers_; }
   const PlacementResult& placement_result() const { return placement_result_; }
   const ReplicaDirectory& directory() const { return directory_; }
@@ -177,11 +186,15 @@ class VodSimulation {
   Rng rng_;                ///< decision randomness (assignment ties etc.)
   Rng interactivity_rng_;  ///< pause/resume timing
 
-  VideoCatalog catalog_;
+  /// Shared with the SweepContext when one was supplied, otherwise locally
+  /// constructed (sole owner). Immutable either way.
+  std::shared_ptr<const VideoCatalog> catalog_;
   std::vector<Server> servers_;
   PlacementResult placement_result_;
   ReplicaDirectory directory_;
-  std::unique_ptr<PopularityModel> popularity_;
+  std::shared_ptr<const PopularityModel> popularity_;
+  /// World-construction cache for sweeps; nullptr outside run_sweep.
+  const SweepContext* sweep_context_ = nullptr;
   std::unique_ptr<AdmissionController> controller_;
   std::unique_ptr<BandwidthScheduler> scheduler_;
   std::unique_ptr<ReplicationManager> replication_;
@@ -215,6 +228,10 @@ class VodSimulation {
     std::uint64_t epoch = 1;
     std::uint64_t clean_epoch = 0;  ///< epoch at the last completed recompute
     Seconds clean_time = -1.0;      ///< sim time of the last completed recompute
+    /// This server's grant order from its previous allocation pass; the
+    /// scheduler repairs it instead of resorting (sched/finish_order.h).
+    /// Entries point into requests_, which outlives this state.
+    SchedCache sched_cache;
   };
   std::vector<ServerRecomputeState> recompute_state_;
 };

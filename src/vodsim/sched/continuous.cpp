@@ -5,7 +5,9 @@ namespace vodsim {
 void ContinuousScheduler::allocate(Seconds /*now*/, Mbps capacity,
                                    const std::vector<Request*>& active,
                                    std::vector<Mbps>& rates,
-                                   AllocationScratch& /*scratch*/) const {
+                                   AllocationScratch& /*scratch*/,
+                                   SchedCache* /*cache*/) const {
+  // No workahead, no grant order, nothing to cache.
   (void)sched_detail::assign_minimum_flow(capacity, active, rates);
 }
 

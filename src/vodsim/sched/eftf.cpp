@@ -1,27 +1,22 @@
 #include "vodsim/sched/eftf.h"
 
-#include <algorithm>
+#include "vodsim/sched/finish_order.h"
 
 namespace vodsim {
 
 void EftfScheduler::allocate(Seconds now, Mbps capacity,
                              const std::vector<Request*>& active,
                              std::vector<Mbps>& rates,
-                             AllocationScratch& scratch) const {
+                             AllocationScratch& scratch,
+                             SchedCache* cache) const {
   const Mbps slack = sched_detail::assign_minimum_flow(capacity, active, rates);
   // Zero slack — the common case at saturation, where the paper's
-  // interesting data points live — skips eligibility and the O(n log n)
-  // sort entirely.
+  // interesting data points live — skips eligibility and the sort entirely.
   if (slack <= 0.0) return;
-  std::vector<std::size_t>& order = scratch.order;
-  sched_detail::eligible_indices(active, order);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const Seconds fa = active[a]->projected_finish(now);
-    const Seconds fb = active[b]->projected_finish(now);
-    if (fa != fb) return fa < fb;
-    return active[a]->id() < active[b]->id();  // deterministic tie-break
-  });
-  sched_detail::distribute_greedy(slack, order, active, rates);
+  sched_detail::eligible_indices(active, scratch.order);
+  sched_detail::sort_by_projected_finish(now, /*earliest_first=*/true, active,
+                                         scratch, cache);
+  sched_detail::distribute_greedy(slack, scratch.order, active, rates);
 }
 
 }  // namespace vodsim

@@ -17,8 +17,8 @@ class EftfScheduler final : public BandwidthScheduler {
  public:
   using BandwidthScheduler::allocate;
   void allocate(Seconds now, Mbps capacity, const std::vector<Request*>& active,
-                std::vector<Mbps>& rates,
-                AllocationScratch& scratch) const override;
+                std::vector<Mbps>& rates, AllocationScratch& scratch,
+                SchedCache* cache) const override;
 
   std::string name() const override { return "eftf"; }
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "vodsim/sched/finish_order.h"
+
 namespace vodsim {
 
 IntermittentScheduler::IntermittentScheduler(Seconds safety_cover)
@@ -37,7 +39,8 @@ Mbps absorption_cap(const Request& request, Seconds now) {
 void IntermittentScheduler::allocate(Seconds now, Mbps capacity,
                                      const std::vector<Request*>& active,
                                      std::vector<Mbps>& rates,
-                                     AllocationScratch& scratch) const {
+                                     AllocationScratch& scratch,
+                                     SchedCache* cache) const {
   rates.assign(active.size(), 0.0);
   Mbps left = capacity;
 
@@ -127,12 +130,12 @@ void IntermittentScheduler::allocate(Seconds now, Mbps capacity,
     if (rates[i] >= request.receive_bandwidth()) continue;
     order.push_back(i);
   }
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const Seconds fa = active[a]->projected_finish(now);
-    const Seconds fb = active[b]->projected_finish(now);
-    if (fa != fb) return fa < fb;
-    return active[a]->id() < active[b]->id();
-  });
+  // Cache-seeded repair of the previous workahead order (phase 1's urgent
+  // sort keys on buffer level, which reshuffles every pass over a small set
+  // — not worth caching; this one is the per-event O(n log n) resort).
+  // scratch.aux (the urgent list) is dead by now and is clobbered here.
+  sched_detail::sort_by_projected_finish(now, /*earliest_first=*/true, active,
+                                         scratch, cache);
   for (std::size_t index : order) {
     if (left <= 0.0) break;
     const Request& request = *active[index];

@@ -7,7 +7,12 @@ namespace vodsim {
 void ProportionalShareScheduler::allocate(Seconds /*now*/, Mbps capacity,
                                           const std::vector<Request*>& active,
                                           std::vector<Mbps>& rates,
-                                          AllocationScratch& scratch) const {
+                                          AllocationScratch& scratch,
+                                          SchedCache* /*cache*/) const {
+  // Water-filling iterates the eligible pool in active order and splits
+  // evenly — there is no sorted grant order to make incremental, so the
+  // cache is ignored (its FP operation order is pinned by the active vector
+  // alone).
   Mbps slack = sched_detail::assign_minimum_flow(capacity, active, rates);
   if (slack <= 0.0) return;
 

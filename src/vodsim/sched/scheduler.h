@@ -20,6 +20,7 @@
 /// A request is eligible for workahead iff its staging buffer has headroom
 /// and its client can receive faster than the view bandwidth.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,7 +40,16 @@ struct AllocationScratch {
   std::vector<std::size_t> order;  ///< workahead candidates, in grant order
   std::vector<std::size_t> aux;    ///< second working set (water-filling pool,
                                    ///< urgent list, ...)
+  std::vector<Seconds> keys;       ///< projected-finish keys, by active index
+  std::vector<std::uint8_t> in_candidates;  ///< membership flags for seeding
+                                            ///< from a SchedCache
 };
+
+/// Persistent per-server ordering state (sched/finish_order.h). Passing one
+/// lets the finish-time schedulers repair the previous grant order instead
+/// of resorting from scratch; a null cache always takes the full-sort path.
+/// Either way the result is bit-identical.
+struct SchedCache;
 
 /// Strategy interface: computes per-request rates for one server.
 class BandwidthScheduler {
@@ -49,24 +59,39 @@ class BandwidthScheduler {
   /// Computes allocations for \p active (the server's unfinished requests,
   /// all advanced to \p now) under total link \p capacity. Writes one rate
   /// per request into \p rates (resized to active.size()); \p scratch holds
-  /// reusable working buffers (contents are clobbered).
+  /// reusable working buffers (contents are clobbered). \p cache, when
+  /// non-null, is the calling server's persistent ordering state: the
+  /// finish-time schedulers seed their grant order from it and write the new
+  /// order back, turning the per-event resort into a nearly-sorted repair.
+  /// One cache per server — sharing a cache across servers is harmless
+  /// (entries validate against the active vector) but wastes the hint.
+  /// Schedulers without a sorted grant order ignore it.
   ///
   /// Postconditions (enforced by all implementations, checked in tests):
   ///   rates[i] >= active[i]->view_bandwidth()   (minimum flow)
   ///   rates[i] <= active[i]->receive_bandwidth()
   ///   sum(rates) <= capacity (+ tolerance)
+  /// And: results are bit-identical with cache == nullptr, a cold cache, or
+  /// any warm cache (pinned by sched_test and the determinism goldens).
   virtual void allocate(Seconds now, Mbps capacity,
                         const std::vector<Request*>& active,
-                        std::vector<Mbps>& rates,
-                        AllocationScratch& scratch) const = 0;
+                        std::vector<Mbps>& rates, AllocationScratch& scratch,
+                        SchedCache* cache) const = 0;
+
+  /// Cache-less overload: the full-sort path, for callers without a
+  /// persistent per-server ordering (tests, the reference oracle).
+  /// (Derived classes re-export this via `using BandwidthScheduler::allocate`.)
+  void allocate(Seconds now, Mbps capacity, const std::vector<Request*>& active,
+                std::vector<Mbps>& rates, AllocationScratch& scratch) const {
+    allocate(now, capacity, active, rates, scratch, nullptr);
+  }
 
   /// Convenience overload with a throwaway scratch, for tests and one-shot
   /// callers. Hot paths must hold a persistent AllocationScratch instead.
-  /// (Derived classes re-export this via `using BandwidthScheduler::allocate`.)
   void allocate(Seconds now, Mbps capacity, const std::vector<Request*>& active,
                 std::vector<Mbps>& rates) const {
     AllocationScratch scratch;
-    allocate(now, capacity, active, rates, scratch);
+    allocate(now, capacity, active, rates, scratch, nullptr);
   }
 
   virtual std::string name() const = 0;

@@ -1,6 +1,8 @@
 #include "vodsim/util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 
 namespace vodsim {
 
@@ -36,21 +38,55 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
-  }
-  // get() rethrows; let the first exception propagate after all tasks have
-  // been waited on so no task outlives `fn`.
+  if (count == 0) return;
+
+  // One shared atomic cursor instead of one queue node + packaged_task +
+  // future per index: each strand grabs a chunk of indices per fetch_add
+  // and runs them locally, so queue/mutex traffic is O(strands), not
+  // O(count). Chunks keep the cursor cold for large counts while staying
+  // small enough (>= 8 grabs per strand) that uneven task durations still
+  // load-balance.
+  const std::size_t strands = std::min(workers_.size() + 1, count);
+  const std::size_t chunk = std::max<std::size_t>(1, count / (8 * strands));
+  std::atomic<std::size_t> next{0};
+
+  // Exception policy (pinned by thread_pool_test): every index runs even
+  // when some throw, and the exception from the *lowest* failing index is
+  // rethrown — a deterministic choice, unlike completion order.
+  std::mutex error_mutex;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr first_error;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(count, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (i < first_error_index) {
+            first_error_index = i;
+            first_error = std::current_exception();
+          }
+        }
+      }
     }
-  }
+  };
+
+  // The calling thread participates: on a single-core host (or a pool busy
+  // with other submissions) the loop still makes progress, and a
+  // parallel_for issued from inside a pool task cannot deadlock waiting for
+  // workers it is itself occupying.
+  std::vector<std::future<void>> helpers;
+  helpers.reserve(strands - 1);
+  for (std::size_t s = 1; s < strands; ++s) helpers.push_back(submit(drain));
+  drain();
+  // Helper futures cannot throw (drain catches); get() is pure completion
+  // sync, so no strand outlives `fn` or the error slots.
+  for (auto& helper : helpers) helper.get();
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -85,34 +85,31 @@ TEST(EventQueue, ManyScheduleCancelCycles) {
   EXPECT_EQ(fired, 1000);
 }
 
-TEST(EventQueue, CompactionUnderCancelChurnPreservesOrdering) {
-  // Reschedule churn leaves dead entries in the heap; once they outnumber
-  // live events past the compaction threshold, the heap is rebuilt in
-  // place. The rebuild must not disturb firing order — neither across times
-  // nor the schedule-order tie-break at equal times.
+TEST(EventQueue, CancelChurnRemovesEntriesEagerlyAndPreservesOrdering) {
+  // cancel() removes its heap entry in place (sift-out through the position
+  // index), so dead entries never accumulate. The removals must not disturb
+  // firing order — neither across times nor the schedule-order tie-break at
+  // equal times.
   EventQueue queue;
   std::vector<int> fired;
   std::vector<EventId> doomed;
   // Interleave survivors with events that will all be cancelled. Half the
   // survivors share one timestamp to exercise the equal-time tie-break
-  // across a compaction.
+  // across the removal churn.
   for (int i = 0; i < 4000; ++i) {
     const Seconds time = (i % 2 == 0) ? 500.0 : static_cast<double>(i);
     queue.schedule(time, [&fired, i](Seconds) { fired.push_back(i); });
-    // Two doomed events per survivor: compaction requires dead to strictly
-    // outnumber live.
     doomed.push_back(
         queue.schedule(static_cast<double>(i) + 0.25, [](Seconds) {}));
     doomed.push_back(
         queue.schedule(static_cast<double>(i) + 0.75, [](Seconds) {}));
   }
-  const std::size_t entries_before = queue.heap_entries();
+  EXPECT_EQ(queue.heap_entries(), 12000u);
   for (const EventId id : doomed) queue.cancel(id);
-  // Cancel itself never compacts (it is O(1)); the next schedule notices
-  // dead > live and sweeps in place.
-  EXPECT_EQ(queue.heap_entries(), entries_before);
+  // Eager removal: the heap holds exactly the live events, immediately.
+  EXPECT_EQ(queue.heap_entries(), 4000u);
   queue.schedule(1e9, [](Seconds) {});
-  EXPECT_LT(queue.heap_entries(), entries_before / 2);
+  EXPECT_EQ(queue.heap_entries(), queue.size());
   EXPECT_EQ(queue.size(), 4001u);
 
   std::vector<int> expected;
@@ -132,6 +129,181 @@ TEST(EventQueue, CompactionUnderCancelChurnPreservesOrdering) {
                    [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [time, index] : keyed) expected.push_back(index);
   EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueue, RescheduleMovesEventBothDirections) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(1.0, [&](Seconds) { fired.push_back(1); });
+  const EventId mid = queue.schedule(2.0, [&](Seconds) { fired.push_back(2); });
+  queue.schedule(3.0, [&](Seconds) { fired.push_back(3); });
+
+  EXPECT_TRUE(queue.reschedule(mid, 0.5));  // earlier: sift up
+  while (!queue.empty()) queue.pop().second(0.0);
+  EXPECT_EQ(fired, (std::vector<int>{2, 1, 3}));
+
+  fired.clear();
+  queue.schedule(1.0, [&](Seconds) { fired.push_back(1); });
+  const EventId front =
+      queue.schedule(0.5, [&](Seconds) { fired.push_back(2); });
+  queue.schedule(3.0, [&](Seconds) { fired.push_back(3); });
+  EXPECT_TRUE(queue.reschedule(front, 2.0));  // later: sift down
+  while (!queue.empty()) queue.pop().second(0.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RescheduleKeepsHandleValidAndHeapFlat) {
+  // The whole point of retiming: no dead entry left in the heap, no new
+  // slot, and the original handle keeps working across many retimes.
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.schedule(1.0, [&](Seconds) { fired = true; });
+  const std::size_t entries = queue.heap_entries();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(queue.reschedule(id, 1.0 + static_cast<double>(i)));
+  }
+  EXPECT_EQ(queue.heap_entries(), entries);  // zero churn
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_DOUBLE_EQ(queue.peek_time(), 100.0);
+  queue.cancel(id);  // handle still owns the slot
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, RescheduleConsumesSeqSoEqualTimeTiesMatchCancelPlusSchedule) {
+  // Determinism contract: a retimed event must tie with equal-time events
+  // exactly as a cancel+fresh-schedule would — i.e. it loses the tie-break
+  // against everything scheduled before the retime, despite its original
+  // seq being older.
+  EventQueue queue;
+  std::vector<int> fired;
+  const EventId moved =
+      queue.schedule(1.0, [&](Seconds) { fired.push_back(1); });
+  queue.schedule(5.0, [&](Seconds) { fired.push_back(2); });
+  EXPECT_TRUE(queue.reschedule(moved, 5.0));
+  while (!queue.empty()) queue.pop().second(5.0);
+  EXPECT_EQ(fired, (std::vector<int>{2, 1}));
+  // And the seq counter advanced, mirroring the replaced schedule call.
+  EXPECT_EQ(queue.scheduled_count(), 3u);
+}
+
+TEST(EventQueue, RescheduleDeadOrStaleIdReturnsFalse) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.reschedule(kInvalidEventId, 1.0));
+  EXPECT_FALSE(queue.reschedule(9999, 1.0));
+
+  const EventId cancelled = queue.schedule(1.0, [](Seconds) {});
+  queue.cancel(cancelled);
+  EXPECT_FALSE(queue.reschedule(cancelled, 2.0));
+
+  const EventId fired_id = queue.schedule(1.0, [](Seconds) {});
+  queue.pop().second(1.0);
+  EXPECT_FALSE(queue.reschedule(fired_id, 2.0));
+
+  // Slot recycled under a stale handle: the retime must target nothing.
+  bool survivor_moved_early = false;
+  const EventId recycled = queue.schedule(7.0, [&](Seconds time) {
+    survivor_moved_early = time < 7.0;
+  });
+  (void)recycled;
+  EXPECT_FALSE(queue.reschedule(fired_id, 0.0));  // may alias the same slot
+  auto [time, fn] = queue.pop();
+  fn(time);
+  EXPECT_DOUBLE_EQ(time, 7.0);
+  EXPECT_FALSE(survivor_moved_early);
+}
+
+TEST(EventQueue, RescheduleAfterCancelChurnUsesMaintainedPositions) {
+  // Every eager cancel moves an unrelated entry into the freed hole and
+  // sifts it, rewriting position indices throughout the heap. A retime
+  // issued afterwards must land on the entry's *current* position, not
+  // where it sat before the churn.
+  EventQueue queue;
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  std::vector<EventId> movers;
+  for (int i = 0; i < 2000; ++i) {
+    movers.push_back(queue.schedule(1000.0 + static_cast<double>(i),
+                                    [&fired, i](Seconds) { fired.push_back(i); }));
+    doomed.push_back(
+        queue.schedule(static_cast<double>(i) + 0.25, [](Seconds) {}));
+    doomed.push_back(
+        queue.schedule(static_cast<double>(i) + 0.75, [](Seconds) {}));
+  }
+  for (const EventId id : doomed) queue.cancel(id);
+  queue.schedule(1e9, [](Seconds) {});
+  ASSERT_EQ(queue.size(), 2001u);
+  // Retime every survivor into reversed order.
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(queue.reschedule(movers[static_cast<std::size_t>(i)],
+                                 3000.0 - static_cast<double>(i)));
+  }
+  while (!queue.empty()) queue.pop().second(0.0);
+  ASSERT_EQ(fired.size(), 2000u);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], 1999 - i);
+  }
+}
+
+TEST(EventQueue, MixedRescheduleCancelChurnMatchesReferenceOrder) {
+  // Deterministic pseudo-random churn of schedule/cancel/reschedule against
+  // a naive reference model of the contract: live events fire in ascending
+  // (time, seq) where reschedule assigns a fresh seq.
+  EventQueue queue;
+  struct Ref {
+    Seconds time;
+    std::uint64_t seq;
+    int tag;
+  };
+  std::vector<EventId> ids;
+  std::vector<Ref> ref;       // parallel to ids; seq 0 = dead
+  std::vector<int> fired;
+  std::uint64_t seq = 0;
+  std::uint64_t rng = 12345;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int op = 0; op < 3000; ++op) {
+    const std::uint64_t roll = next() % 100;
+    if (roll < 50 || ids.empty()) {
+      const Seconds time = static_cast<double>(next() % 1000);
+      const int tag = op;
+      ids.push_back(queue.schedule(time, [&fired, tag](Seconds) {
+        fired.push_back(tag);
+      }));
+      ref.push_back({time, ++seq, tag});
+    } else if (roll < 80) {
+      const std::size_t pick = next() % ids.size();
+      const Seconds time = static_cast<double>(next() % 1000);
+      const bool ok = queue.reschedule(ids[pick], time);
+      EXPECT_EQ(ok, ref[pick].seq != 0);
+      if (ok) {
+        ref[pick].time = time;
+        ref[pick].seq = ++seq;
+      }
+    } else {
+      const std::size_t pick = next() % ids.size();
+      queue.cancel(ids[pick]);
+      ref[pick].seq = 0;
+    }
+  }
+  std::vector<Ref> live;
+  for (const Ref& r : ref) {
+    if (r.seq != 0) live.push_back(r);
+  }
+  std::sort(live.begin(), live.end(), [](const Ref& a, const Ref& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  ASSERT_EQ(queue.size(), live.size());
+  while (!queue.empty()) queue.pop().second(0.0);
+  ASSERT_EQ(fired.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(fired[i], live[i].tag);
+  }
 }
 
 TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
@@ -202,6 +374,28 @@ TEST(Simulator, SchedulingInThePastClampsToNow) {
   });
   sim.run();
   EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, RescheduleAtClampsToNowAndRetimes) {
+  Simulator sim;
+  std::vector<std::pair<int, Seconds>> fired;
+  const EventId target = sim.schedule_at(10.0, [&](Seconds t) {
+    fired.emplace_back(2, t);
+  });
+  sim.schedule_at(5.0, [&](Seconds t) {
+    fired.emplace_back(1, t);
+    // Retiming into the past clamps to now() — "immediately after this
+    // event", exactly like schedule_at.
+    EXPECT_TRUE(sim.reschedule_at(1.0, target));
+  });
+  sim.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].first, 1);
+  EXPECT_EQ(fired[1].first, 2);
+  EXPECT_DOUBLE_EQ(fired[1].second, 5.0);
+
+  // Dead handles report false through the simulator too.
+  EXPECT_FALSE(sim.reschedule_at(1.0, target));
 }
 
 TEST(Simulator, ScheduleInUsesDelay) {

@@ -13,11 +13,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "vodsim/engine/experiment.h"
 #include "vodsim/engine/policy_matrix.h"
+#include "vodsim/engine/sweep_context.h"
 #include "vodsim/engine/vod_simulation.h"
 
 namespace vodsim {
@@ -198,6 +205,60 @@ TEST(GoldenDeterminism, TracedRunIsBitIdentical) {
   expect_bit_identical(base, run_once(filtered));
 }
 
+TEST(GoldenDeterminism, SweepContextTrialsMatchPlainConstruction) {
+  // Every (config x trial) cell built from a shared SweepContext must be
+  // bit-identical to the same cell built standalone — the context memoizes
+  // world construction, it must not perturb it. The config set is chosen to
+  // exercise every memoized path: two placement kinds, a drifting
+  // popularity model, and the partial-predictive policy.
+  std::vector<SimulationConfig> configs;
+  configs.push_back(golden_config(figure6_policies().front(), 0));
+  SimulationConfig predictive = golden_config(figure6_policies().front(), 0);
+  predictive.placement.kind = PlacementKind::kPredictive;
+  configs.push_back(predictive);
+  SimulationConfig drifting = golden_config(figure6_policies().front(), 0);
+  drifting.drift.enabled = true;
+  drifting.drift.period = hours(0.05);
+  drifting.drift.step = 10;
+  configs.push_back(drifting);
+  SimulationConfig partial = golden_config(figure6_policies().front(), 0);
+  partial.placement.kind = PlacementKind::kPartialPredictive;
+  configs.push_back(partial);
+
+  constexpr int kTrials = 2;
+  const std::uint64_t master_seed = 42;
+  SweepContext context;
+  context.prepare(configs, kTrials, master_seed);
+
+  // Deduplication actually happened: all four configs share one catalog per
+  // trial seed; popularity is static-vs-drifting; placements are one per
+  // (kind, popularity, trial seed) — even, predictive, drifting-even,
+  // partial, times two trials.
+  EXPECT_EQ(context.catalog_count(), static_cast<std::size_t>(kTrials));
+  EXPECT_EQ(context.popularity_count(), 2u);
+  EXPECT_EQ(context.placement_count(), 4u * kTrials);
+
+  for (const SimulationConfig& base : configs) {
+    for (int trial = 0; trial < kTrials; ++trial) {
+      SimulationConfig config = base;
+      config.seed = ExperimentRunner::derive_seed(master_seed, trial);
+      SCOPED_TRACE(std::to_string(config.seed));
+      const TrialResult plain = run_once(config);
+      VodSimulation shared_world(config, &context);
+      shared_world.run();
+      ASSERT_GT(plain.arrivals, 0u);
+      expect_bit_identical(plain, TrialResult::from(shared_world));
+    }
+  }
+
+  // A config the context has never seen must still run (lookup miss →
+  // local construction), bit-identically.
+  SimulationConfig unseen = golden_config(figure6_policies().front(), 12345);
+  VodSimulation fallback(unseen, &context);
+  fallback.run();
+  expect_bit_identical(run_once(unseen), TrialResult::from(fallback));
+}
+
 TEST(GoldenDeterminism, DistinctSeedsDiverge) {
   // Sanity check that the comparisons above are not vacuous: different
   // seeds must actually change the outcome.
@@ -205,6 +266,187 @@ TEST(GoldenDeterminism, DistinctSeedsDiverge) {
   const TrialResult a = run_once(golden_config(policy, 7));
   const TrialResult b = run_once(golden_config(policy, 8));
   EXPECT_NE(a.arrivals, b.arrivals);
+}
+
+// --- pinned hexfloat goldens ----------------------------------------------
+// The tests above prove run-vs-run stability *within* one build; they cannot
+// catch a change that perturbs every run the same way (a reordered FP
+// accumulation, a comparator rewrite, an event retimed through a different
+// code path). The table in determinism_goldens.inc pins the absolute output
+// of a 29-config matrix — every figure-6 policy at two seeds, all five
+// schedulers, and the feature subsystems (failure, replication,
+// interactivity, drift, partial placement, heterogeneity) — as exact
+// hexfloat renderings captured before the incremental-recompute work landed.
+// Any bit of drift in any config fails the diff.
+//
+// To regenerate after an *intentional* output change, run this binary with
+// VODSIM_UPDATE_GOLDENS=/path/to/determinism_goldens.inc and commit the
+// rewritten table (the test still compares, so an update run on an
+// unchanged build passes).
+
+struct GoldenEntry {
+  const char* label;
+  const char* expected;
+};
+
+constexpr GoldenEntry kGoldenMatrix[] = {
+#include "determinism_goldens.inc"
+};
+
+/// Renders every TrialResult field exactly: doubles as hexfloats ("%a" is
+/// lossless — two doubles render equal iff they are the same bits, modulo
+/// -0.0/+0.0 which cannot arise from these non-negative ratios), counters
+/// in decimal.
+std::string render_result(const TrialResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%a %a %a %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                " %" PRIu64 " %" PRIu64 " %" PRIu64,
+                r.utilization, r.rejection_ratio, r.migrations_per_arrival,
+                r.arrivals, r.accepts, r.rejects, r.migration_steps, r.drops,
+                r.underflow_events, r.continuity_violations);
+  return buf;
+}
+
+/// The 29 pinned configurations, in table order. Labels are part of the
+/// golden data: a reordering or a silently dropped config fails the match.
+std::vector<std::pair<std::string, SimulationConfig>> golden_matrix() {
+  std::vector<std::pair<std::string, SimulationConfig>> out;
+
+  // 16 configs: the full figure-6 policy matrix at two seeds (EFTF).
+  for (const std::uint64_t seed : {std::uint64_t{7}, std::uint64_t{9}}) {
+    for (const PolicySpec& policy : figure6_policies()) {
+      out.emplace_back(policy.label + "/seed" + std::to_string(seed),
+                       golden_config(policy, seed));
+    }
+  }
+
+  // 5 configs: every scheduler on the staged+migration policy (P4), which
+  // exercises receive caps, staging buffers and migration interplay.
+  for (const SchedulerKind kind :
+       {SchedulerKind::kEftf, SchedulerKind::kContinuous,
+        SchedulerKind::kProportional, SchedulerKind::kLftf,
+        SchedulerKind::kIntermittent}) {
+    SimulationConfig config = golden_config(figure6_policies()[3], 11);
+    config.scheduler = kind;
+    out.emplace_back("sched-" + to_string(kind) + "/seed11",
+                     std::move(config));
+  }
+
+  // 8 configs: one per extension subsystem / config axis.
+  {
+    SimulationConfig config = golden_config(figure6_policies().front(), 11);
+    config.failure.enabled = true;
+    config.failure.mean_time_between_failures = hours(0.05);
+    config.failure.mean_time_to_repair = hours(0.02);
+    out.emplace_back("failure/seed11", std::move(config));
+  }
+  {
+    SimulationConfig config = golden_config(figure6_policies()[2], 13);
+    config.load_factor = 2.0;
+    config.system.avg_copies = 1.0;
+    config.replication.enabled = true;
+    config.replication.rejection_threshold = 1;
+    config.replication.window = 600.0;
+    out.emplace_back("replication/seed13", std::move(config));
+  }
+  {
+    SimulationConfig config = golden_config(figure6_policies()[2], 17);
+    config.interactivity.enabled = true;
+    config.interactivity.pauses_per_hour = 40.0;
+    config.interactivity.mean_pause_duration = 30.0;
+    out.emplace_back("interactivity/seed17", std::move(config));
+  }
+  {
+    SimulationConfig config = golden_config(figure6_policies()[3], 17);
+    config.scheduler = SchedulerKind::kIntermittent;
+    config.interactivity.enabled = true;
+    config.interactivity.pauses_per_hour = 40.0;
+    config.interactivity.mean_pause_duration = 30.0;
+    out.emplace_back("intermittent-interactivity/seed17", std::move(config));
+  }
+  {
+    SimulationConfig config = golden_config(figure6_policies()[2], 19);
+    config.drift.enabled = true;
+    config.drift.period = hours(0.05);
+    config.drift.step = 10;
+    out.emplace_back("drift/seed19", std::move(config));
+  }
+  {
+    SimulationConfig config = golden_config(figure6_policies()[2], 23);
+    config.placement.kind = PlacementKind::kPartialPredictive;
+    out.emplace_back("partial-predictive/seed23", std::move(config));
+  }
+  {
+    SimulationConfig config = golden_config(figure6_policies()[6], 29);
+    config.system.bandwidth_profile = {0.5, 0.75, 1.0, 1.25, 1.5};
+    config.system.storage_profile = {1.5, 1.25, 1.0, 0.75, 0.5};
+    out.emplace_back("heterogeneous/seed29", std::move(config));
+  }
+  {
+    SimulationConfig config = golden_config(figure6_policies()[1], 31);
+    config.scheduler = SchedulerKind::kProportional;
+    config.load_factor = 1.5;
+    out.emplace_back("proportional-overload/seed31", std::move(config));
+  }
+
+  return out;
+}
+
+TEST(GoldenDeterminism, MatrixMatchesPinnedHexfloatGoldens) {
+  const auto matrix = golden_matrix();
+  std::vector<std::string> rendered;
+  rendered.reserve(matrix.size());
+  for (const auto& [label, config] : matrix) {
+    SCOPED_TRACE(label);
+    rendered.push_back(render_result(run_once(config)));
+  }
+
+  if (const char* path = std::getenv("VODSIM_UPDATE_GOLDENS")) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot open " << path;
+    out << "// Generated by determinism_test with VODSIM_UPDATE_GOLDENS.\n"
+        << "// One entry per golden_matrix() config, same order. Doubles are\n"
+        << "// hexfloats (printf %a): exact, locale-free, portable across\n"
+        << "// correctly-rounded libms.\n";
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      out << "{\"" << matrix[i].first << "\", \"" << rendered[i] << "\"},\n";
+    }
+    ASSERT_TRUE(out.good());
+  }
+
+  constexpr std::size_t kPinned =
+      sizeof(kGoldenMatrix) / sizeof(kGoldenMatrix[0]);
+  ASSERT_EQ(matrix.size(), kPinned)
+      << "config matrix and golden table drifted apart";
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    SCOPED_TRACE(matrix[i].first);
+    EXPECT_STREQ(kGoldenMatrix[i].label, matrix[i].first.c_str());
+    EXPECT_STREQ(kGoldenMatrix[i].expected, rendered[i].c_str());
+  }
+}
+
+TEST(GoldenDeterminism, ObserversMatchPinnedGoldensPerScheduler) {
+  // One config per scheduler, re-run with the auditor and the tracer+probes
+  // attached: the observers must reproduce the *pinned* output, not merely
+  // agree with a plain run from the same build.
+  const auto matrix = golden_matrix();
+  for (std::size_t i = 16; i < 21; ++i) {  // the five sched-*/seed11 rows
+    ASSERT_LT(i, sizeof(kGoldenMatrix) / sizeof(kGoldenMatrix[0]));
+    SCOPED_TRACE(matrix[i].first);
+
+    SimulationConfig paranoid = matrix[i].second;
+    paranoid.paranoid = true;
+    EXPECT_STREQ(kGoldenMatrix[i].expected,
+                 render_result(run_once(paranoid)).c_str());
+
+    SimulationConfig traced = matrix[i].second;
+    traced.trace.enabled = true;
+    traced.probe.enabled = true;
+    traced.probe.period = 30.0;
+    EXPECT_STREQ(kGoldenMatrix[i].expected,
+                 render_result(run_once(traced)).c_str());
+  }
 }
 
 }  // namespace

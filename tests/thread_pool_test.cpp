@@ -39,13 +39,42 @@ TEST(ThreadPoolErrors, ParallelForRethrowsFirstFailingIndex) {
     });
     FAIL() << "parallel_for swallowed the exception";
   } catch (const TrialError& error) {
-    // Futures are collected in index order, so the lowest failing index
-    // wins regardless of which worker thread ran it first.
+    // The lowest failing index wins regardless of which strand ran it
+    // first or in what order strands finished.
     EXPECT_EQ(error.index, 10u);
   }
   // Every non-throwing task still ran to completion before the rethrow:
   // parallel_for must not abandon in-flight work.
   EXPECT_EQ(completed.load(), 62);
+}
+
+TEST(ThreadPoolErrors, ParallelForEmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  // The pool is still healthy afterwards.
+  pool.parallel_for(3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolErrors, ParallelForCountBelowWorkerCountCoversEveryIndex) {
+  // Fewer indices than workers: surplus strands must find the cursor
+  // exhausted and exit; every index runs exactly once.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolErrors, ParallelForSingleIndexThrowPropagates) {
+  // count == 1 runs entirely on the calling thread (no helpers); the
+  // exception path must be identical to the pooled one.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1, [](std::size_t) { throw TrialError(0); }),
+               TrialError);
 }
 
 TEST(ThreadPoolErrors, PoolSurvivesATaskException) {

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs benchmark-by-benchmark.
+
+Usage:
+  bench_micro --benchmark_out=before.json --benchmark_out_format=json ...
+  bench_micro --benchmark_out=after.json  --benchmark_out_format=json ...
+  python3 tools/bench_diff.py before.json after.json [--markdown]
+                              [--threshold PCT]
+
+Speedup is reported so that > 1.0 always means "after is better": for
+throughput counters (items_per_second) it is after/before, for wall time it
+is before/after. Benchmarks present on only one side are listed separately
+(renames and new benchmarks are expected across PRs, not an error).
+
+Exit code: 0 normally. With --threshold, exit 1 when any benchmark present
+on both sides regressed by more than PCT percent (CI uses this as a
+*non-blocking* signal: the step runs with continue-on-error, the summary is
+the product).
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_benchmarks(path):
+    """name -> record, aggregates (median/mean/stddev rows) preferred over
+    raw repetition rows when present."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    out = {}
+    for record in data.get("benchmarks", []):
+        if record.get("run_type") == "aggregate" and record.get("aggregate_name") != "median":
+            continue
+        name = record.get("run_name", record["name"])
+        # Later rows win: for repeated runs the median aggregate comes last.
+        out[name] = record
+    return out
+
+
+def speedup(before, after):
+    """(speedup, metric_label, before_value, after_value) for one pair."""
+    b_items = before.get("items_per_second")
+    a_items = after.get("items_per_second")
+    if b_items and a_items:
+        return a_items / b_items, "items/s", b_items, a_items
+    b_time = before.get("real_time")
+    a_time = after.get("real_time")
+    if b_time and a_time:
+        return b_time / a_time, "time/op", b_time, a_time
+    return None, "n/a", None, None
+
+
+def fmt(value, unit):
+    if value is None:
+        return "-"
+    if unit == "items/s":
+        for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+            if value >= scale:
+                return "%.3f%s/s" % (value / scale, suffix)
+        return "%.1f/s" % value
+    return "%.4g" % value
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", help="baseline benchmark JSON")
+    parser.add_argument("after", help="candidate benchmark JSON")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit a GitHub-flavored markdown table")
+    parser.add_argument("--threshold", type=float, default=None, metavar="PCT",
+                        help="exit 1 if any common benchmark regressed > PCT%%")
+    args = parser.parse_args(argv)
+
+    before = load_benchmarks(args.before)
+    after = load_benchmarks(args.after)
+    common = [name for name in after if name in before]
+    only_before = sorted(name for name in before if name not in after)
+    only_after = sorted(name for name in after if name not in before)
+
+    rows = []
+    ratios = []
+    for name in common:
+        ratio, unit, b_value, a_value = speedup(before[name], after[name])
+        rows.append((name, unit, b_value, a_value, ratio))
+        if ratio is not None:
+            ratios.append(ratio)
+
+    if args.markdown:
+        print("| benchmark | metric | before | after | speedup |")
+        print("|---|---|---:|---:|---:|")
+        for name, unit, b_value, a_value, ratio in rows:
+            print("| %s | %s | %s | %s | %s |" %
+                  (name, unit, fmt(b_value, unit), fmt(a_value, unit),
+                   "-" if ratio is None else "%.2fx" % ratio))
+    else:
+        width = max((len(r[0]) for r in rows), default=20)
+        print("%-*s  %8s  %14s  %14s  %8s" %
+              (width, "benchmark", "metric", "before", "after", "speedup"))
+        for name, unit, b_value, a_value, ratio in rows:
+            print("%-*s  %8s  %14s  %14s  %8s" %
+                  (width, name, unit, fmt(b_value, unit), fmt(a_value, unit),
+                   "-" if ratio is None else "%.2fx" % ratio))
+
+    if ratios:
+        geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        print()
+        print("geometric-mean speedup over %d common benchmarks: %.2fx"
+              % (len(ratios), geo))
+    if only_before:
+        print("only in %s: %s" % (args.before, ", ".join(only_before)))
+    if only_after:
+        print("only in %s: %s" % (args.after, ", ".join(only_after)))
+
+    if args.threshold is not None:
+        floor = 1.0 - args.threshold / 100.0
+        regressed = [(name, ratio) for name, _, _, _, ratio in rows
+                     if ratio is not None and ratio < floor]
+        if regressed:
+            print()
+            for name, ratio in regressed:
+                print("REGRESSION: %s at %.2fx (< %.2fx)" % (name, ratio, floor))
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
