@@ -10,6 +10,7 @@
 ///   vodsim_cli --servers 8 --bandwidth 200 --videos 400 --scheduler lftf
 ///   vodsim_cli --system small --buffer-aware true --scheduler intermittent
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -55,6 +56,20 @@ int main(int argc, char** argv) {
   cli.add_flag("mean-pause", "120", "mean pause length, seconds");
   cli.add_flag("mtbf-hours", "0", "server MTBF in hours (0 = no failures)");
   cli.add_flag("mttr-hours", "1", "server MTTR in hours");
+  cli.add_flag("min-dwell", "0", "flap guard: min seconds between fault flips");
+  cli.add_flag("brownout-hours", "0",
+               "mean hours between partial capacity losses (0 = off)");
+  cli.add_flag("brownout-minutes", "10", "mean brownout length, minutes");
+  cli.add_flag("brownout-factor", "0.5", "surviving capacity fraction, (0,1)");
+  cli.add_flag("correlated-group", "0",
+               "servers per correlated failure group (0 = off)");
+  cli.add_flag("correlated-hours", "500", "mean hours between group outages");
+  cli.add_flag("retry", "false", "retry queue: re-admit sheds/orphans/rejects");
+  cli.add_flag("retry-queue", "64", "retry queue capacity");
+  cli.add_flag("retry-attempts", "6", "retry attempts before abandoning");
+  cli.add_flag("retry-backoff", "5", "base retry backoff, seconds (doubles)");
+  cli.add_flag("repair-hours", "0",
+               "re-replicate servers down longer than this (0 = off)");
   cli.add_flag("drift-hours", "0", "popularity drift period (0 = static)");
   // Workload.
   cli.add_flag("theta", "0.271", "Zipf skew (1 uniform .. -1.5 extreme)");
@@ -119,6 +134,37 @@ int main(int argc, char** argv) {
     config.failure.enabled = true;
     config.failure.mean_time_between_failures = hours(cli.get_double("mtbf-hours"));
     config.failure.mean_time_to_repair = hours(cli.get_double("mttr-hours"));
+    config.failure.min_dwell = cli.get_double("min-dwell");
+    if (cli.get_double("brownout-hours") > 0.0) {
+      config.failure.brownout.enabled = true;
+      config.failure.brownout.mean_time_between =
+          hours(cli.get_double("brownout-hours"));
+      config.failure.brownout.mean_duration =
+          minutes(cli.get_double("brownout-minutes"));
+      config.failure.brownout.capacity_factor = cli.get_double("brownout-factor");
+    }
+    if (cli.get_long("correlated-group") > 0) {
+      config.failure.correlated.enabled = true;
+      config.failure.correlated.group_size =
+          static_cast<int>(cli.get_long("correlated-group"));
+      config.failure.correlated.mean_time_between =
+          hours(cli.get_double("correlated-hours"));
+    }
+  }
+  if (cli.get_bool("retry")) {
+    config.failure.retry.enabled = true;
+    config.failure.retry.max_queue =
+        static_cast<std::size_t>(cli.get_long("retry-queue"));
+    config.failure.retry.max_attempts =
+        static_cast<int>(cli.get_long("retry-attempts"));
+    config.failure.retry.backoff_base = cli.get_double("retry-backoff");
+    config.failure.retry.backoff_cap =
+        std::max(config.failure.retry.backoff_cap,
+                 config.failure.retry.backoff_base);
+  }
+  if (cli.get_double("repair-hours") > 0.0) {
+    config.failure.repair.enabled = true;
+    config.failure.repair.down_threshold = hours(cli.get_double("repair-hours"));
   }
   if (cli.get_double("drift-hours") > 0.0) {
     config.drift.enabled = true;
@@ -165,6 +211,38 @@ int main(int argc, char** argv) {
   table.add_row({"arrivals (all trials)", std::to_string(arrivals)});
   table.add_row({"dropped streams", std::to_string(drops)});
   table.add_row({"continuity violations", std::to_string(underflows)});
+
+  // Resilience block: only interesting when some fault machinery is on.
+  if (config.failure.enabled || !config.scripted_faults.empty() ||
+      config.failure.retry.enabled) {
+    Accumulator availability;
+    double glitch_seconds = 0.0;
+    std::uint64_t downs = 0, sheds = 0, enqueued = 0, readmitted = 0,
+                  abandoned = 0, repairs = 0;
+    Accumulator recovery;
+    for (const TrialResult& trial : point.trials) {
+      availability.add(trial.availability);
+      glitch_seconds += trial.glitch_seconds;
+      downs += trial.server_downs;
+      sheds += trial.sheds;
+      enqueued += trial.retry_enqueued;
+      readmitted += trial.readmissions;
+      abandoned += trial.retry_abandoned;
+      repairs += trial.repairs;
+      if (trial.server_downs > 0) recovery.add(trial.mean_recovery_time);
+    }
+    table.add_row({"availability", format_mean_ci(availability)});
+    table.add_row({"glitch seconds (all trials)", std::to_string(glitch_seconds)});
+    table.add_row({"server down episodes", std::to_string(downs)});
+    table.add_row({"streams shed (brownouts)", std::to_string(sheds)});
+    table.add_row({"retry enqueued", std::to_string(enqueued)});
+    table.add_row({"retry readmitted", std::to_string(readmitted)});
+    table.add_row({"retry abandoned", std::to_string(abandoned)});
+    table.add_row({"repair replications", std::to_string(repairs)});
+    if (recovery.count() > 0) {
+      table.add_row({"mean recovery time (s)", format_mean_ci(recovery)});
+    }
+  }
   table.print(std::cout);
 
   // Observability artifacts: re-run trial 0 with the recorder/probes

@@ -44,7 +44,7 @@ bool AdmissionController::feasible(const Server& server,
       need += request->view_bandwidth();
     }
   }
-  return need <= server.bandwidth() + 1e-9;
+  return need <= server.effective_bandwidth() + 1e-9;
 }
 
 AdmissionDecision AdmissionController::decide(Seconds now, VideoId video,

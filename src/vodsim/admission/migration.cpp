@@ -54,7 +54,7 @@ bool hypothetically_admits(const SearchContext& ctx, ServerId server, Mbps rate)
   if (!s.available()) return false;
   return s.committed_bandwidth() + s.reserved_bandwidth() +
              ctx.delta[static_cast<std::size_t>(server)] + rate <=
-         s.bandwidth() + 1e-9;
+         s.effective_bandwidth() + 1e-9;
 }
 
 bool victim_eligible(const SearchContext& ctx, const Request& request) {

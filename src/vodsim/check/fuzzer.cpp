@@ -49,6 +49,18 @@ const char* qualified(AssignmentKind kind) {
   return "vodsim::AssignmentKind::kLeastLoaded";
 }
 
+const char* qualified(FaultTransitionKind kind) {
+  switch (kind) {
+    case FaultTransitionKind::kDown: return "vodsim::FaultTransitionKind::kDown";
+    case FaultTransitionKind::kUp: return "vodsim::FaultTransitionKind::kUp";
+    case FaultTransitionKind::kBrownoutBegin:
+      return "vodsim::FaultTransitionKind::kBrownoutBegin";
+    case FaultTransitionKind::kBrownoutEnd:
+      return "vodsim::FaultTransitionKind::kBrownoutEnd";
+  }
+  return "vodsim::FaultTransitionKind::kDown";
+}
+
 const char* qualified(VictimStrategy strategy) {
   switch (strategy) {
     case VictimStrategy::kFirstFit: return "vodsim::VictimStrategy::kFirstFit";
@@ -180,6 +192,34 @@ SimulationConfig random_scenario(Rng& rng) {
     config.failure.mean_time_between_failures = rng.uniform(150.0, 900.0);
     config.failure.mean_time_to_repair = rng.uniform(20.0, 200.0);
     config.failure.recover_via_migration = rng.uniform() < 0.5;
+    if (rng.uniform() < 0.3) config.failure.min_dwell = rng.uniform(1.0, 10.0);
+    if (rng.uniform() < 0.4) {
+      config.failure.brownout.enabled = true;
+      config.failure.brownout.mean_time_between = rng.uniform(120.0, 600.0);
+      config.failure.brownout.mean_duration = rng.uniform(30.0, 180.0);
+      config.failure.brownout.capacity_factor = rng.uniform(0.2, 0.9);
+    }
+    if (rng.uniform() < 0.25) {
+      config.failure.correlated.enabled = true;
+      config.failure.correlated.group_size =
+          2 + static_cast<int>(rng.uniform_int(2));
+      config.failure.correlated.mean_time_between = rng.uniform(300.0, 900.0);
+      config.failure.correlated.mean_duration = rng.uniform(30.0, 120.0);
+    }
+    if (rng.uniform() < 0.4) {
+      config.failure.retry.enabled = true;
+      config.failure.retry.max_queue =
+          4 + static_cast<int>(rng.uniform_int(28));
+      config.failure.retry.max_attempts =
+          1 + static_cast<int>(rng.uniform_int(5));
+      config.failure.retry.backoff_base = rng.uniform(1.0, 10.0);
+      config.failure.retry.backoff_cap =
+          config.failure.retry.backoff_base * rng.uniform(1.0, 8.0);
+    }
+    if (rng.uniform() < 0.25) {
+      config.failure.repair.enabled = true;
+      config.failure.repair.down_threshold = rng.uniform(30.0, 120.0);
+    }
   }
   if (rng.uniform() < 0.3) {
     config.replication.enabled = true;
@@ -207,6 +247,46 @@ SimulationConfig random_scenario(Rng& rng) {
   config.duration = rng.uniform(120.0, 600.0);
   config.warmup = rng.uniform() < 0.5 ? 0.0 : 0.1 * config.duration;
   config.seed = rng.next_u64();
+  return config;
+}
+
+SimulationConfig random_fault_scenario(Rng& rng) {
+  SimulationConfig config = random_scenario(rng);
+  config.system.name = "chaos";
+
+  // Crashes are always on and frequent relative to the (short) horizon, so
+  // every scenario actually exercises the fault path instead of merely
+  // arming it.
+  config.failure.enabled = true;
+  config.failure.mean_time_between_failures = rng.uniform(90.0, 400.0);
+  config.failure.mean_time_to_repair = rng.uniform(20.0, 120.0);
+  config.failure.recover_via_migration = rng.uniform() < 0.5;
+  config.failure.min_dwell = rng.uniform() < 0.5 ? rng.uniform(1.0, 10.0) : 0.0;
+
+  config.failure.brownout.enabled = rng.uniform() < 0.7;
+  config.failure.brownout.mean_time_between = rng.uniform(90.0, 400.0);
+  config.failure.brownout.mean_duration = rng.uniform(20.0, 120.0);
+  config.failure.brownout.capacity_factor = rng.uniform(0.2, 0.9);
+
+  config.failure.retry.enabled = rng.uniform() < 0.7;
+  config.failure.retry.max_queue = 4 + static_cast<int>(rng.uniform_int(28));
+  config.failure.retry.max_attempts = 1 + static_cast<int>(rng.uniform_int(5));
+  config.failure.retry.backoff_base = rng.uniform(1.0, 10.0);
+  config.failure.retry.backoff_cap =
+      config.failure.retry.backoff_base * rng.uniform(1.0, 8.0);
+
+  config.failure.correlated.enabled = rng.uniform() < 0.35;
+  config.failure.correlated.group_size = 2 + static_cast<int>(rng.uniform_int(2));
+  config.failure.correlated.mean_time_between = rng.uniform(200.0, 600.0);
+  config.failure.correlated.mean_duration = rng.uniform(20.0, 90.0);
+
+  config.failure.repair.enabled = rng.uniform() < 0.35;
+  config.failure.repair.down_threshold = rng.uniform(20.0, 90.0);
+
+  // Guarantee at least one partial-fault feature beyond plain crashes.
+  if (!config.failure.brownout.enabled && !config.failure.retry.enabled) {
+    config.failure.brownout.enabled = true;
+  }
   return config;
 }
 
@@ -298,6 +378,81 @@ std::vector<SimulationConfig> pathology_corpus() {
     corpus.push_back(config);
   }
 
+  // 6. Brownout shed churn: deep, frequent brownouts on an overloaded
+  // cluster with staging and migration — every brownout-begin triggers
+  // most-buffered shedding with migrate-before-drop, and every brownout-end
+  // re-admits from the retry queue. Found by shrinking a chaos scenario
+  // that tripped the commitment-vs-effective-link audit.
+  {
+    SimulationConfig config = base;
+    config.client.staging_fraction = 0.2;
+    config.admission.migration.enabled = true;
+    config.failure.enabled = true;
+    config.failure.mean_time_between_failures = hours(100);  // crashes rare
+    config.failure.mean_time_to_repair = 60.0;
+    config.failure.brownout.enabled = true;
+    config.failure.brownout.mean_time_between = 90.0;
+    config.failure.brownout.mean_duration = 45.0;
+    config.failure.brownout.capacity_factor = 0.3;
+    config.failure.retry.enabled = true;
+    config.failure.retry.max_queue = 8;
+    config.failure.retry.backoff_base = 2.0;
+    config.failure.retry.backoff_cap = 16.0;
+    config.load_factor = 1.4;
+    config.seed = 106;
+    corpus.push_back(config);
+  }
+
+  // 7. Crash/retry storm on a single-copy catalog: no second replica means
+  // every crash orphans streams that cannot migrate — they park in a small
+  // retry queue whose backoff collides with the next crash. Exercises
+  // queue-full drops, retry abandonment at max attempts, and parked
+  // requests reaching playback end. Shrunk from a chaos run that hit the
+  // parked-orphan completion path.
+  {
+    SimulationConfig config = base;
+    config.system.avg_copies = 1.0;
+    config.client.staging_fraction = 0.2;
+    config.failure.enabled = true;
+    config.failure.mean_time_between_failures = 120.0;
+    config.failure.mean_time_to_repair = 40.0;
+    config.failure.min_dwell = 2.0;
+    config.failure.retry.enabled = true;
+    config.failure.retry.max_queue = 4;
+    config.failure.retry.max_attempts = 3;
+    config.failure.retry.backoff_base = 5.0;
+    config.failure.retry.backoff_cap = 20.0;
+    config.seed = 107;
+    corpus.push_back(config);
+  }
+
+  // 8. Correlated group failures with repair re-replication: whole groups
+  // crash together, the repair policy re-replicates long-down servers'
+  // single-copy titles, and replication reservations race the group's
+  // repair events. Shrunk from a chaos run that raced a repair copy
+  // against the destination's own crash.
+  {
+    SimulationConfig config = base;
+    config.system.avg_copies = 1.2;
+    config.client.staging_fraction = 0.2;
+    config.admission.migration.enabled = true;
+    config.failure.enabled = true;
+    config.failure.mean_time_between_failures = 200.0;
+    config.failure.mean_time_to_repair = 80.0;
+    config.failure.correlated.enabled = true;
+    config.failure.correlated.group_size = 2;
+    config.failure.correlated.mean_time_between = 150.0;
+    config.failure.correlated.mean_duration = 60.0;
+    config.failure.repair.enabled = true;
+    config.failure.repair.down_threshold = 30.0;
+    config.replication.enabled = true;
+    config.replication.rejection_threshold = 2;
+    config.replication.window = 300.0;
+    config.replication.transfer_bandwidth = 6.0;
+    config.seed = 108;
+    corpus.push_back(config);
+  }
+
   return corpus;
 }
 
@@ -334,6 +489,12 @@ SimulationConfig shrink_scenario(SimulationConfig config) {
   const std::vector<Transform> transforms = {
       [](SimulationConfig& c) { c.interactivity.enabled = false; },
       [](SimulationConfig& c) { c.failure.enabled = false; },
+      [](SimulationConfig& c) { c.scripted_faults.clear(); },
+      [](SimulationConfig& c) { c.failure.brownout.enabled = false; },
+      [](SimulationConfig& c) { c.failure.retry.enabled = false; },
+      [](SimulationConfig& c) { c.failure.repair.enabled = false; },
+      [](SimulationConfig& c) { c.failure.correlated.enabled = false; },
+      [](SimulationConfig& c) { c.failure.min_dwell = 0.0; },
       [](SimulationConfig& c) { c.replication.enabled = false; },
       [](SimulationConfig& c) { c.drift.enabled = false; },
       [](SimulationConfig& c) { c.admission.migration.enabled = false; },
@@ -474,6 +635,44 @@ std::string to_gtest_case(const SimulationConfig& config,
       << literal(config.failure.mean_time_to_repair) << ";\n";
   out << "  config.failure.recover_via_migration = "
       << (config.failure.recover_via_migration ? "true" : "false") << ";\n";
+  out << "  config.failure.min_dwell = " << literal(config.failure.min_dwell)
+      << ";\n";
+  const BrownoutConfig& brownout = config.failure.brownout;
+  out << "  config.failure.brownout.enabled = "
+      << (brownout.enabled ? "true" : "false") << ";\n";
+  out << "  config.failure.brownout.mean_time_between = "
+      << literal(brownout.mean_time_between) << ";\n";
+  out << "  config.failure.brownout.mean_duration = "
+      << literal(brownout.mean_duration) << ";\n";
+  out << "  config.failure.brownout.capacity_factor = "
+      << literal(brownout.capacity_factor) << ";\n";
+  const CorrelatedFailureConfig& correlated = config.failure.correlated;
+  out << "  config.failure.correlated.enabled = "
+      << (correlated.enabled ? "true" : "false") << ";\n";
+  out << "  config.failure.correlated.group_size = " << correlated.group_size
+      << ";\n";
+  out << "  config.failure.correlated.mean_time_between = "
+      << literal(correlated.mean_time_between) << ";\n";
+  out << "  config.failure.correlated.mean_duration = "
+      << literal(correlated.mean_duration) << ";\n";
+  const RetryConfig& retry = config.failure.retry;
+  out << "  config.failure.retry.enabled = " << (retry.enabled ? "true" : "false")
+      << ";\n";
+  out << "  config.failure.retry.max_queue = " << retry.max_queue << ";\n";
+  out << "  config.failure.retry.max_attempts = " << retry.max_attempts << ";\n";
+  out << "  config.failure.retry.backoff_base = " << literal(retry.backoff_base)
+      << ";\n";
+  out << "  config.failure.retry.backoff_cap = " << literal(retry.backoff_cap)
+      << ";\n";
+  out << "  config.failure.repair.enabled = "
+      << (config.failure.repair.enabled ? "true" : "false") << ";\n";
+  out << "  config.failure.repair.down_threshold = "
+      << literal(config.failure.repair.down_threshold) << ";\n";
+  for (const FaultTransition& fault : config.scripted_faults) {
+    out << "  config.scripted_faults.push_back({" << literal(fault.time) << ", "
+        << fault.server << ", " << qualified(fault.kind) << ", "
+        << literal(fault.capacity_factor) << "});\n";
+  }
   out << "  config.drift.enabled = " << (config.drift.enabled ? "true" : "false")
       << ";\n";
   out << "  config.drift.period = " << literal(config.drift.period) << ";\n";

@@ -45,10 +45,17 @@ struct FuzzResult {
 /// scenario sequence.
 SimulationConfig random_scenario(Rng& rng);
 
+/// Samples one randomized scenario with the fault subsystem forced on:
+/// crashes plus at least one partial-fault feature (brownout or retry),
+/// with correlated groups and repair re-replication mixed in. The chaos
+/// smoke in CI runs these under sanitizers with the auditor attached.
+SimulationConfig random_fault_scenario(Rng& rng);
+
 /// Hand-written pathological scenarios seeding every fuzz run: threshold
 /// chattering under intermittent scheduling, reschedule-heavy tiny-buffer
-/// churn, deep migration chains, failure/repair churn with replication, and
-/// buffer-aware overcommit.
+/// churn, deep migration chains, failure/repair churn with replication,
+/// buffer-aware overcommit, brownout shed churn, crash/retry storms on a
+/// single-copy catalog, and correlated group failures with repair.
 std::vector<SimulationConfig> pathology_corpus();
 
 /// Runs \p config through the engine with the auditor forced on, and — when

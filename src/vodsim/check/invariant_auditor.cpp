@@ -98,21 +98,30 @@ void InvariantAuditor::check_server(const Server& server,
       << server.committed_bandwidth() << " vs active sum " << committed;
     fail("commitment bookkeeping matches the active set", d);
   }
+  if (server.capacity_factor() <= 0.0 || server.capacity_factor() > 1.0) {
+    std::ostringstream d;
+    d << "server " << server.id() << ": capacity_factor "
+      << server.capacity_factor();
+    fail("brownout capacity factor stays in (0, 1]", d);
+  }
+  // Both capacity bounds use the *effective* (brownout-degraded) link:
+  // the brownout-begin event sheds overload and recomputes within the same
+  // event, so post-event state already fits the degraded capacity.
   if (expect.enforce_capacity &&
-      server.committed_bandwidth() > server.bandwidth() + kTolerance) {
+      server.committed_bandwidth() > server.effective_bandwidth() + kTolerance) {
     std::ostringstream d;
     d << "server " << server.id() << ": committed " << server.committed_bandwidth()
-      << " > link " << server.bandwidth();
+      << " > effective link " << server.effective_bandwidth();
     fail("admission never over-commits a server", d);
   }
   // Allocations must fit the physical link. Not schedulable_bandwidth():
   // a fresh migration reservation constrains only *future* allocations —
   // existing workahead keeps flowing until the next recompute touches the
   // server — so the reservation-adjusted bound would false-positive.
-  if (allocated > server.bandwidth() + kTolerance) {
+  if (allocated > server.effective_bandwidth() + kTolerance) {
     std::ostringstream d;
     d << "server " << server.id() << ": allocated " << allocated << " > link "
-      << server.bandwidth();
+      << server.effective_bandwidth();
     fail("allocations fit the link", d);
   }
 }

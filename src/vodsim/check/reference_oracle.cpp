@@ -1,5 +1,6 @@
 #include "vodsim/check/reference_oracle.h"
 
+#include <cassert>
 #include <cmath>
 #include <deque>
 #include <limits>
@@ -354,12 +355,16 @@ class Oracle {
     }
   }
 
-  void apply_failure(const FailureEvent& event) {
+  void apply_failure(const FaultTransition& event) {
     Server& failed = server(event.server);
-    if (event.up) {
+    // Brownout kinds are outside the oracle's scope (oracle_supports
+    // excludes them); only binary transitions can appear here.
+    if (event.kind == FaultTransitionKind::kUp) {
+      if (failed.available()) return;  // idempotent, mirroring the engine
       failed.set_available(true);
       return;
     }
+    assert(event.kind == FaultTransitionKind::kDown);
     if (!failed.available()) return;
     failed.set_available(false);
 
@@ -548,7 +553,7 @@ class Oracle {
   std::unique_ptr<BandwidthScheduler> scheduler_;
   std::unique_ptr<ReplicationManager> replication_;
   ClientProfile profile_;
-  std::vector<FailureEvent> failures_;
+  std::vector<FaultTransition> failures_;
 
   std::deque<Request> requests_;  // stable addresses, like the engine's arena
   std::deque<Pred> preds_;        // parallel to requests_, indexed by id
@@ -569,7 +574,12 @@ bool oracle_supports(const SimulationConfig& config) {
   // staleness the engine's lazy advancement left it — a quantity defined by
   // the engine's exact recompute pattern, not by the fluid model. Everything
   // else reproduces the engine bit for bit.
-  return !config.interactivity.enabled && !config.admission.buffer_aware;
+  // Fault-taxonomy extensions (brownout shedding, retry re-admission,
+  // repair replication, scripted schedules) drive engine-private state the
+  // oracle does not model; binary crash/repair stays in scope.
+  return !config.interactivity.enabled && !config.admission.buffer_aware &&
+         !config.failure.brownout.enabled && !config.failure.retry.enabled &&
+         !config.failure.repair.enabled && config.scripted_faults.empty();
 }
 
 RequestTrace engine_trace(const SimulationConfig& config) {

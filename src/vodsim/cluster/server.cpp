@@ -36,12 +36,13 @@ bool Server::holds(VideoId video) const {
 
 bool Server::can_admit(Mbps view_bandwidth) const {
   return available_ && committed_ + reserved_ + view_bandwidth <=
-                           bandwidth_ + kBandwidthTolerance;
+                           effective_bandwidth() + kBandwidthTolerance;
 }
 
 void Server::reserve_bandwidth(Mbps amount) {
   assert(amount >= 0.0);
-  assert(committed_ + reserved_ + amount <= bandwidth_ + kBandwidthTolerance);
+  assert(committed_ + reserved_ + amount <=
+         effective_bandwidth() + kBandwidthTolerance);
   reserved_ += amount;
 }
 

@@ -8,6 +8,8 @@
 /// can only be served by a server that holds a replica of its video, and it
 /// consumes that server's link bandwidth while unfinished.
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -26,6 +28,11 @@ class Server {
 
   ServerId id() const { return id_; }
   Mbps bandwidth() const { return bandwidth_; }
+
+  /// Link capacity currently usable: nominal bandwidth scaled by the
+  /// brownout capacity factor. Exactly equal to bandwidth() when healthy
+  /// (factor 1.0 — multiplying by 1.0 is bit-exact in IEEE arithmetic).
+  Mbps effective_bandwidth() const { return bandwidth_ * capacity_factor_; }
   Megabits storage_capacity() const { return storage_capacity_; }
   Megabits storage_used() const { return storage_used_; }
   Megabits storage_free() const { return storage_capacity_ - storage_used_; }
@@ -47,11 +54,18 @@ class Server {
   void reserve_bandwidth(Mbps amount);
   void release_reservation(Mbps amount);
 
-  /// Capacity usable by the bandwidth scheduler right now.
-  Mbps schedulable_bandwidth() const { return bandwidth_ - reserved_; }
+  /// Capacity usable by the bandwidth scheduler right now. Clamped at
+  /// zero because a brownout can shrink the link below outstanding
+  /// migration reservations. std::max(x, 0.0) returns x bit-exactly for
+  /// the legacy (factor-1.0, reserved <= bandwidth) regime.
+  Mbps schedulable_bandwidth() const {
+    return std::max(effective_bandwidth() - reserved_, 0.0);
+  }
 
-  /// Unused capacity under the minimum-flow commitment.
-  Mbps slack() const { return bandwidth_ - committed_ - reserved_; }
+  /// Unused capacity under the minimum-flow commitment. Negative while a
+  /// brownout leaves the server over-committed (the shedding loop drains
+  /// it back to non-negative).
+  Mbps slack() const { return effective_bandwidth() - committed_ - reserved_; }
 
   /// True iff an additional stream at \p view_bandwidth fits: the paper's
   /// admission rule `sum(b_view) + b_view <= capacity`.
@@ -75,6 +89,14 @@ class Server {
   bool available() const { return available_; }
   void set_available(bool available) { available_ = available; }
 
+  /// Brownout state: fraction of nominal bandwidth currently usable.
+  /// 1.0 = healthy. Set by the engine when executing fault transitions.
+  double capacity_factor() const { return capacity_factor_; }
+  void set_capacity_factor(double factor) {
+    assert(factor > 0.0 && factor <= 1.0);
+    capacity_factor_ = factor;
+  }
+
   // --- diagnostics ------------------------------------------------------
   std::uint64_t total_attached() const { return total_attached_; }
 
@@ -86,6 +108,7 @@ class Server {
   Mbps committed_ = 0.0;
   Mbps reserved_ = 0.0;
   bool available_ = true;
+  double capacity_factor_ = 1.0;
   std::vector<VideoId> replicas_;
   std::vector<bool> replica_bitmap_;
   std::vector<Request*> active_;

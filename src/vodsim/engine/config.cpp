@@ -96,6 +96,51 @@ void SimulationConfig::validate() const {
   if (failure.enabled) {
     if (failure.mean_time_between_failures <= 0.0) fail("MTBF must be > 0");
     if (failure.mean_time_to_repair <= 0.0) fail("MTTR must be > 0");
+    if (failure.min_dwell < 0.0) fail("failure min_dwell must be >= 0");
+    if (failure.brownout.enabled) {
+      if (failure.brownout.mean_time_between <= 0.0) {
+        fail("brownout mean_time_between must be > 0");
+      }
+      if (failure.brownout.mean_duration <= 0.0) {
+        fail("brownout mean_duration must be > 0");
+      }
+      if (failure.brownout.capacity_factor <= 0.0 ||
+          failure.brownout.capacity_factor >= 1.0) {
+        fail("brownout capacity_factor must be in (0, 1)");
+      }
+    }
+    if (failure.correlated.enabled) {
+      if (failure.correlated.group_size < 1) {
+        fail("correlated group_size must be >= 1");
+      }
+      if (failure.correlated.mean_time_between <= 0.0) {
+        fail("correlated mean_time_between must be > 0");
+      }
+      if (failure.correlated.mean_duration <= 0.0) {
+        fail("correlated mean_duration must be > 0");
+      }
+    }
+  }
+  if (failure.retry.enabled) {
+    if (failure.retry.max_queue < 1) fail("retry max_queue must be >= 1");
+    if (failure.retry.max_attempts < 1) fail("retry max_attempts must be >= 1");
+    if (failure.retry.backoff_base <= 0.0) fail("retry backoff_base must be > 0");
+    if (failure.retry.backoff_cap < failure.retry.backoff_base) {
+      fail("retry backoff_cap must be >= backoff_base");
+    }
+  }
+  if (failure.repair.enabled && failure.repair.down_threshold <= 0.0) {
+    fail("repair down_threshold must be > 0");
+  }
+  for (const FaultTransition& t : scripted_faults) {
+    if (t.server < 0 || t.server >= static_cast<ServerId>(system.num_servers)) {
+      fail("scripted fault names an out-of-range server");
+    }
+    if (t.time < 0.0) fail("scripted fault time must be >= 0");
+    if (t.kind == FaultTransitionKind::kBrownoutBegin &&
+        (t.capacity_factor <= 0.0 || t.capacity_factor >= 1.0)) {
+      fail("scripted brownout capacity_factor must be in (0, 1)");
+    }
   }
   if (drift.enabled && drift.period <= 0.0) fail("drift period must be > 0");
   if (interactivity.enabled) {

@@ -15,6 +15,7 @@
 
 #include "vodsim/admission/controller.h"
 #include "vodsim/cluster/server.h"
+#include "vodsim/fault/transition.h"
 #include "vodsim/obs/probes.h"
 #include "vodsim/obs/trace.h"
 #include "vodsim/placement/placement.h"
@@ -83,7 +84,52 @@ struct PlacementConfig {
   double partial_tail_shift = 0.05;
 };
 
+/// Partial capacity loss: a server's link degrades to `capacity_factor`
+/// of nominal for an exponential interval. Degradation triggers
+/// staging-aware load shedding (most-buffered streams evicted first,
+/// migrated before dropped) rather than a crash.
+struct BrownoutConfig {
+  bool enabled = false;
+  Seconds mean_time_between = hours(50);  ///< per server, between episodes
+  Seconds mean_duration = minutes(10);
+  double capacity_factor = 0.5;  ///< surviving fraction of bandwidth, (0,1)
+};
+
+/// Correlated outages: consecutive groups of `group_size` servers crash
+/// and repair together (shared rack / switch / power domain).
+struct CorrelatedFailureConfig {
+  bool enabled = false;
+  int group_size = 2;
+  Seconds mean_time_between = hours(500);  ///< per group
+  Seconds mean_duration = hours(1);
+};
+
+/// Bounded retry queue with deterministic exponential backoff. Orphaned
+/// streams (victims of crashes/brownouts with no feasible migration
+/// target) and rejected arrivals wait here and are re-admitted when
+/// capacity returns instead of being permanently lost.
+struct RetryConfig {
+  bool enabled = false;
+  std::size_t max_queue = 64;   ///< entries beyond this are dropped
+  int max_attempts = 6;         ///< abandons after this many failures
+  Seconds backoff_base = 5.0;   ///< delay doubles per attempt (ldexp-exact)
+  Seconds backoff_cap = 300.0;  ///< backoff ceiling
+};
+
+/// Repair replication: a server down longer than `down_threshold` gets the
+/// videos it left with zero available holders re-replicated onto healthy
+/// servers via the replication/ machinery (bypassing the rejection
+/// trigger, respecting caps and storage).
+struct RepairConfig {
+  bool enabled = false;
+  Seconds down_threshold = hours(1);
+};
+
 /// Server failure injection (fault-tolerance extension, §3.1 remark).
+/// `enabled` gates the whole taxonomy: binary crash/repair is always
+/// generated when on; brownouts/correlated/retry/repair are opt-in
+/// extensions that draw *after* the binary phase on the failure stream,
+/// so legacy crash-only schedules stay bit-identical.
 struct FailureConfig {
   bool enabled = false;
   Seconds mean_time_between_failures = hours(200);  ///< per server
@@ -91,6 +137,13 @@ struct FailureConfig {
   /// Recover the failed server's streams by migrating them to other
   /// replica holders (DRM-based fault tolerance) instead of dropping them.
   bool recover_via_migration = true;
+  /// Flap guard: minimum dwell in either state. Draws shorter than this
+  /// are stretched to it (0 = off, preserving legacy schedules exactly).
+  Seconds min_dwell = 0.0;
+  BrownoutConfig brownout;
+  CorrelatedFailureConfig correlated;
+  RetryConfig retry;
+  RepairConfig repair;
 };
 
 /// Client VCR interactivity (pause/resume — §6 future-work extension).
@@ -125,6 +178,14 @@ struct SimulationConfig {
   /// stream is urgent (fed before any workahead).
   Seconds intermittent_safety_cover = 10.0;
   FailureConfig failure;
+
+  /// Hand-written fault schedule for tests and what-if studies. When
+  /// non-empty it is used verbatim (sorted by time) instead of generating
+  /// one from `failure` — no failure-RNG draws happen at all. Entries must
+  /// name valid servers; `failure.enabled` need not be set. The
+  /// degradation/retry/repair machinery still follows `failure.*` knobs.
+  std::vector<FaultTransition> scripted_faults;
+
   DriftConfig drift;
   ReplicationConfig replication;
   InteractivityConfig interactivity;

@@ -20,6 +20,17 @@ TrialResult TrialResult::from(const VodSimulation& simulation) {
   result.drops = metrics.drops();
   result.underflow_events = metrics.underflow_events();
   result.continuity_violations = simulation.continuity_violations();
+  result.availability = metrics.availability();
+  result.glitch_seconds = metrics.glitch_seconds();
+  result.interruptions = metrics.interruptions();
+  result.server_downs = metrics.server_downs();
+  result.sheds = metrics.sheds();
+  result.sheds_migrated = metrics.sheds_migrated();
+  result.retry_enqueued = metrics.retry_enqueued();
+  result.readmissions = metrics.readmissions();
+  result.retry_abandoned = metrics.retry_abandoned();
+  result.repairs = metrics.repairs();
+  result.mean_recovery_time = metrics.recovery_time().mean();
   return result;
 }
 

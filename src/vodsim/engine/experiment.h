@@ -32,6 +32,19 @@ struct TrialResult {
   std::uint64_t underflow_events = 0;
   std::uint64_t continuity_violations = 0;
 
+  // Resilience block (all zero / 1.0 in fault-free runs).
+  double availability = 1.0;
+  Seconds glitch_seconds = 0.0;
+  std::uint64_t interruptions = 0;
+  std::uint64_t server_downs = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t sheds_migrated = 0;
+  std::uint64_t retry_enqueued = 0;
+  std::uint64_t readmissions = 0;
+  std::uint64_t retry_abandoned = 0;
+  std::uint64_t repairs = 0;
+  double mean_recovery_time = 0.0;  ///< mean seconds down per episode
+
   static TrialResult from(const VodSimulation& simulation);
 };
 

@@ -64,6 +64,63 @@ void Metrics::record_replication(Seconds t0, Seconds t1, Mbps rate) {
   ++replications_;
 }
 
+void Metrics::record_server_down(Seconds t) {
+  // Infrastructure events, like replications: counted regardless of the
+  // window (a warmup crash shapes the measured window's whole trajectory).
+  (void)t;
+  ++server_downs_;
+}
+
+void Metrics::record_server_recovery(Seconds t, Seconds downtime) {
+  (void)t;
+  ++server_recoveries_;
+  recovery_time_.add(downtime);
+}
+
+void Metrics::record_capacity_loss(Seconds t0, Seconds t1, Mbps lost_mbps) {
+  if (lost_mbps <= 0.0) return;
+  const Seconds lo = std::max(t0, window_start_);
+  const Seconds hi = std::min(t1, window_end_);
+  if (hi <= lo) return;
+  capacity_lost_ += lost_mbps * (hi - lo);
+}
+
+void Metrics::record_shed(Seconds t, bool migrated) {
+  (void)t;
+  ++sheds_;
+  if (migrated) ++sheds_migrated_;
+}
+
+void Metrics::record_glitch(Seconds t, Seconds seconds) {
+  if (!in_window(t)) return;
+  ++interruptions_;
+  glitch_seconds_ += seconds;
+}
+
+void Metrics::record_retry_enqueued(Seconds t) {
+  (void)t;
+  ++retry_enqueued_;
+}
+
+void Metrics::record_readmission(Seconds t) {
+  (void)t;
+  ++readmissions_;
+}
+
+void Metrics::record_retry_abandoned(Seconds t) {
+  (void)t;
+  ++retry_abandoned_;
+}
+
+void Metrics::record_repair(Seconds t) {
+  (void)t;
+  ++repairs_;
+}
+
+double Metrics::availability() const {
+  return 1.0 - capacity_lost_ / (total_bandwidth_ * window());
+}
+
 double Metrics::utilization() const {
   return transmitted_ / (total_bandwidth_ * window());
 }

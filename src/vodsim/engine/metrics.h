@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "vodsim/stats/accumulator.h"
 #include "vodsim/util/units.h"
 
 namespace vodsim {
@@ -45,6 +46,35 @@ class Metrics {
   /// separate: replication traffic is overhead, not delivered video).
   void record_replication(Seconds t0, Seconds t1, Mbps rate);
 
+  // --- resilience (fault-injection runs) -------------------------------
+  /// A server crashed at \p t.
+  void record_server_down(Seconds t);
+
+  /// A server came back at \p t after \p downtime seconds down.
+  void record_server_recovery(Seconds t, Seconds downtime);
+
+  /// Capacity lost to a fault: \p lost_mbps unusable during [t0, t1]
+  /// (clipped to the window). Crashes lose the whole link; brownouts lose
+  /// bandwidth * (1 - capacity_factor). Feeds availability().
+  void record_capacity_loss(Seconds t0, Seconds t1, Mbps lost_mbps);
+
+  /// A stream evicted by brownout load shedding; \p migrated tells whether
+  /// it moved to another holder (true) or left the server entirely (false:
+  /// parked for retry or dropped).
+  void record_shed(Seconds t, bool migrated);
+
+  /// Playback interruption: the client starved for \p seconds of playback
+  /// (glitch-seconds, the viewer-facing face of an underflow).
+  void record_glitch(Seconds t, Seconds seconds);
+
+  /// Retry-queue bookkeeping.
+  void record_retry_enqueued(Seconds t);
+  void record_readmission(Seconds t);
+  void record_retry_abandoned(Seconds t);
+
+  /// A repair re-replication was planned for a long-down server's video.
+  void record_repair(Seconds t);
+
   // --- results ----------------------------------------------------------
   Seconds window() const { return window_end_ - window_start_; }
 
@@ -74,6 +104,28 @@ class Metrics {
   std::uint64_t replications() const { return replications_; }
   Megabits replication_megabits() const { return replication_megabits_; }
 
+  // --- resilience results ----------------------------------------------
+  /// Fraction of cluster capacity-seconds that was actually usable over
+  /// the window: 1 - (lost capacity integral) / (total capacity integral).
+  /// 1.0 in fault-free runs.
+  double availability() const;
+
+  /// Seconds of starved playback per window (summed over streams).
+  Seconds glitch_seconds() const { return glitch_seconds_; }
+
+  std::uint64_t server_downs() const { return server_downs_; }
+  std::uint64_t server_recoveries() const { return server_recoveries_; }
+  std::uint64_t sheds() const { return sheds_; }
+  std::uint64_t sheds_migrated() const { return sheds_migrated_; }
+  std::uint64_t interruptions() const { return interruptions_; }
+  std::uint64_t retry_enqueued() const { return retry_enqueued_; }
+  std::uint64_t readmissions() const { return readmissions_; }
+  std::uint64_t retry_abandoned() const { return retry_abandoned_; }
+  std::uint64_t repairs() const { return repairs_; }
+
+  /// Time-to-recover distribution (per server-down episode, seconds).
+  const Accumulator& recovery_time() const { return recovery_time_; }
+
  private:
   bool in_window(Seconds t) const { return t >= window_start_ && t < window_end_; }
 
@@ -93,6 +145,19 @@ class Metrics {
   Megabits underflow_megabits_ = 0.0;
   std::uint64_t replications_ = 0;
   Megabits replication_megabits_ = 0.0;
+
+  Megabits capacity_lost_ = 0.0;  ///< Mb·s of capacity unusable in-window
+  Seconds glitch_seconds_ = 0.0;
+  std::uint64_t server_downs_ = 0;
+  std::uint64_t server_recoveries_ = 0;
+  std::uint64_t sheds_ = 0;
+  std::uint64_t sheds_migrated_ = 0;
+  std::uint64_t interruptions_ = 0;
+  std::uint64_t retry_enqueued_ = 0;
+  std::uint64_t readmissions_ = 0;
+  std::uint64_t retry_abandoned_ = 0;
+  std::uint64_t repairs_ = 0;
+  Accumulator recovery_time_;
 };
 
 }  // namespace vodsim

@@ -7,6 +7,7 @@
 
 #include "vodsim/check/invariant_auditor.h"
 #include "vodsim/engine/sweep_context.h"
+#include "vodsim/fault/schedule.h"
 #include "vodsim/placement/partial_predictive.h"
 #include "vodsim/sched/intermittent.h"
 #include "vodsim/util/env.h"
@@ -139,8 +140,19 @@ void VodSimulation::build_world() {
   }
 
   Rng failure_rng(seeds.failure);
-  failure_timeline_ = generate_failure_timeline(
-      config_.failure, config_.system.num_servers, config_.duration, failure_rng);
+  if (!config_.scripted_faults.empty()) {
+    // Hand-written schedule: used verbatim, no failure-RNG draws.
+    failure_timeline_ = config_.scripted_faults;
+    sort_fault_schedule(failure_timeline_);
+  } else {
+    failure_timeline_ = generate_fault_schedule(
+        config_.failure, config_.system.num_servers, config_.duration, failure_rng);
+  }
+  fault_down_since_.assign(servers_.size(), -1.0);
+  brownout_since_.assign(servers_.size(), -1.0);
+  if (config_.failure.retry.enabled) {
+    retry_queue_ = std::make_unique<RetryQueue>(config_.failure.retry);
+  }
 
   // The auditor is a pure observer: it reads state after each event and
   // throws AuditFailure on a violated invariant, never mutating anything,
@@ -189,7 +201,10 @@ void VodSimulation::build_world() {
 
   if (auditor_ || probes_) {
     sim_.set_post_event_hook([this](Seconds now) {
-      if (probes_) probes_->on_event(now, servers_, sim_.pending_count());
+      if (probes_) {
+        probes_->on_event(now, servers_, sim_.pending_count(),
+                          retry_queue_ ? retry_queue_->size() : 0);
+      }
       if (auditor_) auditor_->on_event();
     });
   }
@@ -200,8 +215,8 @@ const Metrics& VodSimulation::run() {
   ran_ = true;
 
   schedule_next_arrival();
-  for (const FailureEvent& event : failure_timeline_) {
-    sim_.schedule_at(event.time, [this, event](Seconds) { apply_failure(event); });
+  for (const FaultTransition& event : failure_timeline_) {
+    sim_.schedule_at(event.time, [this, event](Seconds) { apply_fault(event); });
   }
 
   sim_.run_until(config_.duration);
@@ -213,7 +228,22 @@ const Metrics& VodSimulation::run() {
     }
     occupancy_[static_cast<std::size_t>(server.id())].flush(config_.duration);
   }
-  if (probes_) probes_->finalize(config_.duration, servers_, sim_.pending_count());
+  // Close still-open fault episodes into the availability integral.
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (fault_down_since_[s] >= 0.0) {
+      metrics_->record_capacity_loss(fault_down_since_[s], config_.duration,
+                                     servers_[s].bandwidth());
+    }
+    if (brownout_since_[s] >= 0.0) {
+      metrics_->record_capacity_loss(
+          brownout_since_[s], config_.duration,
+          servers_[s].bandwidth() * (1.0 - servers_[s].capacity_factor()));
+    }
+  }
+  if (probes_) {
+    probes_->finalize(config_.duration, servers_, sim_.pending_count(),
+                      retry_queue_ ? retry_queue_->size() : 0);
+  }
   if (auditor_) auditor_->finalize();
   return *metrics_;
 }
@@ -247,6 +277,23 @@ void VodSimulation::handle_arrival(const Arrival& arrival) {
     request.mark_rejected();
     metrics_->record_rejection(now);
     maybe_start_replication(arrival.video);
+    if (retry_queue_ != nullptr) {
+      // The viewer retries after a backoff rather than leaving for good; a
+      // successful retry starts a fresh stream (new playback window).
+      RetryEntry entry;
+      entry.request = kNoRetryRequest;
+      entry.video = arrival.video;
+      entry.view_bandwidth = video.view_bandwidth;
+      entry.first_seen = now;
+      entry.attempts = 0;
+      entry.next_attempt = now + retry_queue_->backoff(0);
+      if (retry_queue_->push(entry)) {
+        metrics_->record_retry_enqueued(now);
+        note(TraceEventType::kRetryEnqueued, kTraceFailure, kNoServer, -1,
+             arrival.video, static_cast<double>(retry_queue_->size()));
+        arm_retry_tick();
+      }
+    }
     return;
   }
 
@@ -297,8 +344,38 @@ void VodSimulation::execute_migration(const MigrationStep& step) {
       servers_[static_cast<std::size_t>(target)].release_reservation(
           request.view_bandwidth());
       mark_server_dirty(target);
-      if (request.state() == RequestState::kMigrating) {
+      if (request.state() != RequestState::kMigrating) return;
+      if (servers_[static_cast<std::size_t>(target)].available()) {
         finish_migration(request, target);
+        return;
+      }
+      // The destination crashed during the switch. The stream never reached
+      // its active list, so the crash-recovery sweep could not have seen
+      // it; handle it here like any other crash victim — another replica
+      // holder, else park for retry, else drop.
+      const Seconds now = sim_.now();
+      ServerId fallback = kNoServer;
+      if (config_.failure.recover_via_migration) {
+        for (ServerId candidate : directory_.holders(request.video_id())) {
+          if (candidate == target) continue;
+          const Server& cs = servers_[static_cast<std::size_t>(candidate)];
+          if (!cs.can_admit(request.view_bandwidth())) continue;
+          if (fallback == kNoServer ||
+              cs.active_count() <
+                  servers_[static_cast<std::size_t>(fallback)].active_count()) {
+            fallback = candidate;
+          }
+        }
+      }
+      if (fallback != kNoServer) {
+        note(TraceEventType::kStreamRecovered, kTraceFailure, fallback,
+             request.id(), request.video_id());
+        finish_migration(request, fallback);
+      } else if (!park_for_retry(request)) {
+        note(TraceEventType::kStreamDropped, kTraceFailure, target,
+             request.id(), request.video_id());
+        request.mark_done(now);
+        metrics_->record_drop(now);
       }
     });
   }
@@ -372,6 +449,17 @@ void VodSimulation::on_playback_end(Request& request) {
     }
     case RequestState::kMigrating: {
       advance_and_account(request, now);
+      if (retry_queue_ != nullptr && retry_queue_->remove_request(request.id())) {
+        // A parked orphan whose playback window closed before any retry
+        // succeeded: the viewer is gone and the tail was never delivered —
+        // a permanent loss, not a completion.
+        note(TraceEventType::kRetryAbandoned, kTraceFailure, kNoServer,
+             request.id(), request.video_id());
+        metrics_->record_retry_abandoned(now);
+        request.mark_done(now);
+        metrics_->record_drop(now);
+        break;
+      }
       request.mark_done(now);
       metrics_->record_completion(now);
       note(TraceEventType::kPlaybackEnd, kTraceLifecycle, kNoServer,
@@ -386,18 +474,88 @@ void VodSimulation::on_playback_end(Request& request) {
   }
 }
 
-void VodSimulation::apply_failure(const FailureEvent& event) {
-  Server& server = servers_[static_cast<std::size_t>(event.server)];
-  mark_server_dirty(event.server);
-  if (event.up) {
-    server.set_available(true);
-    note(TraceEventType::kServerUp, kTraceFailure, event.server);
-    return;
+void VodSimulation::apply_fault(const FaultTransition& event) {
+  const Seconds now = sim_.now();
+  const std::size_t s = static_cast<std::size_t>(event.server);
+  Server& server = servers_[s];
+  switch (event.kind) {
+    case FaultTransitionKind::kDown: {
+      if (!server.available()) return;  // idempotent: already down
+      mark_server_dirty(event.server);
+      server.set_available(false);
+      if (brownout_since_[s] >= 0.0) {
+        // The brownout loss interval ends here; the crash interval (full
+        // bandwidth) takes over.
+        metrics_->record_capacity_loss(
+            brownout_since_[s], now,
+            server.bandwidth() * (1.0 - server.capacity_factor()));
+        brownout_since_[s] = -1.0;
+      }
+      fault_down_since_[s] = now;
+      metrics_->record_server_down(now);
+      note(TraceEventType::kServerDown, kTraceFailure, event.server);
+      recover_streams_of_failed_server(server);
+      if (config_.failure.repair.enabled) {
+        sim_.schedule_at(now + config_.failure.repair.down_threshold,
+                         [this, id = event.server, since = now](Seconds) {
+                           check_repair(id, since);
+                         });
+      }
+      break;
+    }
+    case FaultTransitionKind::kUp: {
+      if (server.available()) return;  // idempotent: already up
+      mark_server_dirty(event.server);
+      server.set_available(true);
+      const Seconds down_since = fault_down_since_[s];
+      if (down_since >= 0.0) {
+        metrics_->record_capacity_loss(down_since, now, server.bandwidth());
+        metrics_->record_server_recovery(now, now - down_since);
+        fault_down_since_[s] = -1.0;
+      }
+      // A brownout that began (or persisted) while down starts costing
+      // capacity again now that the server is back in service.
+      if (server.capacity_factor() < 1.0) brownout_since_[s] = now;
+      note(TraceEventType::kServerUp, kTraceFailure, event.server);
+      process_retries(/*force=*/true);
+      break;
+    }
+    case FaultTransitionKind::kBrownoutBegin: {
+      if (server.capacity_factor() == event.capacity_factor) return;
+      mark_server_dirty(event.server);
+      if (server.available()) {
+        if (brownout_since_[s] >= 0.0) {
+          metrics_->record_capacity_loss(
+              brownout_since_[s], now,
+              server.bandwidth() * (1.0 - server.capacity_factor()));
+        }
+        brownout_since_[s] = now;
+      }
+      server.set_capacity_factor(event.capacity_factor);
+      note(TraceEventType::kBrownoutBegin, kTraceFailure, event.server, -1, -1,
+           event.capacity_factor);
+      if (server.available()) {
+        shed_overload(server);
+        recompute_server(event.server);
+      }
+      break;
+    }
+    case FaultTransitionKind::kBrownoutEnd: {
+      if (server.capacity_factor() == 1.0) return;  // idempotent
+      mark_server_dirty(event.server);
+      if (brownout_since_[s] >= 0.0) {
+        metrics_->record_capacity_loss(
+            brownout_since_[s], now,
+            server.bandwidth() * (1.0 - server.capacity_factor()));
+        brownout_since_[s] = -1.0;
+      }
+      server.set_capacity_factor(1.0);
+      note(TraceEventType::kBrownoutEnd, kTraceFailure, event.server);
+      if (server.available()) recompute_server(event.server);
+      process_retries(/*force=*/true);
+      break;
+    }
   }
-  if (!server.available()) return;
-  server.set_available(false);
-  note(TraceEventType::kServerDown, kTraceFailure, event.server);
-  recover_streams_of_failed_server(server);
 }
 
 void VodSimulation::recover_streams_of_failed_server(Server& server) {
@@ -425,17 +583,200 @@ void VodSimulation::recover_streams_of_failed_server(Server& server) {
         }
       }
     }
-    if (target == kNoServer) {
-      note(TraceEventType::kStreamDropped, kTraceFailure, server.id(),
-           request.id(), request.video_id());
-      request.mark_done(now);  // stream lost
-      metrics_->record_drop(now);
-    } else {
+    if (target != kNoServer) {
       note(TraceEventType::kStreamRecovered, kTraceFailure, target,
            request.id(), request.video_id());
       request.begin_migration(now);
       finish_migration(request, target);
+    } else if (!park_for_retry(request)) {
+      note(TraceEventType::kStreamDropped, kTraceFailure, server.id(),
+           request.id(), request.video_id());
+      request.mark_done(now);  // stream lost
+      metrics_->record_drop(now);
     }
+  }
+}
+
+void VodSimulation::shed_overload(Server& server) {
+  const Seconds now = sim_.now();
+  // Advance everyone first so the buffer levels compared below are current
+  // and detached victims carry no stale fluid state.
+  for (Request* request : server.active_requests()) {
+    advance_and_account(*request, now);
+  }
+  // 1e-9 Mb/s tolerance, matching the admission arithmetic: commitments a
+  // rounding error over the degraded link are not worth an eviction.
+  while (server.slack() < -1e-9 && server.active_count() > 0) {
+    // Staging-aware victim choice (the paper's point: client staging
+    // absorbs gaps) — the stream with the most staged data rides out the
+    // longest interruption, so it goes first.
+    Request* victim = nullptr;
+    for (Request* request : server.active_requests()) {
+      if (victim == nullptr ||
+          request->buffer().level() > victim->buffer().level()) {
+        victim = request;
+      }
+    }
+    Request& request = *victim;
+    const Megabits buffered = request.buffer().level();
+    cancel_predicted_events(request);
+    detach_from(server.id(), request);
+
+    // Migrate before dropping: least-loaded other replica holder with room.
+    ServerId target = kNoServer;
+    for (ServerId candidate : directory_.holders(request.video_id())) {
+      if (candidate == server.id()) continue;
+      const Server& cs = servers_[static_cast<std::size_t>(candidate)];
+      if (!cs.can_admit(request.view_bandwidth())) continue;
+      if (target == kNoServer ||
+          cs.active_count() <
+              servers_[static_cast<std::size_t>(target)].active_count()) {
+        target = candidate;
+      }
+    }
+    note(TraceEventType::kStreamShed, kTraceFailure, server.id(), request.id(),
+         request.video_id(), buffered);
+    if (target != kNoServer) {
+      metrics_->record_shed(now, /*migrated=*/true);
+      request.begin_migration(now);
+      finish_migration(request, target);
+    } else {
+      metrics_->record_shed(now, /*migrated=*/false);
+      if (!park_for_retry(request)) {
+        note(TraceEventType::kStreamDropped, kTraceFailure, server.id(),
+             request.id(), request.video_id());
+        request.mark_done(now);
+        metrics_->record_drop(now);
+      }
+    }
+  }
+}
+
+bool VodSimulation::park_for_retry(Request& request) {
+  if (retry_queue_ == nullptr) return false;
+  const Seconds now = sim_.now();
+  RetryEntry entry;
+  entry.request = request.id();
+  entry.video = request.video_id();
+  entry.view_bandwidth = request.view_bandwidth();
+  entry.first_seen = now;
+  entry.attempts = 0;
+  entry.next_attempt = now;  // eligible immediately (capacity may exist elsewhere)
+  if (!retry_queue_->push(entry)) return false;
+  // Parked as a migration with unbounded latency: playback keeps draining
+  // the staging buffer, so a stream parked too long genuinely glitches.
+  // A stream stranded by its migration target crashing mid-switch is
+  // already in the migrating state.
+  if (request.state() == RequestState::kStreaming) request.begin_migration(now);
+  metrics_->record_retry_enqueued(now);
+  note(TraceEventType::kRetryEnqueued, kTraceFailure, kNoServer, request.id(),
+       request.video_id(), static_cast<double>(retry_queue_->size()));
+  arm_retry_tick();
+  return true;
+}
+
+void VodSimulation::process_retries(bool force) {
+  if (retry_queue_ == nullptr || retry_queue_->empty()) return;
+  const Seconds now = sim_.now();
+  std::vector<RetryEntry> due = retry_queue_->take_due(now, force);
+  for (RetryEntry& entry : due) {
+    const AdmissionDecision decision = controller_->decide(
+        now, entry.video, entry.view_bandwidth, servers_, rng_);
+    if (decision.accepted) {
+      if (decision.used_migration()) {
+        for (const MigrationStep& step : decision.migrations) {
+          execute_migration(step);
+        }
+        metrics_->record_migration_chain(now, decision.migrations.size());
+      }
+      metrics_->record_readmission(now);
+      if (entry.request != kNoRetryRequest) {
+        // Re-admit the parked orphan where capacity opened up.
+        Request& request = requests_[static_cast<std::size_t>(entry.request)];
+        assert(request.state() == RequestState::kMigrating);
+        note(TraceEventType::kRetryReadmitted, kTraceFailure, decision.server,
+             request.id(), request.video_id(),
+             static_cast<double>(entry.attempts));
+        finish_migration(request, decision.server);
+      } else {
+        // A rejected arrival returns: fresh stream, fresh playback window.
+        const Video& video = (*catalog_)[entry.video];
+        requests_.emplace_back(next_request_id_++, video, now, client_profile_);
+        Request& request = requests_.back();
+        note(TraceEventType::kRetryReadmitted, kTraceFailure, decision.server,
+             request.id(), entry.video, static_cast<double>(entry.attempts));
+        request.begin_streaming(now, decision.server);
+        attach_to(decision.server, request);
+        request.playback_end_event =
+            sim_.schedule_at(request.playback_end(), [this, &request](Seconds) {
+              request.playback_end_event = kInvalidEventId;
+              on_playback_end(request);
+            });
+        recompute_server(decision.server);
+        if (config_.interactivity.enabled) schedule_next_pause(request);
+      }
+    } else {
+      ++entry.attempts;
+      if (entry.attempts >= config_.failure.retry.max_attempts) {
+        metrics_->record_retry_abandoned(now);
+        note(TraceEventType::kRetryAbandoned, kTraceFailure, kNoServer,
+             entry.request, entry.video, static_cast<double>(entry.attempts));
+        if (entry.request != kNoRetryRequest) {
+          Request& request = requests_[static_cast<std::size_t>(entry.request)];
+          advance_and_account(request, now);
+          request.mark_done(now);
+          metrics_->record_drop(now);
+        }
+      } else {
+        entry.next_attempt = now + retry_queue_->backoff(entry.attempts);
+        retry_queue_->push(entry);
+      }
+    }
+  }
+  arm_retry_tick();
+}
+
+void VodSimulation::arm_retry_tick() {
+  if (retry_queue_ == nullptr) return;
+  const Seconds next = retry_queue_->next_attempt_time();
+  if (next == std::numeric_limits<Seconds>::infinity()) {
+    sim_.cancel(retry_tick_);
+    retry_tick_ = kInvalidEventId;
+    return;
+  }
+  const Seconds at = std::max(next, sim_.now());
+  if (!sim_.reschedule_at(at, retry_tick_)) {
+    retry_tick_ = sim_.schedule_at(at, [this](Seconds) {
+      retry_tick_ = kInvalidEventId;
+      process_retries(/*force=*/false);
+    });
+  }
+}
+
+void VodSimulation::check_repair(ServerId server_id, Seconds down_since) {
+  const std::size_t s = static_cast<std::size_t>(server_id);
+  if (servers_[s].available()) return;
+  // Exact compare: a repair-then-recrash starts a new episode (and a new
+  // threshold timer); this timer belongs to the old one.
+  if (fault_down_since_[s] != down_since) return;
+  const Seconds now = sim_.now();
+  // Re-replicate the titles this outage left with no available holder.
+  for (VideoId video : servers_[s].replicas()) {
+    bool reachable = false;
+    for (ServerId holder : directory_.holders(video)) {
+      if (holder == server_id) continue;
+      if (servers_[static_cast<std::size_t>(holder)].available()) {
+        reachable = true;
+        break;
+      }
+    }
+    if (reachable) continue;
+    auto job = replication_->plan_repair(video, *catalog_, servers_, directory_);
+    if (!job) continue;
+    metrics_->record_repair(now);
+    note(TraceEventType::kRepairPlanned, kTraceFailure, job->destination, -1,
+         video, static_cast<double>(server_id));
+    start_replication_job(*job);
   }
 }
 
@@ -496,6 +837,9 @@ void VodSimulation::advance_and_account(Request& request, Seconds now) {
   if (underflow > 0.0) {
     ++continuity_violations_;
     metrics_->record_underflow(now, underflow);
+    // Viewer-facing resilience accounting: the megabits short translate to
+    // seconds of starved playback at the view rate.
+    metrics_->record_glitch(now, underflow / request.view_bandwidth());
     note(TraceEventType::kUnderflow, kTraceBuffer, request.server(),
          request.id(), request.video_id(), underflow);
     VODSIM_DEBUG << "continuity violation: request " << request.id() << " short "
@@ -574,28 +918,34 @@ void VodSimulation::maybe_start_replication(VideoId video) {
   auto job =
       replication_->on_rejection(video, now, *catalog_, servers_, directory_);
   if (!job) return;
+  start_replication_job(*job);
+}
 
-  Server& destination = servers_[static_cast<std::size_t>(job->destination)];
+void VodSimulation::start_replication_job(const ReplicationJob& planned) {
+  const Seconds now = sim_.now();
+  Server& destination = servers_[static_cast<std::size_t>(planned.destination)];
   const Mbps rate = config_.replication.transfer_bandwidth;
 
   // The copy steals link bandwidth from workahead for its whole duration
   // (the "resource intensive" part of dynamic replication) — on both ends
   // for a server-sourced copy, on the destination only when streaming from
   // tertiary storage.
-  if (!job->from_tertiary()) {
-    servers_[static_cast<std::size_t>(job->source)].reserve_bandwidth(rate);
-    mark_server_dirty(job->source);
-    recompute_server(job->source);
+  if (!planned.from_tertiary()) {
+    servers_[static_cast<std::size_t>(planned.source)].reserve_bandwidth(rate);
+    mark_server_dirty(planned.source);
+    recompute_server(planned.source);
   }
   destination.reserve_bandwidth(rate);
-  mark_server_dirty(job->destination);
+  mark_server_dirty(planned.destination);
   replication_->on_job_started();
-  note(TraceEventType::kReplicationBegin, kTraceReplication, job->destination,
-       -1, job->video,
-       job->from_tertiary() ? -2.0 : static_cast<double>(job->source), rate);
-  recompute_server(job->destination);
+  note(TraceEventType::kReplicationBegin, kTraceReplication, planned.destination,
+       -1, planned.video,
+       planned.from_tertiary() ? -2.0 : static_cast<double>(planned.source),
+       rate);
+  recompute_server(planned.destination);
 
-  sim_.schedule_in(job->transfer_time, [this, job = *job, rate, start = now](Seconds) {
+  sim_.schedule_in(planned.transfer_time, [this, job = planned, rate,
+                                           start = now](Seconds) {
     const Seconds end = sim_.now();
     Server& dst = servers_[static_cast<std::size_t>(job.destination)];
     if (!job.from_tertiary()) {

@@ -26,8 +26,9 @@
 #include "vodsim/cluster/video.h"
 #include "vodsim/des/simulator.h"
 #include "vodsim/engine/config.h"
-#include "vodsim/engine/failure.h"
 #include "vodsim/engine/metrics.h"
+#include "vodsim/fault/retry_queue.h"
+#include "vodsim/fault/transition.h"
 #include "vodsim/obs/probes.h"
 #include "vodsim/obs/trace.h"
 #include "vodsim/placement/placement.h"
@@ -80,9 +81,14 @@ class VodSimulation {
   const Simulator& simulator() const { return sim_; }
   const BandwidthScheduler& scheduler() const { return *scheduler_; }
   const AdmissionController& controller() const { return *controller_; }
-  const std::vector<FailureEvent>& failure_timeline() const {
+  /// The pre-generated fault schedule (empty unless failure injection or
+  /// scripted faults are configured). Sorted by (time, server, kind).
+  const std::vector<FaultTransition>& failure_timeline() const {
     return failure_timeline_;
   }
+
+  /// The retry queue, or nullptr unless failure.retry.enabled.
+  const RetryQueue* retry_queue() const { return retry_queue_.get(); }
 
   /// Recompute-memo epoch of \p server: bumps whenever the server's
   /// allocation inputs change and never otherwise. The invariant auditor
@@ -135,11 +141,37 @@ class VodSimulation {
   void on_tx_complete(Request& request);
   void on_buffer_full(Request& request);
   void on_playback_end(Request& request);
-  void apply_failure(const FailureEvent& event);
+  void apply_fault(const FaultTransition& event);
   void recover_streams_of_failed_server(Server& server);
+
+  /// Brownout graceful degradation: evicts streams (most-buffered first,
+  /// migrate before dropping) until the server's commitments fit its
+  /// degraded effective bandwidth.
+  void shed_overload(Server& server);
+
+  /// Parks an already-detached stream in the retry queue as a migration
+  /// with unbounded latency. Returns false (caller must drop) when retry is
+  /// disabled or the queue is full.
+  bool park_for_retry(Request& request);
+
+  /// Attempts re-admission of due retry entries (all entries when \p force
+  /// — used on server-up / brownout-end).
+  void process_retries(bool force);
+
+  /// Retimes the single backoff-wakeup event to the queue's earliest
+  /// next_attempt (cancels it when the queue is empty).
+  void arm_retry_tick();
+
+  /// Repair replication: if \p server is still in the same down episode
+  /// (started at \p down_since), re-replicates its unreachable titles.
+  void check_repair(ServerId server, Seconds down_since);
 
   /// Dynamic replication: called on every rejection; may start a transfer.
   void maybe_start_replication(VideoId video);
+
+  /// Reserves link bandwidth on both ends and schedules the transfer
+  /// completion for an already-planned replication job.
+  void start_replication_job(const ReplicationJob& job);
 
   /// Client interactivity: Poisson pause/resume per viewing client.
   void schedule_next_pause(Request& request);
@@ -201,7 +233,15 @@ class VodSimulation {
   std::unique_ptr<ArrivalSource> arrivals_;
   std::unique_ptr<Metrics> metrics_;
   ClientProfile client_profile_;
-  std::vector<FailureEvent> failure_timeline_;
+  std::vector<FaultTransition> failure_timeline_;
+  /// Present only when failure.retry.enabled.
+  std::unique_ptr<RetryQueue> retry_queue_;
+  EventId retry_tick_ = kInvalidEventId;
+  /// Per server: sim time the current down episode began, -1 when up.
+  std::vector<Seconds> fault_down_since_;
+  /// Per server: sim time capacity loss accounting for the current brownout
+  /// began (only advances while the server is up), -1 when at full factor.
+  std::vector<Seconds> brownout_since_;
   std::vector<TimeWeighted> occupancy_;
 
   StableVector<Request> requests_;

@@ -1,0 +1,58 @@
+#include "vodsim/fault/retry_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vodsim {
+
+bool RetryQueue::push(RetryEntry entry) {
+  if (entries_.size() >= config_.max_queue) {
+    ++overflow_count_;
+    return false;
+  }
+  entries_.push_back(entry);
+  return true;
+}
+
+std::vector<RetryEntry> RetryQueue::take_due(Seconds now, bool force) {
+  std::vector<RetryEntry> due;
+  std::size_t kept = 0;
+  for (RetryEntry& entry : entries_) {
+    if (force || entry.next_attempt <= now) {
+      due.push_back(entry);
+    } else {
+      entries_[kept++] = entry;
+    }
+  }
+  entries_.resize(kept);
+  return due;
+}
+
+bool RetryQueue::remove_request(RequestId request) {
+  if (request == kNoRetryRequest) return false;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->request == request) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Seconds RetryQueue::backoff(int attempts) const {
+  // ldexp is exact (scales the exponent), so backoff sequences are
+  // bit-reproducible; pow(2, n) need not be.
+  const Seconds raw = std::ldexp(config_.backoff_base, attempts);
+  return std::min(config_.backoff_cap, raw);
+}
+
+Seconds RetryQueue::next_attempt_time() const {
+  Seconds earliest = std::numeric_limits<double>::infinity();
+  for (const RetryEntry& entry : entries_) {
+    earliest = std::min(earliest, entry.next_attempt);
+  }
+  return earliest;
+}
+
+}  // namespace vodsim

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "vodsim/util/csv.h"
 
@@ -61,18 +63,28 @@ void write_chrome_trace(std::ostream& out, const TraceRecorder& trace,
   sep() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
         << num_servers << ",\"args\":{\"name\":\"cluster\"}}";
 
+  // Async spans must balance per (cat, id): a begin may be missing (fault
+  // recovery and retry re-admission re-home streams without a preceding
+  // migrate_begin; ring truncation can drop one), and an end may never come
+  // (a switch in flight at the horizon). Track open spans — an unmatched
+  // end degrades to an instant, and dangling begins are closed at the tail.
+  std::map<std::pair<bool, RequestId>, int> open_spans;
+  Seconds last_time = 0.0;
+
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const TraceEvent& event = trace[i];
     const char* name = to_string(event.type);
     const char* cat = to_string(trace_event_category(event.type));
+    if (event.time > last_time) last_time = event.time;
     switch (event.type) {
       case TraceEventType::kMigrateBegin:
       case TraceEventType::kReplicationBegin: {
         const bool migration = event.type == TraceEventType::kMigrateBegin;
+        const RequestId id =
+            migration ? event.request : static_cast<RequestId>(event.video);
+        ++open_spans[{migration, id}];
         sep() << "{\"name\":\"" << (migration ? "migration" : "replication")
-              << "\",\"cat\":\"" << cat << "\",\"ph\":\"b\",\"id\":"
-              << (migration ? event.request
-                            : static_cast<RequestId>(event.video))
+              << "\",\"cat\":\"" << cat << "\",\"ph\":\"b\",\"id\":" << id
               << ",\"ts\":" << chrome_ts(event.time)
               << ",\"pid\":0,\"tid\":" << chrome_tid(event, num_servers)
               << ",\"args\":";
@@ -83,10 +95,23 @@ void write_chrome_trace(std::ostream& out, const TraceRecorder& trace,
       case TraceEventType::kMigrateEnd:
       case TraceEventType::kReplicationEnd: {
         const bool migration = event.type == TraceEventType::kMigrateEnd;
+        const RequestId id =
+            migration ? event.request : static_cast<RequestId>(event.video);
+        int& open = open_spans[{migration, id}];
+        if (open <= 0) {
+          // No begin on record: render as an instant under the event's own
+          // name instead of unbalancing the track.
+          sep() << "{\"name\":\"" << name << "\",\"cat\":\"" << cat
+                << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << chrome_ts(event.time)
+                << ",\"pid\":0,\"tid\":" << chrome_tid(event, num_servers)
+                << ",\"args\":";
+          write_event_args(out, event);
+          out << "}";
+          break;
+        }
+        --open;
         sep() << "{\"name\":\"" << (migration ? "migration" : "replication")
-              << "\",\"cat\":\"" << cat << "\",\"ph\":\"e\",\"id\":"
-              << (migration ? event.request
-                            : static_cast<RequestId>(event.video))
+              << "\",\"cat\":\"" << cat << "\",\"ph\":\"e\",\"id\":" << id
               << ",\"ts\":" << chrome_ts(event.time)
               << ",\"pid\":0,\"tid\":" << chrome_tid(event, num_servers)
               << ",\"args\":";
@@ -103,6 +128,20 @@ void write_chrome_trace(std::ostream& out, const TraceRecorder& trace,
         out << "}";
         break;
       }
+    }
+  }
+
+  // Close spans still open (e.g. a migration switch cut off by the horizon)
+  // so every (cat, id) pair balances.
+  for (const auto& [key, open] : open_spans) {
+    const auto& [migration, id] = key;
+    for (int k = 0; k < open; ++k) {
+      sep() << "{\"name\":\"" << (migration ? "migration" : "replication")
+            << "\",\"cat\":\"" << (migration ? "migration" : "replication")
+            << "\",\"ph\":\"e\",\"id\":" << id
+            << ",\"ts\":" << chrome_ts(last_time) << ",\"pid\":0,\"tid\":"
+            << num_servers << ",\"args\":{\"request\":" << id
+            << ",\"video\":-1,\"a\":0,\"b\":0}}";
     }
   }
 
@@ -144,7 +183,8 @@ void write_trace_jsonl(std::ostream& out, const TraceRecorder& trace) {
 void write_probe_csv(std::ostream& out, const ProbeSet& probes) {
   CsvWriter writer(out);
   writer.write_row({"time", "server", "committed_mbps", "reserved_mbps",
-                    "active_streams", "mean_buffer_fill", "pending_events"});
+                    "active_streams", "mean_buffer_fill", "pending_events",
+                    "capacity_factor", "retry_queue"});
   for (const ProbeRow& row : probes.rows()) {
     writer.write_row({CsvWriter::field(row.time),
                       CsvWriter::field(static_cast<std::int64_t>(row.server)),
@@ -152,7 +192,9 @@ void write_probe_csv(std::ostream& out, const ProbeSet& probes) {
                       CsvWriter::field(row.reserved_mbps),
                       CsvWriter::field(row.active_streams),
                       CsvWriter::field(row.mean_buffer_fill),
-                      CsvWriter::field(row.pending_events)});
+                      CsvWriter::field(row.pending_events),
+                      CsvWriter::field(row.capacity_factor),
+                      CsvWriter::field(row.retry_queue)});
   }
 }
 

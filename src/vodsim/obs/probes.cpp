@@ -13,28 +13,29 @@ ProbeSet::ProbeSet(const ProbeConfig& config, std::size_t num_servers)
 }
 
 void ProbeSet::on_event(Seconds now, const std::vector<Server>& servers,
-                        std::size_t pending_events) {
+                        std::size_t pending_events, std::size_t retry_depth) {
   while (next_ <= now) {
-    sample(next_, servers, pending_events);
+    sample(next_, servers, pending_events, retry_depth);
     next_ += period_;
   }
 }
 
 void ProbeSet::finalize(Seconds horizon, const std::vector<Server>& servers,
-                        std::size_t pending_events) {
+                        std::size_t pending_events, std::size_t retry_depth) {
   while (next_ <= horizon) {
-    sample(next_, servers, pending_events);
+    sample(next_, servers, pending_events, retry_depth);
     next_ += period_;
   }
   for (TimeWeighted& tw : committed_) tw.flush(horizon);
 }
 
 void ProbeSet::sample(Seconds grid_time, const std::vector<Server>& servers,
-                      std::size_t pending_events) {
+                      std::size_t pending_events, std::size_t retry_depth) {
   ++samples_;
   double total_committed = 0.0;
   double total_reserved = 0.0;
   double total_active = 0.0;
+  double total_factor = 0.0;
   double total_fill = 0.0;
   std::uint64_t total_streams = 0;
 
@@ -45,6 +46,7 @@ void ProbeSet::sample(Seconds grid_time, const std::vector<Server>& servers,
     row.committed_mbps = server.committed_bandwidth();
     row.reserved_mbps = server.reserved_bandwidth();
     row.active_streams = static_cast<double>(server.active_count());
+    row.capacity_factor = server.capacity_factor();
 
     double fill_sum = 0.0;
     std::uint64_t with_buffer = 0;
@@ -66,6 +68,7 @@ void ProbeSet::sample(Seconds grid_time, const std::vector<Server>& servers,
     total_committed += row.committed_mbps;
     total_reserved += row.reserved_mbps;
     total_active += row.active_streams;
+    total_factor += row.capacity_factor;
     total_fill += fill_sum;
     total_streams += with_buffer;
   }
@@ -79,6 +82,9 @@ void ProbeSet::sample(Seconds grid_time, const std::vector<Server>& servers,
   aggregate.mean_buffer_fill =
       total_streams > 0 ? total_fill / static_cast<double>(total_streams) : 0.0;
   aggregate.pending_events = static_cast<double>(pending_events);
+  aggregate.capacity_factor =
+      servers.empty() ? 1.0 : total_factor / static_cast<double>(servers.size());
+  aggregate.retry_queue = static_cast<double>(retry_depth);
   rows_.push_back(aggregate);
 }
 

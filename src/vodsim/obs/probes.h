@@ -43,6 +43,8 @@ struct ProbeRow {
   double mean_buffer_fill = 0.0;  ///< mean staging fill fraction (0 when no
                                   ///< active streams or no staging buffer)
   double pending_events = 0.0;    ///< DES queue depth (aggregate row only)
+  double capacity_factor = 1.0;   ///< brownout state (aggregate: mean)
+  double retry_queue = 0.0;       ///< retry-queue depth (aggregate row only)
 };
 
 class ProbeSet {
@@ -51,13 +53,14 @@ class ProbeSet {
 
   /// Engine post-event hook: emits one sample block per grid instant in
   /// (last_event, now]. Cheap when no grid point was crossed (one compare).
+  /// \p retry_depth is the fault retry-queue size (0 when retry disabled).
   void on_event(Seconds now, const std::vector<Server>& servers,
-                std::size_t pending_events);
+                std::size_t pending_events, std::size_t retry_depth = 0);
 
   /// Emits the grid instants between the last event and the horizon, then
   /// closes the time-weighted summaries. Call once, at end of run.
   void finalize(Seconds horizon, const std::vector<Server>& servers,
-                std::size_t pending_events);
+                std::size_t pending_events, std::size_t retry_depth = 0);
 
   Seconds period() const { return period_; }
   const std::vector<ProbeRow>& rows() const { return rows_; }
@@ -77,7 +80,7 @@ class ProbeSet {
 
  private:
   void sample(Seconds grid_time, const std::vector<Server>& servers,
-              std::size_t pending_events);
+              std::size_t pending_events, std::size_t retry_depth);
 
   Seconds period_;
   Seconds next_ = 0.0;

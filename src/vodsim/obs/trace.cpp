@@ -26,6 +26,13 @@ TraceCategory trace_event_category(TraceEventType type) {
     case TraceEventType::kServerUp:
     case TraceEventType::kStreamDropped:
     case TraceEventType::kStreamRecovered:
+    case TraceEventType::kBrownoutBegin:
+    case TraceEventType::kBrownoutEnd:
+    case TraceEventType::kStreamShed:
+    case TraceEventType::kRetryEnqueued:
+    case TraceEventType::kRetryReadmitted:
+    case TraceEventType::kRetryAbandoned:
+    case TraceEventType::kRepairPlanned:
       return kTraceFailure;
     case TraceEventType::kReplicationBegin:
     case TraceEventType::kReplicationEnd:
@@ -60,6 +67,13 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kServerUp: return "server_up";
     case TraceEventType::kStreamDropped: return "stream_dropped";
     case TraceEventType::kStreamRecovered: return "stream_recovered";
+    case TraceEventType::kBrownoutBegin: return "brownout_begin";
+    case TraceEventType::kBrownoutEnd: return "brownout_end";
+    case TraceEventType::kStreamShed: return "stream_shed";
+    case TraceEventType::kRetryEnqueued: return "retry_enqueued";
+    case TraceEventType::kRetryReadmitted: return "retry_readmit";
+    case TraceEventType::kRetryAbandoned: return "retry_abandoned";
+    case TraceEventType::kRepairPlanned: return "repair_planned";
     case TraceEventType::kReplicationBegin: return "replication_begin";
     case TraceEventType::kReplicationEnd: return "replication_end";
     case TraceEventType::kBufferFull: return "buffer_full";

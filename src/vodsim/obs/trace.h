@@ -66,6 +66,13 @@ enum class TraceEventType : std::uint8_t {
   kServerUp,         ///< server
   kStreamDropped,    ///< request, video, server (no replica holder had room)
   kStreamRecovered,  ///< request, video, server = new home
+  kBrownoutBegin,    ///< server; a = capacity factor
+  kBrownoutEnd,      ///< server
+  kStreamShed,       ///< request, video, server = old home; a = buffered Mb
+  kRetryEnqueued,    ///< request (-1 = rejected arrival), video; a = queue depth
+  kRetryReadmitted,  ///< request, video, server = new home; a = attempts used
+  kRetryAbandoned,   ///< request (-1 = rejected arrival), video; a = attempts used
+  kRepairPlanned,    ///< video, server = destination; a = long-down server
   // kTraceReplication
   kReplicationBegin, ///< video, server = destination; a = source (-2 = tertiary), b = rate
   kReplicationEnd,   ///< video, server = destination

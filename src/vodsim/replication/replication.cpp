@@ -33,6 +33,18 @@ std::optional<ReplicationJob> ReplicationManager::on_rejection(
   const int count = prune_and_count(video, now);
 
   if (count < config_.rejection_threshold) return std::nullopt;
+  return plan_copy(video, catalog, servers, directory);
+}
+
+std::optional<ReplicationJob> ReplicationManager::plan_repair(
+    VideoId video, const VideoCatalog& catalog,
+    const std::vector<Server>& servers, const ReplicaDirectory& directory) {
+  return plan_copy(video, catalog, servers, directory);
+}
+
+std::optional<ReplicationJob> ReplicationManager::plan_copy(
+    VideoId video, const VideoCatalog& catalog,
+    const std::vector<Server>& servers, const ReplicaDirectory& directory) {
   if (in_flight_ >= config_.max_concurrent) return std::nullopt;
   if (config_.max_total >= 0 && total_started_ >= config_.max_total) {
     return std::nullopt;

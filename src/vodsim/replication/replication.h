@@ -90,6 +90,18 @@ class ReplicationManager {
       VideoId video, Seconds now, const VideoCatalog& catalog,
       const std::vector<Server>& servers, const ReplicaDirectory& directory);
 
+  /// Plans a repair copy of \p video — a long-down server's title the fault
+  /// subsystem found with no available holder. Bypasses the rejection
+  /// trigger and the `enabled` flag (repair is driven by the failure
+  /// config), but honors the concurrency/total caps and the per-title
+  /// in-flight dedup. Source selection works like on_rejection; with no
+  /// available holder the copy necessarily streams from tertiary storage,
+  /// so allow_tertiary_source=false makes repair a no-op.
+  std::optional<ReplicationJob> plan_repair(VideoId video,
+                                            const VideoCatalog& catalog,
+                                            const std::vector<Server>& servers,
+                                            const ReplicaDirectory& directory);
+
   /// Bookkeeping for the concurrency cap and the per-title in-flight set.
   void on_job_started();
   void on_job_finished(VideoId video);
@@ -100,6 +112,13 @@ class ReplicationManager {
  private:
   /// Drops window-expired rejections and returns the live count for video.
   int prune_and_count(VideoId video, Seconds now);
+
+  /// Shared cap/dedup checks + source/destination selection; marks the
+  /// title in-flight when a job is planned.
+  std::optional<ReplicationJob> plan_copy(VideoId video,
+                                          const VideoCatalog& catalog,
+                                          const std::vector<Server>& servers,
+                                          const ReplicaDirectory& directory);
 
   ReplicationConfig config_;
   struct Rejection {

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "vodsim/engine/config.h"
-#include "vodsim/engine/failure.h"
+#include "vodsim/fault/schedule.h"
 #include "vodsim/engine/metrics.h"
 #include "vodsim/engine/policy_matrix.h"
 
@@ -232,7 +232,7 @@ TEST(PolicyMatrix, DescriptionsReadable) {
 TEST(FailureTimeline, DisabledIsEmpty) {
   FailureConfig config;
   Rng rng(1);
-  EXPECT_TRUE(generate_failure_timeline(config, 10, hours(100), rng).empty());
+  EXPECT_TRUE(generate_fault_schedule(config, 10, hours(100), rng).empty());
 }
 
 TEST(FailureTimeline, AlternatesPerServerAndSorted) {
@@ -241,19 +241,21 @@ TEST(FailureTimeline, AlternatesPerServerAndSorted) {
   config.mean_time_between_failures = hours(10);
   config.mean_time_to_repair = hours(1);
   Rng rng(2);
-  const auto events = generate_failure_timeline(config, 4, hours(200), rng);
+  const auto events = generate_fault_schedule(config, 4, hours(200), rng);
   ASSERT_FALSE(events.empty());
   Seconds last = 0.0;
   std::vector<bool> down(4, false);
-  for (const FailureEvent& event : events) {
+  for (const FaultTransition& event : events) {
     EXPECT_GE(event.time, last);
     last = event.time;
     ASSERT_GE(event.server, 0);
     ASSERT_LT(event.server, 4);
     // Per server: down, up, down, up...
     const auto s = static_cast<std::size_t>(event.server);
-    EXPECT_EQ(event.up, down[s]);
-    down[s] = !event.up;
+    const bool up = event.kind == FaultTransitionKind::kUp;
+    ASSERT_TRUE(up || event.kind == FaultTransitionKind::kDown);
+    EXPECT_EQ(up, down[s]);
+    down[s] = !up;
   }
 }
 
@@ -263,10 +265,10 @@ TEST(FailureTimeline, RateRoughlyMatchesMtbf) {
   config.mean_time_between_failures = hours(10);
   config.mean_time_to_repair = hours(0.1);
   Rng rng(3);
-  const auto events = generate_failure_timeline(config, 1, hours(10000), rng);
+  const auto events = generate_fault_schedule(config, 1, hours(10000), rng);
   int failures = 0;
-  for (const FailureEvent& event : events) {
-    if (!event.up) ++failures;
+  for (const FaultTransition& event : events) {
+    if (event.kind == FaultTransitionKind::kDown) ++failures;
   }
   // ~1000 expected failures; allow wide slack.
   EXPECT_GT(failures, 800);

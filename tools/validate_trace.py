@@ -10,8 +10,8 @@ Checks (stdlib only, so CI needs nothing beyond python3):
     has `ph`/`name`/`ts`; async begin ("b") and end ("e") events pair up per
     (cat, id); counter ("C") events carry numeric args.
   * JSONL trace: first line declares schema vodsim-trace-v1 and an event
-    count matching the remaining lines; events carry the full key set with
-    non-decreasing `t` and strictly increasing `seq`.
+    count matching the remaining lines; events carry the full key set, a
+    known `type`, non-decreasing `t` and strictly increasing `seq`.
   * Probe CSV: exact expected header, every field parses as a float (the
     exporter normalizes non-finite values to inf/-inf/nan, which float()
     accepts), and timestamps are non-decreasing.
@@ -32,9 +32,26 @@ PROBE_HEADER = [
     "active_streams",
     "mean_buffer_fill",
     "pending_events",
+    "capacity_factor",
+    "retry_queue",
 ]
 
 JSONL_EVENT_KEYS = {"seq", "t", "type", "cat", "server", "request", "video", "a", "b"}
+
+# Every event name the recorder can emit (obs/trace.cpp's to_string table).
+# An unknown `type` means the exporter and this validator have diverged.
+KNOWN_EVENT_TYPES = {
+    "arrival", "admit", "reject",
+    "migrate_begin", "migrate_end", "migration_search",
+    "recompute", "urgent_on", "urgent_off",
+    "allocation_change",
+    "server_down", "server_up", "stream_dropped", "stream_recovered",
+    "brownout_begin", "brownout_end", "stream_shed",
+    "retry_enqueued", "retry_readmit", "retry_abandoned", "repair_planned",
+    "replication_begin", "replication_end",
+    "buffer_full", "buffer_low", "underflow",
+    "tx_complete", "playback_end", "pause", "resume",
+}
 
 
 def fail(message):
@@ -104,6 +121,8 @@ def validate_jsonl(path):
         missing = JSONL_EVENT_KEYS - event.keys()
         if missing:
             fail(f"{path}:{number}: missing keys {sorted(missing)}")
+        if event["type"] not in KNOWN_EVENT_TYPES:
+            fail(f"{path}:{number}: unknown event type {event['type']!r}")
         if event["t"] < last_t:
             fail(f"{path}:{number}: time went backwards "
                  f"({event['t']} < {last_t})")

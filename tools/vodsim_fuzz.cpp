@@ -10,7 +10,12 @@
 /// printed as a ready-to-paste gtest case, and the process exits nonzero.
 ///
 /// Usage:
-///   vodsim_fuzz [--scenarios 500] [--seed 42]
+///   vodsim_fuzz [--scenarios 500] [--seed 42] [--chaos]
+///
+/// With `--chaos`, random scenarios come from random_fault_scenario():
+/// failure injection is always on, with brownouts / retry / correlated
+/// outages / repair mixed in. CI's chaos-smoke job runs this mode under
+/// ASan/UBSan with the auditor and tracing forced on.
 
 #include <cstdio>
 
@@ -46,9 +51,11 @@ int main(int argc, char** argv) {
   CliParser cli("vodsim_fuzz", "differential scenario fuzzer for the engine");
   cli.add_flag("scenarios", "500", "number of random scenarios after the corpus");
   cli.add_flag("seed", "42", "RNG seed for scenario generation");
+  cli.add_flag("chaos", "0", "draw fault-enabled scenarios (random_fault_scenario)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
 
   const long scenarios = cli.get_long("scenarios");
+  const bool chaos = cli.get_long("chaos") != 0;
   std::uint64_t oracle_checked = 0;
 
   const std::vector<SimulationConfig> corpus = pathology_corpus();
@@ -61,10 +68,13 @@ int main(int argc, char** argv) {
 
   Rng rng(static_cast<std::uint64_t>(cli.get_long("seed")));
   for (long i = 0; i < scenarios; ++i) {
-    const SimulationConfig config = random_scenario(rng);
+    const SimulationConfig config =
+        chaos ? random_fault_scenario(rng) : random_scenario(rng);
     const FuzzResult result = run_scenario(config);
     if (result.oracle_checked) ++oracle_checked;
-    if (!result.passed) return report_failure(config, result, "random");
+    if (!result.passed) {
+      return report_failure(config, result, chaos ? "chaos" : "random");
+    }
     if ((i + 1) % 100 == 0) {
       std::printf("%ld/%ld scenarios ok (%llu oracle-checked)\n", i + 1,
                   scenarios, static_cast<unsigned long long>(oracle_checked));
