@@ -273,8 +273,8 @@ void BM_RecomputeServer(benchmark::State& state) {
         request.tx_complete_event = kInvalidEventId;
       }
       const Mbps surplus = rates[i] - request.drain_rate(t);
-      if (surplus > 1e-12 && !request.buffer().full()) {
-        const Seconds when = t + request.buffer().headroom() / surplus;
+      if (surplus > 1e-12 && !request.buffer_full()) {
+        const Seconds when = t + request.buffer_headroom() / surplus;
         if (!queue.reschedule(request.buffer_full_event, when)) {
           request.buffer_full_event = queue.schedule(when, [](Seconds) {});
         }
@@ -402,6 +402,68 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample)->Arg(200)->Arg(2000);
 
+void BM_FluidAdvanceBatch(benchmark::State& state) {
+  // The tentpole kernel in isolation: one server's fluid advance across all
+  // active streams. batched=0 is the exact-mode inner loop — one
+  // Request::advance plus one metering interval per stream, in active
+  // order; batched=1 is FluidLane::advance_batch — the same per-slot
+  // formulas in one pass over the struct-of-arrays with a single batch
+  // metering sum. Any per-stream numeric difference between the two would
+  // fail FluidLane.BatchAdvanceIsBitIdenticalToPerStream, so this measures
+  // layout and loop structure, nothing else.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  Rng rng(5);
+  Video video;
+  video.id = 0;
+  video.duration = 2.0 * 3600.0;
+  video.view_bandwidth = 3.0;
+  ClientProfile client{0.2 * video.size(), 30.0};
+  Server server(0, 3.0 * static_cast<double>(n) + 60.0, 1e12);
+  std::vector<std::unique_ptr<Request>> owner;
+  for (std::size_t i = 0; i < n; ++i) {
+    owner.push_back(std::make_unique<Request>(static_cast<RequestId>(i), video,
+                                              0.0, client));
+    Request& request = *owner.back();
+    request.begin_streaming(0.0, 0);
+    server.attach(request);
+    request.set_allocation(0.0, 3.0);
+    request.advance(rng.uniform(1.0, 600.0));
+  }
+  std::vector<Megabits> scratch;
+  Seconds now = 600.0;
+
+  const std::uint64_t allocs_before = heap_allocs();
+  for (auto _ : state) {
+    now += 1e-4;  // small fluid step keeps the population in steady state
+    if (batched) {
+      const FluidLane::BatchResult batch =
+          server.lane().advance_batch(now, 0.0, 1e18, scratch);
+      benchmark::DoNotOptimize(batch.transmitted_in_window);
+    } else {
+      Megabits transmitted = 0.0;
+      for (Request* request : server.active_requests()) {
+        const Seconds start = request->last_update();
+        const Mbps rate = request->allocation();
+        request->advance(now);
+        if (rate > 0.0 && now > start) transmitted += rate * (now - start);
+      }
+      benchmark::DoNotOptimize(transmitted);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  report_allocs_per_op(state, allocs_before, 1);
+}
+BENCHMARK(BM_FluidAdvanceBatch)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({300, 0})
+    ->Args({300, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->ArgNames({"streams", "batched"});
+
 void BM_EndToEndSmallSystemHour(benchmark::State& state) {
   // Whole-engine throughput: one simulated hour of the paper's small
   // system per iteration, with migration and staging enabled.
@@ -425,6 +487,40 @@ void BM_EndToEndSmallSystemHour(benchmark::State& state) {
   state.SetLabel("items = simulator events");
 }
 BENCHMARK(BM_EndToEndSmallSystemHour)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndFastMath(benchmark::State& state) {
+  // Whole-engine throughput at 300-stream scale (5 servers x 180 Mb/s at a
+  // 3 Mb/s view rate = 300 concurrent streams at full load), exact
+  // (fast=0) vs fast_math (fast=1). Only SimulationConfig::fast_math
+  // differs; run both args in one binary invocation so the speedup ratio
+  // comes from interleaved measurements on the same machine state.
+  const bool fast = state.range(0) != 0;
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SimulationConfig config;
+    config.system = SystemConfig::small_system();
+    config.system.server_bandwidth = 180.0;
+    config.zipf_theta = 0.271;
+    config.client.staging_fraction = 0.2;
+    config.client.receive_bandwidth = 30.0;
+    config.admission.migration.enabled = true;
+    config.duration = hours(1);
+    config.warmup = 0.0;
+    config.seed = seed++;
+    config.fast_math = fast;
+    VodSimulation simulation(config);
+    simulation.run();
+    events += simulation.simulator().executed_count();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_EndToEndFastMath)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"fast"})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndObservedHour(benchmark::State& state) {
   // Observability overhead on the whole-engine hot loop. The same run as

@@ -78,6 +78,9 @@ int main(int argc, char** argv) {
   cli.add_flag("warmup-hours", "5", "discarded warmup");
   cli.add_flag("trials", "1", "independent trials (mean ± 95% CI if > 1)");
   cli.add_flag("seed", "42", "master seed");
+  cli.add_flag("fast-math", "false",
+               "batched SoA fluid advance (reproducible; fluid aggregates "
+               "within 1e-9 of exact mode, counts identical)");
   // Observability (re-runs trial 0 with tracing attached; observe-only, so
   // the traced run is bit-identical to the reported one).
   cli.add_flag("trace-out", "", "write a chrome://tracing JSON trace here");
@@ -177,6 +180,7 @@ int main(int argc, char** argv) {
   config.duration = hours(cli.get_double("hours"));
   config.warmup = hours(cli.get_double("warmup-hours"));
   config.seed = static_cast<std::uint64_t>(cli.get_long("seed"));
+  config.fast_math = cli.get_bool("fast-math");
 
   try {
     config.validate();
@@ -193,7 +197,8 @@ int main(int argc, char** argv) {
             << config.system.num_servers << " servers x "
             << config.system.server_bandwidth << " Mb/s, theta "
             << config.zipf_theta << ", " << trials << " trial(s) x "
-            << cli.get_double("hours") << " h\n\n";
+            << cli.get_double("hours") << " h"
+            << (config.fast_math ? " [fast-math]" : "") << "\n\n";
 
   TablePrinter table({"metric", "value"});
   table.add_row({"utilization", format_mean_ci(point.utilization)});

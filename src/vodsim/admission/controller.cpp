@@ -39,7 +39,7 @@ bool AdmissionController::feasible(const Server& server,
   // fluid update — a slightly stale but cheap estimate).
   Mbps need = view_bandwidth + server.reserved_bandwidth();
   for (const Request* request : server.active_requests()) {
-    if (request->buffer().playback_cover(request->view_bandwidth()) <
+    if (request->buffer_cover() <
         config_.buffer_aware_horizon) {
       need += request->view_bandwidth();
     }

@@ -64,7 +64,7 @@ bool victim_eligible(const SearchContext& ctx, const Request& request) {
     return false;
   }
   if (ctx.config.switch_latency > 0.0 &&
-      request.buffer().playback_cover(request.view_bandwidth()) <
+      request.buffer_cover() <
           ctx.config.switch_latency) {
     return false;
   }
@@ -92,7 +92,7 @@ const std::vector<Request*>& ordered_victims(const SearchContext& ctx,
       by([](const Request& r) { return -r.remaining(); });
       break;
     case VictimStrategy::kMostBuffered:
-      by([](const Request& r) { return -r.buffer().level(); });
+      by([](const Request& r) { return -r.buffer_level(); });
       break;
   }
   return victims;

@@ -460,6 +460,7 @@ FuzzResult run_scenario(const SimulationConfig& config) {
   FuzzResult result;
   SimulationConfig audited = config;
   audited.paranoid = true;
+  audited.fast_math = false;
   try {
     const RequestTrace trace = engine_trace(audited);
     VodSimulation engine(audited, trace);
@@ -473,11 +474,84 @@ FuzzResult run_scenario(const SimulationConfig& config) {
         result.failure = "oracle mismatch: " + diff;
       }
     }
+    if (result.passed) {
+      // Dual-exactness enforcement: re-run the identical arrival trace in
+      // fast_math mode (auditor still attached) and diff it against the
+      // exact run. Every scenario goes through this — chaos fault configs
+      // included — so the batched kernel is exercised across the whole
+      // feature cross-product, not just the oracle's supported subset.
+      SimulationConfig fast_config = audited;
+      fast_config.fast_math = true;
+      VodSimulation fast_engine(fast_config, trace);
+      fast_engine.run();
+      result.fast_checked = true;
+      const std::string diff = compare_fast_vs_exact(engine, fast_engine);
+      if (!diff.empty()) {
+        result.passed = false;
+        result.failure = "fast/exact mismatch: " + diff;
+      }
+    }
   } catch (const std::exception& error) {
     result.passed = false;
     result.failure = error.what();
   }
   return result;
+}
+
+std::string compare_fast_vs_exact(const VodSimulation& exact,
+                                  const VodSimulation& fast) {
+  std::ostringstream oss;
+  auto count = [&oss](const char* name, std::uint64_t exact_value,
+                      std::uint64_t fast_value) {
+    if (exact_value != fast_value) {
+      oss << name << ": exact " << exact_value << " vs fast " << fast_value
+          << "; ";
+    }
+  };
+  // Same tolerance discipline as compare_against_engine: fast mode regroups
+  // the metering summation, so fluid aggregates may drift at ulp scale but
+  // never past the oracle's relative bound.
+  auto fluid = [&oss](const char* name, double exact_value, double fast_value) {
+    const double tolerance =
+        1e-9 + 1e-9 * std::max(std::abs(exact_value), std::abs(fast_value));
+    if (std::abs(exact_value - fast_value) > tolerance) {
+      oss.precision(17);
+      oss << name << ": exact " << exact_value << " vs fast " << fast_value
+          << "; ";
+    }
+  };
+
+  const Metrics& em = exact.metrics();
+  const Metrics& fm = fast.metrics();
+  count("arrivals", em.arrivals(), fm.arrivals());
+  count("accepts", em.accepts(), fm.accepts());
+  count("accepts_via_migration", em.accepts_via_migration(),
+        fm.accepts_via_migration());
+  count("rejects", em.rejects(), fm.rejects());
+  count("migration_steps", em.migration_steps(), fm.migration_steps());
+  count("completions", em.completions(), fm.completions());
+  count("drops", em.drops(), fm.drops());
+  count("underflow_events", em.underflow_events(), fm.underflow_events());
+  count("replications", em.replications(), fm.replications());
+  count("server_downs", em.server_downs(), fm.server_downs());
+  count("server_recoveries", em.server_recoveries(), fm.server_recoveries());
+  count("sheds", em.sheds(), fm.sheds());
+  count("interruptions", em.interruptions(), fm.interruptions());
+  count("retry_enqueued", em.retry_enqueued(), fm.retry_enqueued());
+  count("readmissions", em.readmissions(), fm.readmissions());
+  count("retry_abandoned", em.retry_abandoned(), fm.retry_abandoned());
+  count("repairs", em.repairs(), fm.repairs());
+  count("continuity_violations", exact.continuity_violations(),
+        fast.continuity_violations());
+  fluid("utilization", em.utilization(), fm.utilization());
+  fluid("rejection_ratio", em.rejection_ratio(), fm.rejection_ratio());
+  fluid("transmitted", em.transmitted(), fm.transmitted());
+  fluid("underflow_megabits", em.underflow_megabits(), fm.underflow_megabits());
+  fluid("replication_megabits", em.replication_megabits(),
+        fm.replication_megabits());
+  fluid("glitch_seconds", em.glitch_seconds(), fm.glitch_seconds());
+  fluid("availability", em.availability(), fm.availability());
+  return oss.str();
 }
 
 SimulationConfig shrink_scenario(SimulationConfig config) {

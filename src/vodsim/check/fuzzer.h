@@ -35,7 +35,12 @@ struct FuzzResult {
   /// True when the scenario was also cross-checked against the reference
   /// oracle (i.e. oracle_supports() held), not just audited.
   bool oracle_checked = false;
-  /// Empty when passed; otherwise the auditor's message or the oracle diff.
+  /// True when the scenario was additionally re-run under fast_math and
+  /// differentially compared against the exact engine (every passing
+  /// scenario — both modes carry the auditor).
+  bool fast_checked = false;
+  /// Empty when passed; otherwise the auditor's message, the oracle diff,
+  /// or the fast-vs-exact diff.
   std::string failure;
 };
 
@@ -60,9 +65,26 @@ std::vector<SimulationConfig> pathology_corpus();
 
 /// Runs \p config through the engine with the auditor forced on, and — when
 /// the oracle supports it — diffs the run against the reference oracle.
-/// Exceptions (AuditFailure included) are captured into the result, never
-/// propagated.
+/// Every scenario (chaos configs included) is then re-run with
+/// `fast_math = true` on the same arrival trace and diffed against the
+/// exact run via compare_fast_vs_exact — the dual-exactness contract's
+/// enforcement point. Exceptions (AuditFailure included) are captured into
+/// the result, never propagated.
 FuzzResult run_scenario(const SimulationConfig& config);
+
+class VodSimulation;
+
+/// Diffs a fast-math run against the exact run of the same configuration
+/// and arrival trace, with the reference oracle's tolerance discipline:
+/// discrete counters (arrivals, accepts, rejects, migrations, completions,
+/// drops, underflow events, replications, continuity violations, pauses)
+/// must match exactly — fast mode shares the per-stream formulas, so
+/// trajectories and every discrete decision coincide — while fluid
+/// integrals (transmitted, utilization, rejection ratio, underflow
+/// megabits) may differ within 1e-9 relative (metering summation order).
+/// Returns an empty string on agreement, a diff description otherwise.
+std::string compare_fast_vs_exact(const VodSimulation& exact,
+                                  const VodSimulation& fast);
 
 /// Greedily minimizes a failing \p config: repeatedly applies shrinking
 /// transforms (disable a feature, halve a size, drop a policy back to its

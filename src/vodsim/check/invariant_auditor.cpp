@@ -49,9 +49,10 @@ void InvariantAuditor::check_request(const Request& request, const Server& serve
       << request.receive_bandwidth();
     fail("allocation respects the client receive cap", d);
   }
-  const StagingBuffer& buffer = request.buffer();
-  if (buffer.level() < -kTolerance || buffer.level() > buffer.capacity() + kTolerance) {
-    d << ": buffer level " << buffer.level() << " capacity " << buffer.capacity();
+  if (request.buffer_level() < -kTolerance ||
+      request.buffer_level() > request.buffer_capacity() + kTolerance) {
+    d << ": buffer level " << request.buffer_level() << " capacity "
+      << request.buffer_capacity();
     fail("staging buffer level within [0, capacity]", d);
   }
   if (request.remaining() < 0.0) {
@@ -153,7 +154,9 @@ void InvariantAuditor::on_event() {
 
     check_server(server, expect);
     for (const Request* request : server.active_requests()) {
-      if (request->last_update() > now + 1e-9) {
+      // Same named bound the mutators assert (util/units.h): the SoA fast
+      // path cannot widen the fluid-clock tolerance without failing here.
+      if (request->last_update() > now + kTimeSyncTolerance) {
         std::ostringstream d;
         d << "request " << request->id() << " updated at "
           << request->last_update() << ", now " << now;

@@ -497,13 +497,13 @@ class Oracle {
     }
 
     const Mbps surplus = rate - request.drain_rate(now_);
-    if (surplus > 1e-12 && !request.buffer().full()) {
-      const Seconds full_at = now_ + request.buffer().headroom() / surplus;
+    if (surplus > 1e-12 && !request.buffer_full()) {
+      const Seconds full_at = now_ + request.buffer_headroom() / surplus;
       if (full_at < tx_at) p.full_at = full_at;
     } else if (surplus < -1e-12) {
       const Megabits threshold =
           config_.intermittent_safety_cover * request.view_bandwidth();
-      const Megabits level = request.buffer().level();
+      const Megabits level = request.buffer_level();
       if (level > threshold + StagingBuffer::kLevelTolerance) {
         const Seconds low_at = now_ + (level - threshold) / -surplus;
         if (low_at < tx_at) p.low_at = low_at;
@@ -522,8 +522,8 @@ class Oracle {
       Mbps allocated = 0.0;
       for (const Request* request : s.active_requests()) {
         allocated += request->allocation();
-        const StagingBuffer& buffer = request->buffer();
-        if (buffer.level() < -1e-6 || buffer.level() > buffer.capacity() + 1e-6) {
+        if (request->buffer_level() < -1e-6 ||
+            request->buffer_level() > request->buffer_capacity() + 1e-6) {
           std::ostringstream oss;
           oss << "oracle self-check: buffer out of bounds on request "
               << request->id();

@@ -3,23 +3,14 @@
 #include <algorithm>
 #include <cassert>
 
+#include "vodsim/cluster/fluid_lane.h"
+
 namespace vodsim {
 
 Megabits StagingBuffer::apply(Megabits inflow, Megabits outflow) {
   assert(inflow >= 0.0);
   assert(outflow >= 0.0);
-  level_ += inflow - outflow;
-  Megabits underflow = 0.0;
-  if (level_ < 0.0) {
-    underflow = -level_;
-    level_ = 0.0;
-  }
-  if (level_ > capacity_) {
-    // Allocation logic never intentionally overfills; anything here is
-    // floating-point slop from event-time rounding.
-    level_ = capacity_;
-  }
-  return underflow > kLevelTolerance ? underflow : 0.0;
+  return fluid_detail::apply_buffer(level_, capacity_, inflow, outflow);
 }
 
 Seconds StagingBuffer::playback_cover(Mbps view_bandwidth) const {

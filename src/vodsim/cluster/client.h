@@ -50,8 +50,18 @@ class StagingBuffer {
   /// 0 in normal minimum-flow operation). The level is clamped to
   /// [0, capacity]; overshoot beyond capacity (possible only through
   /// floating-point slop, since buffer-full events stop workahead) is
-  /// clamped silently within tolerance.
+  /// clamped silently within tolerance. Delegates to the shared
+  /// single-stream kernel (cluster/fluid_lane.h), so the scalar and SoA
+  /// paths run the same arithmetic.
   Megabits apply(Megabits inflow, Megabits outflow);
+
+  /// Overwrites the level directly: lane synchronization (a request
+  /// detaching from a server copies its SoA slot back here) and the shared
+  /// kernel's scalar path. \p level must already be clamped to
+  /// [0, capacity] — this is a plain store, not an apply().
+  void set_level(Megabits level) {
+    level_ = level;
+  }
 
   /// Seconds of playback the current level covers at \p view_bandwidth.
   Seconds playback_cover(Mbps view_bandwidth) const;

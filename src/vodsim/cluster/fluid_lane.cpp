@@ -1,0 +1,219 @@
+#include "vodsim/cluster/fluid_lane.h"
+
+#include "vodsim/cluster/request.h"
+
+namespace vodsim {
+
+namespace {
+
+/// The vectorized heart of FluidLane::advance_batch: per-stream state
+/// updates only, no reductions (see the caller for why the metering sum is
+/// a separate pass). A free function because GCC honours __restrict on
+/// function parameters but not on locals initialised from member loads —
+/// without it, ten pointers need more runtime alias checks than the
+/// vectorizer will version (--param vect-max-version-for-alias-checks).
+/// __restrict is sound: every pointer addresses a distinct vector (nine
+/// member arrays plus the engine-owned scratch), so no two can overlap.
+/// noinline keeps the restrict qualifiers from being dropped when the body
+/// is folded into the caller; one call per batch is noise next to the loop.
+///
+/// target_clones emits an SSE2 baseline plus an AVX2 clone picked at load
+/// time, doubling the vector width on hosts that have it. Safe for both
+/// reproducibility and bit-identity: dispatch is fixed per machine, per-lane
+/// vaddpd/vmulpd/vmaxpd semantics equal their scalar counterparts, and this
+/// TU is built with -ffp-contract=off (see src/CMakeLists.txt) so the AVX2
+/// clone cannot fuse multiply-adds into FMAs that round differently from
+/// the scalar path.
+#if defined(__x86_64__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define VODSIM_BATCH_KERNEL_CLONES \
+  __attribute__((target_clones("default", "avx2")))
+#endif
+#endif
+#ifndef VODSIM_BATCH_KERNEL_CLONES
+#define VODSIM_BATCH_KERNEL_CLONES
+#endif
+VODSIM_BATCH_KERNEL_CLONES
+__attribute__((noinline)) void advance_states(
+    std::size_t n, Seconds now, Seconds* __restrict last_update,
+    Megabits* __restrict remaining, Megabits* __restrict buffer_level,
+    const Megabits* __restrict buffer_capacity,
+    const Mbps* __restrict allocation, const Mbps* __restrict view_bandwidth,
+    const Seconds* __restrict arrival, const Seconds* __restrict playback_end,
+    const double* __restrict playing, Megabits* __restrict underflow_out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Seconds start = last_update[i];
+    const Seconds dt = now - start;
+
+    const Megabits inflow = allocation[i] * std::max(0.0, dt);
+    remaining[i] = std::max(0.0, remaining[i] - inflow);
+
+    const Seconds play_span =
+        std::min(now, playback_end[i]) - std::max(start, arrival[i]);
+    const Megabits outflow =
+        view_bandwidth[i] * std::max(0.0, play_span) * playing[i];
+
+    const Megabits level = buffer_level[i] + (inflow - outflow);
+    const Megabits raw_underflow = std::max(0.0, 0.0 - level);
+    buffer_level[i] = std::min(std::max(level, 0.0), buffer_capacity[i]);
+    underflow_out[i] =
+        raw_underflow > StagingBuffer::kLevelTolerance ? raw_underflow : 0.0;
+
+    last_update[i] = now;
+  }
+}
+
+}  // namespace
+
+void FluidLane::reserve(std::size_t n) {
+  remaining_.reserve(n);
+  allocation_.reserve(n);
+  last_update_.reserve(n);
+  buffer_level_.reserve(n);
+  buffer_capacity_.reserve(n);
+  view_bandwidth_.reserve(n);
+  receive_bandwidth_.reserve(n);
+  arrival_.reserve(n);
+  playback_end_.reserve(n);
+  playing_.reserve(n);
+}
+
+void FluidLane::append(const Request& request) {
+  remaining_.push_back(request.remaining());
+  allocation_.push_back(request.allocation());
+  last_update_.push_back(request.last_update());
+  buffer_level_.push_back(request.buffer_level());
+  buffer_capacity_.push_back(request.buffer_capacity());
+  view_bandwidth_.push_back(request.view_bandwidth());
+  receive_bandwidth_.push_back(request.receive_bandwidth());
+  arrival_.push_back(request.arrival());
+  playback_end_.push_back(request.playback_end());
+  playing_.push_back(request.viewing_paused() ? 0.0 : 1.0);
+}
+
+void FluidLane::swap_remove(std::size_t index) {
+  const std::size_t last = size() - 1;
+  remaining_[index] = remaining_[last];
+  allocation_[index] = allocation_[last];
+  last_update_[index] = last_update_[last];
+  buffer_level_[index] = buffer_level_[last];
+  buffer_capacity_[index] = buffer_capacity_[last];
+  view_bandwidth_[index] = view_bandwidth_[last];
+  receive_bandwidth_[index] = receive_bandwidth_[last];
+  arrival_[index] = arrival_[last];
+  playback_end_[index] = playback_end_[last];
+  playing_[index] = playing_[last];
+  remaining_.pop_back();
+  allocation_.pop_back();
+  last_update_.pop_back();
+  buffer_level_.pop_back();
+  buffer_capacity_.pop_back();
+  view_bandwidth_.pop_back();
+  receive_bandwidth_.pop_back();
+  arrival_.pop_back();
+  playback_end_.pop_back();
+  playing_.pop_back();
+}
+
+FluidLane::BatchResult FluidLane::advance_batch(
+    Seconds now, Seconds window_start, Seconds window_end,
+    std::vector<Megabits>& underflow_scratch) {
+  const std::size_t n = size();
+  // resize, not assign: advance_states stores every slot unconditionally,
+  // so pre-zeroing would be a wasted O(n) pass.
+  underflow_scratch.resize(n);
+
+  BatchResult result;
+  // Metering upper clip is batch-constant; the lower clip depends on each
+  // stream's last update. Gating matches Metrics::record_transmission
+  // exactly (rate <= 0 and empty clipped intervals contribute nothing).
+  const Seconds meter_hi = std::min(now, window_end);
+
+  const Seconds* const last_update = last_update_.data();
+  const Mbps* const allocation = allocation_.data();
+  const Megabits* const underflow_out = underflow_scratch.data();
+
+  // Branchless re-expression of fluid_detail::advance_stream, bit-identical
+  // per stream so the branchy skips become unconditional arithmetic and the
+  // state loop vectorizes ("not vectorized: control flow in loop"
+  // otherwise):
+  //   - No state array ever holds -0.0 (levels/remaining come from
+  //     max(0.0, x), which yields +0.0; rates and times are nonnegative
+  //     inputs), so the identities x + 0.0 == x, x - 0.0 == x,
+  //     x * 0.0 == +0.0 and x * 1.0 == x hold *bitwise* everywhere below.
+  //   - std::max(a, b) is (a < b) ? b : a; each call's argument order is
+  //     chosen so the branch it replaces selects the same operand. The
+  //     negated level is written 0.0 - level, not -level (unary FP negate
+  //     defeats GCC's if-conversion); inside max(0.0, .) the two are
+  //     bit-equivalent, including at level == +0.0.
+  //   - A dt <= 0 stream therefore contributes +0.0 to every accumulator
+  //     and rewrites its own state with the same bits, matching the scalar
+  //     path's early-out exactly.
+  //   - The playback gate `if (!paused)` becomes a multiply by the 1.0/0.0
+  //     playing mask; the baseline build has no FMA, so no contraction can
+  //     fuse these multiplies differently from the scalar path.
+  //
+  // The kernel runs in three passes because GCC refuses to vectorize a loop
+  // carrying FP sum/max reductions without value-changing reassociation:
+  // a light scalar pass does the metering sum and advanced count (reading
+  // only last_update/allocation, both still pre-update), the heavy
+  // per-stream state arithmetic runs reduction-free and vectorized in
+  // advance_states, and a final scan folds the scratch into any_underflow.
+  // The split changes no operation or order: the metering terms are summed
+  // in slot order either way, and the passes touch disjoint values.
+  Megabits transmitted = 0.0;
+  std::size_t advanced = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Seconds start = last_update[i];
+    advanced += static_cast<std::size_t>(now - start > 0.0);
+    transmitted +=
+        allocation[i] * std::max(0.0, meter_hi - std::max(start, window_start));
+  }
+
+  advance_states(n, now, last_update_.data(), remaining_.data(),
+                 buffer_level_.data(), buffer_capacity_.data(),
+                 allocation_.data(), view_bandwidth_.data(), arrival_.data(),
+                 playback_end_.data(), playing_.data(),
+                 underflow_scratch.data());
+
+  Megabits max_underflow = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_underflow = std::max(max_underflow, underflow_out[i]);
+  }
+  result.transmitted_in_window = transmitted;
+  result.advanced = advanced;
+  result.any_underflow = max_underflow > 0.0;
+  return result;
+}
+
+Mbps FluidLane::sum_minimum_rates(std::vector<Mbps>& rates) const {
+  const std::size_t n = size();
+  rates.assign(n, 0.0);
+  Mbps committed = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Request::minimum_rate: 0 only for a paused client whose staging disk
+    // is full (within StagingBuffer::kLevelTolerance), else the view rate.
+    const bool full =
+        buffer_level_[i] >= buffer_capacity_[i] - StagingBuffer::kLevelTolerance;
+    const Mbps rate = (playing_[i] == 0.0 && full) ? 0.0 : view_bandwidth_[i];
+    rates[i] = rate;
+    committed += rate;
+  }
+  return committed;
+}
+
+void FluidLane::eligible_slots(std::vector<std::size_t>& out) const {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // sched_detail::workahead_eligible: room in the staging buffer, a
+    // receive link faster than playback, and data left to send.
+    const bool full =
+        buffer_level_[i] >= buffer_capacity_[i] - StagingBuffer::kLevelTolerance;
+    if (!full && receive_bandwidth_[i] > view_bandwidth_[i] &&
+        remaining_[i] > Request::kRemainingTolerance) {
+      out.push_back(i);
+    }
+  }
+}
+
+}  // namespace vodsim

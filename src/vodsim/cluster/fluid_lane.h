@@ -1,0 +1,200 @@
+#pragma once
+
+/// \file fluid_lane.h
+/// \brief Struct-of-arrays fluid stream state: one lane per server.
+///
+/// Each server owns a FluidLane holding the fluid-model state of its active
+/// streams in parallel arrays indexed by `Request::active_index`. The lane
+/// is maintained by Server::attach/detach in lock-step with the active
+/// list: attach appends a slot (copying the request's home scalars) and
+/// binds the request to the lane; detach copies the hot fields back and
+/// mirrors the active list's swap-with-last, so slot order always equals
+/// active order.
+///
+/// Authority model (see DESIGN.md §10):
+///   - While a request is attached, the lane slot is authoritative for the
+///     hot fields the fluid kernel mutates — remaining data, staging-buffer
+///     level, last-update time. Request accessors read through the lane.
+///   - Rarely-mutated fields (allocation, paused flag, playback end) stay
+///     home-authoritative on the Request and are written through to the
+///     lane, so the kernel reads them from contiguous storage while
+///     ordinary reads stay branch-free.
+///   - While detached (migrating, draining after TxComplete), the home
+///     scalars are authoritative and the scalar path integrates them.
+///
+/// Both engine modes use the lane. Exact mode advances streams one at a
+/// time in active order through `advance_one`, which calls the identical
+/// single-stream formulas as the original Request::advance — so the 29
+/// hexfloat determinism goldens pin the lane plumbing itself. Fast-math
+/// mode calls `advance_batch`, which runs the same per-stream arithmetic
+/// in one vectorizable loop and aggregates the transmission metering into
+/// a per-batch sum (the only numeric divergence between modes: summation
+/// grouping of the metering, at ulp scale).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vodsim/cluster/client.h"
+#include "vodsim/util/units.h"
+
+namespace vodsim {
+
+class Request;
+
+/// Single-stream fluid formulas, defined exactly once. The scalar path
+/// (Request::advance, StagingBuffer::apply) and the exact-mode lane path
+/// call these directly; the fast-math batch kernel (fluid_lane.cpp) is a
+/// branchless re-expression of the same operations, proven bit-identical
+/// per stream (the argument is spelled out at the kernel), so restructuring
+/// storage cannot change a single floating-point result per stream.
+namespace fluid_detail {
+
+/// StagingBuffer::apply's arithmetic on raw level storage: applies inflow
+/// and playback outflow, clamps the level into [0, capacity], and returns
+/// the megabits by which playback would have underrun (0 within tolerance).
+inline Megabits apply_buffer(Megabits& level, Megabits capacity,
+                             Megabits inflow, Megabits outflow) {
+  level += inflow - outflow;
+  Megabits underflow = 0.0;
+  if (level < 0.0) {
+    underflow = -level;
+    level = 0.0;
+  }
+  if (level > capacity) {
+    // Allocation logic never intentionally overfills; anything here is
+    // floating-point slop from event-time rounding.
+    level = capacity;
+  }
+  return underflow > StagingBuffer::kLevelTolerance ? underflow : 0.0;
+}
+
+/// One stream's fluid step from `last_update` to `now`: the exact
+/// arithmetic of Request::advance + StagingBuffer::apply on caller-supplied
+/// storage. Returns megabits of playback underflow over the interval.
+inline Megabits advance_stream(Seconds now, Seconds& last_update,
+                               Megabits& remaining, Megabits& buffer_level,
+                               Megabits buffer_capacity, Mbps allocation,
+                               bool paused, Seconds arrival,
+                               Seconds playback_end, Mbps view_bandwidth) {
+  const Seconds dt = now - last_update;
+  if (dt <= 0.0) {
+    last_update = now;
+    return 0.0;
+  }
+
+  const Megabits inflow = allocation * dt;
+  remaining = std::max(0.0, remaining - inflow);
+
+  // Playback consumes view_bandwidth over the part of [last_update, now]
+  // that overlaps [arrival, playback_end] — unless paused. The engine
+  // advances exactly at pause/resume instants, so the paused flag is
+  // constant across any integrated interval.
+  Megabits outflow = 0.0;
+  if (!paused) {
+    const Seconds play_lo = std::max(last_update, arrival);
+    const Seconds play_hi = std::min(now, playback_end);
+    if (play_hi > play_lo) outflow = view_bandwidth * (play_hi - play_lo);
+  }
+
+  last_update = now;
+  return apply_buffer(buffer_level, buffer_capacity, inflow, outflow);
+}
+
+}  // namespace fluid_detail
+
+/// Per-server struct-of-arrays fluid state. Slot i belongs to the request
+/// with active_index == i on the owning server.
+class FluidLane {
+ public:
+  std::size_t size() const { return remaining_.size(); }
+
+  void reserve(std::size_t n);
+
+  /// Appends \p request's fluid state as the last slot. Reads the home-
+  /// authoritative scalars; call before binding the request to this lane.
+  void append(const Request& request);
+
+  /// Removes slot \p index by swap-with-last, mirroring Server::detach's
+  /// active-list swap so slot order keeps tracking active order.
+  void swap_remove(std::size_t index);
+
+  // --- per-slot access (slot = Request::active_index) -------------------
+  Megabits remaining(std::size_t i) const { return remaining_[i]; }
+  Mbps allocation(std::size_t i) const { return allocation_[i]; }
+  Seconds last_update(std::size_t i) const { return last_update_[i]; }
+  Megabits buffer_level(std::size_t i) const { return buffer_level_[i]; }
+
+  // Write-through sinks for the home-authoritative fields (Request-driven).
+  void set_allocation(std::size_t i, Mbps rate) { allocation_[i] = rate; }
+  void set_paused(std::size_t i, bool paused) {
+    playing_[i] = paused ? 0.0 : 1.0;
+  }
+  void set_playback_end(std::size_t i, Seconds end) { playback_end_[i] = end; }
+
+  /// Exact-mode advancement of one slot: identical formulas, per-stream
+  /// call order preserved by the caller. Returns playback underflow (Mb).
+  Megabits advance_one(std::size_t i, Seconds now) {
+    return fluid_detail::advance_stream(
+        now, last_update_[i], remaining_[i], buffer_level_[i],
+        buffer_capacity_[i], allocation_[i], playing_[i] == 0.0, arrival_[i],
+        playback_end_[i], view_bandwidth_[i]);
+  }
+
+  /// Aggregate outcome of one fast-math batch.
+  struct BatchResult {
+    /// Σ allocation · dt over the batch, clipped per stream to the
+    /// metering window — the batch equivalent of one
+    /// Metrics::record_transmission call per stream, summed locally.
+    Megabits transmitted_in_window = 0.0;
+    std::size_t advanced = 0;  ///< streams with dt > 0
+    bool any_underflow = false;
+  };
+
+  /// Fast-math kernel: advances every slot to \p now in one branchless,
+  /// vectorizable loop free of per-stream call order. Per-stream state
+  /// updates are bit-identical to advance_one (see the kernel for the
+  /// proof sketch), so trajectories — and therefore all discrete outcomes —
+  /// match exact mode; only the metering summation is regrouped. \p underflow_scratch is resized to size() and receives
+  /// each slot's playback underflow (0 for almost every stream — the
+  /// engine walks it only when the result says any_underflow).
+  BatchResult advance_batch(Seconds now, Seconds window_start,
+                            Seconds window_end,
+                            std::vector<Megabits>& underflow_scratch);
+
+  // --- scheduler-facing bulk reads --------------------------------------
+  // The allocation hot loops (sched/scheduler.cpp) evaluate per-stream
+  // predicates on every recompute; walking the arrays beats chasing
+  // Request pointers. Both are exact replicas of the Request predicates
+  // (minimum_rate / workahead_eligible) on the same authoritative values,
+  // so using them changes no result bit in either engine mode — the
+  // determinism goldens pin that.
+
+  /// Fills \p rates with each slot's minimum rate (Request::minimum_rate
+  /// semantics: the view bandwidth, or 0 for a paused client with a full
+  /// staging buffer) and returns their sum in slot order.
+  Mbps sum_minimum_rates(std::vector<Mbps>& rates) const;
+
+  /// Appends to \p out the slots that can absorb workahead
+  /// (sched_detail::workahead_eligible semantics), in slot order.
+  void eligible_slots(std::vector<std::size_t>& out) const;
+
+ private:
+  std::vector<Megabits> remaining_;
+  std::vector<Mbps> allocation_;
+  std::vector<Seconds> last_update_;
+  std::vector<Megabits> buffer_level_;
+  std::vector<Megabits> buffer_capacity_;
+  std::vector<Mbps> view_bandwidth_;
+  std::vector<Mbps> receive_bandwidth_;
+  std::vector<Seconds> arrival_;
+  std::vector<Seconds> playback_end_;
+  /// Playback-drain mask: 1.0 while viewing, 0.0 while paused. Stored as a
+  /// double so the batch kernel applies it as a multiply (x·1.0 and x·0.0
+  /// are bit-exact stand-ins for the scalar path's `if (!paused)`) and the
+  /// loop stays free of mixed-width loads that block vectorization.
+  std::vector<double> playing_;
+};
+
+}  // namespace vodsim

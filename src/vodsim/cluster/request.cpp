@@ -19,33 +19,23 @@ Request::Request(RequestId id, const Video& video, Seconds arrival,
       buffer_(client.buffer_capacity) {}
 
 Seconds Request::projected_finish(Seconds now) const {
-  return now + remaining_ / view_bandwidth_;
+  return now + remaining() / view_bandwidth_;
 }
 
 Megabits Request::advance(Seconds now) {
-  assert(now >= last_update_ - 1e-9);
-  const Seconds dt = now - last_update_;
-  if (dt <= 0.0) {
-    last_update_ = now;
-    return 0.0;
+  assert(now >= last_update() - kTimeSyncTolerance);
+  if (lane_ != nullptr) {
+    return lane_->advance_one(active_index, now);
   }
-
-  const Megabits inflow = allocation_ * dt;
-  remaining_ = std::max(0.0, remaining_ - inflow);
-
-  // Playback consumes view_bandwidth over the part of [last_update, now]
-  // that overlaps [arrival, playback_end] — unless paused. The engine
-  // advances exactly at pause/resume instants, so the paused flag is
-  // constant across any integrated interval.
-  Megabits outflow = 0.0;
-  if (!viewing_paused_) {
-    const Seconds play_lo = std::max(last_update_, arrival_);
-    const Seconds play_hi = std::min(now, playback_end_);
-    if (play_hi > play_lo) outflow = view_bandwidth_ * (play_hi - play_lo);
-  }
-
-  last_update_ = now;
-  return buffer_.apply(inflow, outflow);
+  // Detached path: same single-stream formulas (fluid_detail) on the home
+  // scalars; the buffer keeps draining while a stream migrates or coasts
+  // after transmission completes.
+  Megabits level = buffer_.level();
+  const Megabits underflow = fluid_detail::advance_stream(
+      now, last_update_, remaining_, level, buffer_.capacity(), allocation_,
+      viewing_paused_, arrival_, playback_end_, view_bandwidth_);
+  buffer_.set_level(level);
+  return underflow;
 }
 
 Mbps Request::drain_rate(Seconds now) const {
@@ -54,35 +44,45 @@ Mbps Request::drain_rate(Seconds now) const {
 }
 
 Mbps Request::minimum_rate() const {
-  if (viewing_paused_ && buffer_.full()) return 0.0;
+  if (viewing_paused_ && buffer_full()) return 0.0;
   return view_bandwidth_;
 }
 
 void Request::pause_viewing(Seconds now) {
   assert(!viewing_paused_);
-  assert(std::abs(now - last_update_) < 1e-9 && "advance() before pause");
+  assert(std::abs(now - last_update()) < kTimeSyncTolerance &&
+         "advance() before pause");
   viewing_paused_ = true;
   pause_started_ = now;
   ++pause_count_;
+  if (lane_ != nullptr) lane_->set_paused(active_index, true);
 }
 
 void Request::resume_viewing(Seconds now) {
   assert(viewing_paused_);
-  assert(std::abs(now - last_update_) < 1e-9 && "advance() before resume");
+  assert(std::abs(now - last_update()) < kTimeSyncTolerance &&
+         "advance() before resume");
   viewing_paused_ = false;
   playback_end_ += now - pause_started_;
+  if (lane_ != nullptr) {
+    lane_->set_paused(active_index, false);
+    lane_->set_playback_end(active_index, playback_end_);
+  }
 }
 
 void Request::set_allocation(Seconds now, Mbps rate) {
-  assert(std::abs(now - last_update_) < 1e-9 && "advance() before set_allocation()");
+  assert(std::abs(now - last_update()) < kTimeSyncTolerance &&
+         "advance() before set_allocation()");
   assert(rate >= -1e-12);
   assert(rate <= receive_bandwidth_ + 1e-9);
   (void)now;
   allocation_ = std::max(rate, 0.0);
+  if (lane_ != nullptr) lane_->set_allocation(active_index, allocation_);
 }
 
 void Request::begin_streaming(Seconds now, ServerId server) {
   assert(state_ == RequestState::kStreaming || state_ == RequestState::kMigrating);
+  assert(lane_ == nullptr && "attach_lane follows begin_streaming");
   state_ = RequestState::kStreaming;
   server_ = server;
   last_update_ = std::max(last_update_, now);
@@ -90,6 +90,7 @@ void Request::begin_streaming(Seconds now, ServerId server) {
 
 void Request::begin_migration(Seconds now) {
   assert(state_ == RequestState::kStreaming);
+  assert(lane_ == nullptr && "detach before begin_migration");
   (void)now;
   state_ = RequestState::kMigrating;
   server_ = kNoServer;
@@ -106,6 +107,7 @@ void Request::complete_migration(Seconds now, ServerId new_server) {
 
 void Request::mark_tx_complete(Seconds now) {
   assert(state_ == RequestState::kStreaming);
+  assert(lane_ == nullptr && "detach before mark_tx_complete");
   (void)now;
   assert(finished());
   state_ = RequestState::kTxComplete;
@@ -126,6 +128,21 @@ void Request::mark_done(Seconds now) {
 void Request::mark_rejected() {
   assert(state_ == RequestState::kStreaming && server_ == kNoServer);
   state_ = RequestState::kRejected;
+}
+
+void Request::attach_lane(FluidLane* lane) {
+  assert(lane_ == nullptr);
+  assert(lane != nullptr);
+  assert(lane->size() == active_index + 1 && "append precedes attach_lane");
+  lane_ = lane;
+}
+
+void Request::detach_lane() {
+  assert(lane_ != nullptr);
+  remaining_ = lane_->remaining(active_index);
+  last_update_ = lane_->last_update(active_index);
+  buffer_.set_level(lane_->buffer_level(active_index));
+  lane_ = nullptr;
 }
 
 }  // namespace vodsim

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "vodsim/cluster/client.h"
+#include "vodsim/cluster/fluid_lane.h"
 #include "vodsim/cluster/video.h"
 #include "vodsim/des/event_queue.h"
 #include "vodsim/util/units.h"
@@ -52,15 +53,47 @@ class Request {
   Megabits total_size() const { return total_size_; }
 
   // --- dynamic state --------------------------------------------------
+  // While attached to a server, the hot fluid fields (remaining data,
+  // staging level, last-update time) live in the server's FluidLane at
+  // slot `active_index` and the accessors read through; detached requests
+  // own their state inline (cluster/fluid_lane.h documents the authority
+  // model). allocation and the pause/playback fields stay home-
+  // authoritative with write-through, so those reads are branch-free.
   RequestState state() const { return state_; }
   ServerId server() const { return server_; }
-  Megabits remaining() const { return remaining_; }
+  Megabits remaining() const {
+    return lane_ != nullptr ? lane_->remaining(active_index) : remaining_;
+  }
   Mbps allocation() const { return allocation_; }
-  Seconds last_update() const { return last_update_; }
-  const StagingBuffer& buffer() const { return buffer_; }
+  Seconds last_update() const {
+    return lane_ != nullptr ? lane_->last_update(active_index) : last_update_;
+  }
   int hops() const { return hops_; }
   bool viewing_paused() const { return viewing_paused_; }
   int pause_count() const { return pause_count_; }
+
+  // --- staging-buffer view ---------------------------------------------
+  // Scalar accessors rather than a StagingBuffer reference: the level may
+  // live in the lane, so there is no single object to hand out. Arithmetic
+  // is identical to StagingBuffer's (full/headroom/playback_cover).
+  Megabits buffer_level() const {
+    return lane_ != nullptr ? lane_->buffer_level(active_index) : buffer_.level();
+  }
+  Megabits buffer_capacity() const { return buffer_.capacity(); }
+
+  /// True when no further workahead fits (within fluid-model tolerance).
+  bool buffer_full() const {
+    return buffer_level() >= buffer_.capacity() - StagingBuffer::kLevelTolerance;
+  }
+
+  /// Megabits of additional workahead the staging buffer can hold.
+  Megabits buffer_headroom() const {
+    const Megabits level = buffer_level();
+    return buffer_.capacity() > level ? buffer_.capacity() - level : 0.0;
+  }
+
+  /// Seconds of playback the staged data covers at this request's view rate.
+  Seconds buffer_cover() const { return buffer_level() / view_bandwidth_; }
 
   /// Rate at which the client consumes data right now (0 while paused or
   /// after the video ends).
@@ -78,11 +111,11 @@ class Request {
   Seconds projected_finish(Seconds now) const;
 
   /// True if all data has been transmitted.
-  bool finished() const { return remaining_ <= kRemainingTolerance; }
+  bool finished() const { return remaining() <= kRemainingTolerance; }
 
   /// Megabits delivered to the client so far (audit surface: the invariant
   /// auditor reconciles the sum of these against the integrated fluid flow).
-  Megabits delivered() const { return total_size_ - remaining_; }
+  Megabits delivered() const { return total_size_ - remaining(); }
 
   /// Integrates the fluid state from last_update() to \p now at the current
   /// allocation: decreases remaining data, fills/drains the staging buffer
@@ -109,6 +142,20 @@ class Request {
   void mark_tx_complete(Seconds now);
   void mark_done(Seconds now);
   void mark_rejected();
+
+  // --- SoA lane binding (Server::attach/detach only) -------------------
+  /// Binds this request to \p lane at slot `active_index`. The caller has
+  /// already appended the home scalars to the lane (FluidLane::append).
+  void attach_lane(FluidLane* lane);
+
+  /// Copies the lane-authoritative fields back into the home scalars and
+  /// unbinds. Call before the lane slot is recycled (swap_remove).
+  void detach_lane();
+
+  /// The owning server's lane while attached (slot = active_index), null
+  /// otherwise. Lets the scheduler hot loops detect that a candidate vector
+  /// is lane-backed and read the SoA arrays directly.
+  const FluidLane* lane() const { return lane_; }
 
   // --- predicted-event bookkeeping ------------------------------------
   // The engine stores handles to this request's pending predicted events so
@@ -149,6 +196,8 @@ class Request {
   Mbps allocation_ = 0.0;
   Seconds last_update_;
   StagingBuffer buffer_;
+  /// The owning server's fluid lane while attached, nullptr otherwise.
+  FluidLane* lane_ = nullptr;
   int hops_ = 0;
   bool viewing_paused_ = false;
   Seconds pause_started_ = 0.0;

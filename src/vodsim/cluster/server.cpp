@@ -60,11 +60,15 @@ void Server::attach(Request& request, bool enforce_capacity) {
     // (plus slack for buffer-aware over-commitment), so steady-state
     // attach/detach churn never reallocates.
     const double fit = bandwidth_ / std::max(request.view_bandwidth(), 1e-9);
-    active_.reserve(std::max({active_.size() * 2, static_cast<std::size_t>(fit) + 8,
-                              std::size_t{16}}));
+    const std::size_t want = std::max(
+        {active_.size() * 2, static_cast<std::size_t>(fit) + 8, std::size_t{16}});
+    active_.reserve(want);
+    lane_.reserve(want);
   }
   request.active_index = active_.size();
   active_.push_back(&request);
+  lane_.append(request);
+  request.attach_lane(&lane_);
   committed_ += request.view_bandwidth();
   ++total_attached_;
 }
@@ -73,6 +77,11 @@ void Server::detach(Request& request) {
   const std::size_t index = request.active_index;
   assert(index < active_.size());
   assert(active_[index] == &request);
+  // Copy the lane-authoritative fields home before the slot is recycled,
+  // then mirror the active-list swap in the lane so the swapped request's
+  // slot keeps matching its (updated) active_index.
+  request.detach_lane();
+  lane_.swap_remove(index);
   active_[index] = active_.back();
   active_[index]->active_index = index;
   active_.pop_back();

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "vodsim/cluster/fluid_lane.h"
 #include "vodsim/cluster/request.h"
 #include "vodsim/cluster/video.h"
 #include "vodsim/util/units.h"
@@ -75,6 +76,13 @@ class Server {
   std::size_t active_count() const { return active_.size(); }
   const std::vector<Request*>& active_requests() const { return active_; }
 
+  /// Struct-of-arrays fluid state of the active streams, maintained by
+  /// attach/detach in lock-step with the active list: slot i holds the
+  /// fluid fields of active_requests()[i]. Both engine modes advance
+  /// streams through the lane (cluster/fluid_lane.h).
+  FluidLane& lane() { return lane_; }
+  const FluidLane& lane() const { return lane_; }
+
   // --- active-set maintenance (engine-driven) --------------------------
   /// Attaches an unfinished request; maintains Request::active_index.
   /// \param enforce_capacity when false (buffer-aware admission), nominal
@@ -112,6 +120,7 @@ class Server {
   std::vector<VideoId> replicas_;
   std::vector<bool> replica_bitmap_;
   std::vector<Request*> active_;
+  FluidLane lane_;
   std::uint64_t total_attached_ = 0;
 };
 

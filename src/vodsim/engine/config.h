@@ -200,6 +200,24 @@ struct SimulationConfig {
   Seconds warmup = hours(20);
   std::uint64_t seed = 1;
 
+  /// Opt-in fluid fast path. When set, each recompute advances all of a
+  /// server's streams in one batched loop over the server's FluidLane
+  /// (struct-of-arrays, cluster/fluid_lane.h) and meters the transmitted
+  /// megabits as one per-batch sum instead of one call per stream.
+  /// Per-stream trajectories run the identical single-stream formulas, so
+  /// every discrete outcome (admissions, migrations, completions,
+  /// underflow counts) matches the default mode exactly; only the metering
+  /// summation is regrouped, which moves fluid aggregates (transmitted,
+  /// utilization) at ulp scale.
+  ///
+  /// Dual-exactness contract: the default (exact) mode is pinned
+  /// bit-for-bit by the hexfloat determinism goldens; fast mode promises
+  /// reproducibility (same config + build ⇒ same bits) plus agreement with
+  /// exact mode within the reference-oracle tolerance — check/fuzzer.h
+  /// runs every scenario through both modes and diffs them. The
+  /// VODSIM_FAST_MATH environment variable (nonzero) forces it on.
+  bool fast_math = false;
+
   /// Attach the runtime invariant auditor (check/invariant_auditor.h) to
   /// this trial: every executed event is followed by a full physical-state
   /// audit (minimum flow, capacity, buffer bounds, epoch monotonicity) and

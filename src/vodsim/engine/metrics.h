@@ -25,6 +25,12 @@ class Metrics {
   /// A request transmitted at \p rate during [t0, t1] (clipped to window).
   void record_transmission(Seconds t0, Seconds t1, Mbps rate);
 
+  /// Adds an already window-clipped megabit sum to the transmission meter.
+  /// Fast-math batch path: the fluid kernel clips each stream's interval
+  /// exactly like record_transmission and sums the batch locally, so this
+  /// differs from per-stream recording only in summation grouping (ulps).
+  void record_transmitted_sum(Megabits megabits) { transmitted_ += megabits; }
+
   void record_arrival(Seconds t);
   void record_acceptance(Seconds t, bool via_migration);
   void record_rejection(Seconds t);

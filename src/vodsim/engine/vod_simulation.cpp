@@ -133,6 +133,17 @@ void VodSimulation::build_world() {
   rates_scratch_.reserve(per_server);
   sched_scratch_.order.reserve(per_server);
   sched_scratch_.aux.reserve(per_server);
+  underflow_scratch_.reserve(per_server);
+
+  // Engine mode (SimulationConfig::fast_math documents the dual-exactness
+  // contract). The env override mirrors VODSIM_PARANOID; note that forcing
+  // fast mode moves fluid aggregates off the exact-mode hexfloat goldens.
+  fast_math_ = config_.fast_math || env_long("VODSIM_FAST_MATH", 0) != 0;
+  // Test-only: deliberately mis-aggregate the batch metering so the
+  // fast-vs-exact differential harness provably catches a batching bug
+  // (tests/check_test.cpp). Biased low, not high, so the invariant
+  // auditor's flow-conservation check is not the one that trips first.
+  fast_math_seeded_bug_ = env_long("VODSIM_TEST_FAST_MATH_BUG", 0) != 0;
 
   if (!arrivals_) {
     arrivals_ = std::make_unique<RequestGenerator>(
@@ -324,7 +335,7 @@ void VodSimulation::execute_migration(const MigrationStep& step) {
 
   note(TraceEventType::kMigrateBegin, kTraceMigration, step.from, request.id(),
        request.video_id(), static_cast<double>(step.to),
-       request.buffer().level());
+       request.buffer_level());
   advance_and_account(request, now);
   cancel_predicted_events(request);
   detach_from(step.from, request);
@@ -416,7 +427,7 @@ void VodSimulation::on_buffer_full(Request& request) {
   // server-wide reallocation.
   assert(request.server() != kNoServer);
   note(TraceEventType::kBufferFull, kTraceBuffer, request.server(), request.id(),
-       request.video_id(), request.buffer().level());
+       request.video_id(), request.buffer_level());
   recompute_server(request.server());
 }
 
@@ -613,12 +624,12 @@ void VodSimulation::shed_overload(Server& server) {
     Request* victim = nullptr;
     for (Request* request : server.active_requests()) {
       if (victim == nullptr ||
-          request->buffer().level() > victim->buffer().level()) {
+          request->buffer_level() > victim->buffer_level()) {
         victim = request;
       }
     }
     Request& request = *victim;
-    const Megabits buffered = request.buffer().level();
+    const Megabits buffered = request.buffer_level();
     cancel_predicted_events(request);
     detach_from(server.id(), request);
 
@@ -796,7 +807,13 @@ void VodSimulation::recompute_server(ServerId server_id) {
   const std::vector<Request*>& active = server.active_requests();
   note(TraceEventType::kRecompute, kTraceSched, server_id, -1, -1,
        static_cast<double>(active.size()), server.schedulable_bandwidth());
-  for (Request* request : active) advance_and_account(*request, now);
+  if (fast_math_) {
+    batch_advance_server(server);
+  } else {
+    // Exact mode: per-stream advancement in active order. The FP operation
+    // order here is semantics — pinned by the hexfloat determinism goldens.
+    for (Request* request : active) advance_and_account(*request, now);
+  }
 
   scheduler_->allocate(now, server.schedulable_bandwidth(), active, rates_scratch_,
                        sched_scratch_, &state.sched_cache);
@@ -851,6 +868,47 @@ void VodSimulation::advance_and_account(Request& request, Seconds now) {
   }
 }
 
+void VodSimulation::batch_advance_server(Server& server) {
+  const Seconds now = sim_.now();
+  FluidLane& lane = server.lane();
+  const std::vector<Request*>& active = server.active_requests();
+
+  if (auditor_) {
+    // The auditor observes per-stream intervals (its flow integral sums in
+    // active order, matching exact mode); read the start times before the
+    // kernel overwrites them. Gating matches advance_and_account's
+    // now <= last_update early-return.
+    for (Request* request : active) {
+      const Seconds start = request->last_update();
+      if (now > start) auditor_->on_advance(*request, start, now);
+    }
+  }
+
+  const FluidLane::BatchResult batch =
+      lane.advance_batch(now, config_.warmup, config_.duration, underflow_scratch_);
+  if (batch.advanced > 0) mark_server_dirty(server.id());
+
+  Megabits metered = batch.transmitted_in_window;
+  if (fast_math_seeded_bug_) metered *= 0.999;  // test-only, see build_world
+  metrics_->record_transmitted_sum(metered);
+
+  if (batch.any_underflow) {
+    // Rare path: per-stream accounting identical to advance_and_account's.
+    for (Request* request : active) {
+      const Megabits underflow = underflow_scratch_[request->active_index];
+      if (underflow <= 0.0) continue;
+      ++continuity_violations_;
+      metrics_->record_underflow(now, underflow);
+      metrics_->record_glitch(now, underflow / request->view_bandwidth());
+      note(TraceEventType::kUnderflow, kTraceBuffer, request->server(),
+           request->id(), request->video_id(), underflow);
+      VODSIM_DEBUG << "continuity violation: request " << request->id()
+                   << " short " << underflow << " Mb at " << now
+                   << " (fast-math batch, server " << server.id() << ")";
+    }
+  }
+}
+
 void VodSimulation::schedule_next_pause(Request& request) {
   const Seconds gap =
       interactivity_rng_.exponential(config_.interactivity.pauses_per_hour /
@@ -872,7 +930,7 @@ void VodSimulation::on_pause(Request& request) {
   mark_server_dirty(request.server());  // drain stopped; minimum rate may be 0
   ++pauses_started_;
   note(TraceEventType::kPause, kTraceLifecycle, request.server(), request.id(),
-       request.video_id(), request.buffer().level());
+       request.video_id(), request.buffer_level());
 
   // The deadline is frozen until resume; the pending end-of-playback event
   // would fire at the stale time.
@@ -898,7 +956,7 @@ void VodSimulation::on_resume(Request& request) {
   request.resume_viewing(now);
   mark_server_dirty(request.server());  // drain restarted
   note(TraceEventType::kResume, kTraceLifecycle, request.server(), request.id(),
-       request.video_id(), request.buffer().level());
+       request.video_id(), request.buffer_level());
 
   request.playback_end_event =
       sim_.schedule_at(request.playback_end(), [this, &request](Seconds) {
@@ -1047,8 +1105,8 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
   // The buffer fills at (rate - drain); drain is the view bandwidth while
   // playing and 0 while paused.
   const Mbps surplus = rate - request.drain_rate(now);
-  if (surplus > 1e-12 && !request.buffer().full()) {
-    const Seconds full_at = now + request.buffer().headroom() / surplus;
+  if (surplus > 1e-12 && !request.buffer_full()) {
+    const Seconds full_at = now + request.buffer_headroom() / surplus;
     if (full_at < tx_at) {
       keep_full = true;
       if (!sim_.reschedule_at(full_at, request.buffer_full_event)) {
@@ -1067,7 +1125,7 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
     // scheduler — waking it again immediately would only churn events.
     const Megabits threshold =
         config_.intermittent_safety_cover * request.view_bandwidth();
-    const Megabits level = request.buffer().level();
+    const Megabits level = request.buffer_level();
     if (level > threshold + StagingBuffer::kLevelTolerance) {
       const Seconds low_at = now + (level - threshold) / -surplus;
       if (low_at < tx_at) {
@@ -1079,7 +1137,7 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
                 if (request.state() == RequestState::kStreaming) {
                   note(TraceEventType::kBufferLow, kTraceBuffer,
                        request.server(), request.id(), request.video_id(),
-                       request.buffer().level());
+                       request.buffer_level());
                   recompute_server(request.server());
                 }
               });

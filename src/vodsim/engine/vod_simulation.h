@@ -195,6 +195,13 @@ class VodSimulation {
   /// metrics and integrates the request's fluid state.
   void advance_and_account(Request& request, Seconds now);
 
+  /// Fast-math replacement for recompute_server's per-stream advance loop:
+  /// one batched kernel over the server's FluidLane, metering aggregated
+  /// per batch. Per-stream trajectories are identical to the exact loop
+  /// (shared single-stream formulas); see SimulationConfig::fast_math for
+  /// the contract.
+  void batch_advance_server(Server& server);
+
   void cancel_predicted_events(Request& request);
   void reschedule_predicted_events(Request& request);
 
@@ -255,11 +262,20 @@ class VodSimulation {
   std::uint64_t continuity_violations_ = 0;
   std::uint64_t pauses_started_ = 0;
   bool ran_ = false;
+  /// Resolved engine mode: config.fast_math or VODSIM_FAST_MATH override.
+  bool fast_math_ = false;
+  /// Test-only backdoor (VODSIM_TEST_FAST_MATH_BUG): biases the fast-math
+  /// batch metering low so the differential harness's negative test can
+  /// prove a seeded batching bug is caught. Never set outside tests.
+  bool fast_math_seeded_bug_ = false;
 
   /// Scratch buffers for scheduler output and working sets (reused across
   /// events; the steady-state loop performs no per-event heap allocations).
   std::vector<Mbps> rates_scratch_;
   AllocationScratch sched_scratch_;
+  /// Per-slot playback underflow from the last fast-math batch (reused;
+  /// written wholesale by FluidLane::advance_batch).
+  std::vector<Megabits> underflow_scratch_;
 
   /// Per-server recompute memo. `epoch` counts input changes; a server is
   /// clean iff it was recomputed at exactly the current simulation time

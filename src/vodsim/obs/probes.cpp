@@ -51,9 +51,9 @@ void ProbeSet::sample(Seconds grid_time, const std::vector<Server>& servers,
     double fill_sum = 0.0;
     std::uint64_t with_buffer = 0;
     for (const Request* request : server.active_requests()) {
-      const Megabits capacity = request->buffer().capacity();
+      const Megabits capacity = request->buffer_capacity();
       if (capacity <= 0.0) continue;
-      const double fill = request->buffer().level() / capacity;
+      const double fill = request->buffer_level() / capacity;
       fill_hist_.add(fill);
       fill_sum += fill;
       ++with_buffer;

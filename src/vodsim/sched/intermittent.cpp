@@ -31,7 +31,7 @@ constexpr Seconds kCoverTolerance = 1e-6;
 /// apart.
 Mbps absorption_cap(const Request& request, Seconds now) {
   return request.drain_rate(now) +
-         request.buffer().headroom() / kAbsorptionHorizon;
+         request.buffer_headroom() / kAbsorptionHorizon;
 }
 
 }  // namespace
@@ -63,7 +63,7 @@ void IntermittentScheduler::allocate(Seconds now, Mbps capacity,
     // after recovering to twice the threshold. A knife-edge membership test
     // would chatter (fed -> above threshold -> starved -> below -> ...).
     const Seconds cover =
-        request.buffer().playback_cover(request.view_bandwidth());
+        request.buffer_cover();
     // The engine's buffer-low wake-up fires when cover *reaches* the
     // threshold (and then stops waking, trusting the scheduler), so the
     // latch must engage at equality too — hence the tolerance.
@@ -96,8 +96,8 @@ void IntermittentScheduler::allocate(Seconds now, Mbps capacity,
   }
 
   std::sort(urgent.begin(), urgent.end(), [&](std::size_t a, std::size_t b) {
-    const Megabits la = active[a]->buffer().level();
-    const Megabits lb = active[b]->buffer().level();
+    const Megabits la = active[a]->buffer_level();
+    const Megabits lb = active[b]->buffer_level();
     if (la != lb) return la < lb;
     return active[a]->id() < active[b]->id();
   });
@@ -110,7 +110,7 @@ void IntermittentScheduler::allocate(Seconds now, Mbps capacity,
   for (std::size_t index : urgent) {
     if (left <= 0.0) break;
     const Request& request = *active[index];
-    if (request.buffer().full()) continue;
+    if (request.buffer_full()) continue;
     const Mbps cap = std::min(request.receive_bandwidth(),
                               absorption_cap(request, now));
     const Mbps grant = std::min(left, cap - rates[index]);
@@ -126,7 +126,7 @@ void IntermittentScheduler::allocate(Seconds now, Mbps capacity,
   order.clear();
   for (std::size_t i = 0; i < active.size(); ++i) {
     const Request& request = *active[i];
-    if (request.buffer().full()) continue;
+    if (request.buffer_full()) continue;
     if (rates[i] >= request.receive_bandwidth()) continue;
     order.push_back(i);
   }

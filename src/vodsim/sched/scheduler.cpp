@@ -54,23 +54,56 @@ std::string to_string(SchedulerKind kind) {
 
 namespace sched_detail {
 
+namespace {
+
+/// The FluidLane backing \p active when the vector is exactly the owning
+/// server's active list (slot i == index i) — the engine always passes
+/// `server.active_requests()`, for which this holds by construction.
+/// Hand-built candidate vectors (reference oracle, microbenchmarks) have
+/// unattached requests or broken endpoint correspondence and fall back to
+/// the per-request path. Reading predicates off the lane arrays evaluates
+/// the same fields the Request accessors would return, so the two paths are
+/// bit-identical — the determinism goldens pin it.
+const FluidLane* lane_view(const std::vector<Request*>& active) {
+  if (active.empty()) return nullptr;
+  const FluidLane* lane = active.front()->lane();
+  if (lane == nullptr || lane->size() != active.size() ||
+      active.front()->active_index != 0 || active.back()->lane() != lane ||
+      active.back()->active_index != active.size() - 1) {
+    return nullptr;
+  }
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    assert(active[i]->lane() == lane && active[i]->active_index == i &&
+           "lane-backed candidate vector out of slot order");
+  }
+#endif
+  return lane;
+}
+
+}  // namespace
+
 Mbps assign_minimum_flow(Mbps capacity, const std::vector<Request*>& active,
                          std::vector<Mbps>& rates) {
-  rates.assign(active.size(), 0.0);
   Mbps committed = 0.0;
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    // minimum_rate() is the view bandwidth except for a paused client whose
-    // staging disk is full — it cannot absorb anything, so its share of the
-    // link becomes slack for the others until it resumes.
-    rates[i] = active[i]->minimum_rate();
-    committed += rates[i];
+  if (const FluidLane* lane = lane_view(active)) {
+    committed = lane->sum_minimum_rates(rates);
+  } else {
+    rates.assign(active.size(), 0.0);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      // minimum_rate() is the view bandwidth except for a paused client
+      // whose staging disk is full — it cannot absorb anything, so its
+      // share of the link becomes slack for the others until it resumes.
+      rates[i] = active[i]->minimum_rate();
+      committed += rates[i];
+    }
   }
   assert(committed <= capacity + 1e-6 && "admission over-committed the server");
   return capacity > committed ? capacity - committed : 0.0;
 }
 
 bool workahead_eligible(const Request& request) {
-  return !request.buffer().full() &&
+  return !request.buffer_full() &&
          request.receive_bandwidth() > request.view_bandwidth() &&
          !request.finished();
 }
@@ -78,6 +111,10 @@ bool workahead_eligible(const Request& request) {
 void eligible_indices(const std::vector<Request*>& active,
                       std::vector<std::size_t>& out) {
   out.clear();
+  if (const FluidLane* lane = lane_view(active)) {
+    lane->eligible_slots(out);
+    return;
+  }
   for (std::size_t i = 0; i < active.size(); ++i) {
     if (workahead_eligible(*active[i])) out.push_back(i);
   }

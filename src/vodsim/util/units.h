@@ -27,6 +27,15 @@ using Megabits = double;
 inline constexpr Seconds kSecondsPerMinute = 60.0;
 inline constexpr Seconds kSecondsPerHour = 3600.0;
 
+/// Fluid-clock synchronization tolerance (seconds): the widest gap allowed
+/// between a request's last fluid update and "now" when mutating rate or
+/// playback state (Request::set_allocation / pause_viewing /
+/// resume_viewing), and the slack the invariant auditor grants before
+/// declaring fluid state ahead of the simulation clock. One named constant
+/// so the SoA fast path and the auditor enforce the same bound — neither
+/// can silently widen it.
+inline constexpr Seconds kTimeSyncTolerance = 1e-9;
+
 /// Converts minutes to seconds.
 constexpr Seconds minutes(double m) { return m * kSecondsPerMinute; }
 

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "vodsim/check/fuzzer.h"
 #include "vodsim/util/rng.h"
 
@@ -14,15 +16,19 @@ namespace {
 
 TEST(ScenarioFuzz, CorpusAndRandomBatchPass) {
   int oracle_checked = 0;
+  int fast_checked = 0;
 
   for (const SimulationConfig& config : pathology_corpus()) {
     const FuzzResult result = run_scenario(config);
     if (result.oracle_checked) ++oracle_checked;
+    if (result.fast_checked) ++fast_checked;
     ASSERT_TRUE(result.passed)
         << "corpus seed=" << config.seed << ": " << result.failure
         << "\n"
         << to_gtest_case(shrink_scenario(config), "ShrunkCorpusReproducer");
   }
+
+  const int corpus_size = static_cast<int>(pathology_corpus().size());
 
   constexpr int kScenarios = 250;
   Rng rng(42);
@@ -30,6 +36,7 @@ TEST(ScenarioFuzz, CorpusAndRandomBatchPass) {
     const SimulationConfig config = random_scenario(rng);
     const FuzzResult result = run_scenario(config);
     if (result.oracle_checked) ++oracle_checked;
+    if (result.fast_checked) ++fast_checked;
     ASSERT_TRUE(result.passed)
         << "scenario " << i << " seed=" << config.seed << ": " << result.failure
         << "\n"
@@ -40,6 +47,48 @@ TEST(ScenarioFuzz, CorpusAndRandomBatchPass) {
   // not hollow out the differential side of the batch: the majority of
   // scenarios stay within its scope.
   EXPECT_GE(oracle_checked, kScenarios / 2);
+
+  // The fast/exact differential has no exclusions: every passing scenario
+  // must have been re-run in fast_math mode and diffed.
+  EXPECT_EQ(fast_checked, corpus_size + kScenarios);
+}
+
+// Chaos configs (crashes + brownouts + retry + repair + correlated groups)
+// go through the same dual-mode differential: the batched kernel must agree
+// with the exact engine through shed/drop/readmission churn, not just
+// steady-state streaming.
+TEST(ScenarioFuzz, ChaosBatchPassesBothModes) {
+  constexpr int kScenarios = 25;
+  Rng rng(777);
+  for (int i = 0; i < kScenarios; ++i) {
+    const SimulationConfig config = random_fault_scenario(rng);
+    const FuzzResult result = run_scenario(config);
+    ASSERT_TRUE(result.passed)
+        << "chaos scenario " << i << " seed=" << config.seed << ": "
+        << result.failure;
+    EXPECT_TRUE(result.fast_checked) << "chaos scenario " << i;
+  }
+}
+
+// Negative control for the dual-exactness harness: seed a batching bug
+// (VODSIM_TEST_FAST_MATH_BUG scales the batch metering by 0.999 — biased
+// low so the auditor's "metered <= physical flow" check stays quiet and the
+// *differential* is what must catch it) and require the fast/exact diff to
+// fire. A harness that cannot see a 0.1% metering error is not a harness.
+TEST(ScenarioFuzz, DifferentialCatchesSeededBatchingBug) {
+  ASSERT_EQ(setenv("VODSIM_TEST_FAST_MATH_BUG", "1", 1), 0);
+  const FuzzResult result = run_scenario(pathology_corpus().front());
+  ASSERT_EQ(unsetenv("VODSIM_TEST_FAST_MATH_BUG"), 0);
+
+  ASSERT_FALSE(result.passed)
+      << "seeded fast-math metering bug was not detected";
+  EXPECT_NE(result.failure.find("fast/exact mismatch"), std::string::npos)
+      << "unexpected failure channel: " << result.failure;
+  EXPECT_NE(result.failure.find("transmitted"), std::string::npos)
+      << "diff should implicate the transmission meter: " << result.failure;
+
+  // And the harness recovers: the same scenario passes with the bug unset.
+  EXPECT_TRUE(run_scenario(pathology_corpus().front()).passed);
 }
 
 }  // namespace

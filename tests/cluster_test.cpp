@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "vodsim/cluster/client.h"
+#include "vodsim/cluster/fluid_lane.h"
 #include "vodsim/cluster/request.h"
 #include "vodsim/cluster/server.h"
 #include "vodsim/cluster/video.h"
@@ -90,7 +93,7 @@ TEST(Request, AdvanceAtViewRateKeepsBufferEmpty) {
   request.set_allocation(0.0, 3.0);
   EXPECT_DOUBLE_EQ(request.advance(100.0), 0.0);
   EXPECT_DOUBLE_EQ(request.remaining(), 1800.0 - 300.0);
-  EXPECT_DOUBLE_EQ(request.buffer().level(), 0.0);
+  EXPECT_DOUBLE_EQ(request.buffer_level(), 0.0);
 }
 
 TEST(Request, WorkaheadFillsBuffer) {
@@ -100,8 +103,8 @@ TEST(Request, WorkaheadFillsBuffer) {
   request.set_allocation(0.0, 15.0);
   request.advance(10.0);
   // Sent 150, viewed 30 -> buffer 120 (exactly capacity).
-  EXPECT_DOUBLE_EQ(request.buffer().level(), 120.0);
-  EXPECT_TRUE(request.buffer().full());
+  EXPECT_DOUBLE_EQ(request.buffer_level(), 120.0);
+  EXPECT_TRUE(request.buffer_full());
   EXPECT_DOUBLE_EQ(request.remaining(), 1650.0);
 }
 
@@ -118,12 +121,12 @@ TEST(Request, AdvanceStopsConsumingAfterPlaybackEnd) {
   request.set_allocation(0.0, 300.0);
   request.advance(1.0);  // all 300 Mb sent in 1 s; viewed 3 Mb
   EXPECT_TRUE(request.finished());
-  EXPECT_DOUBLE_EQ(request.buffer().level(), 297.0);
+  EXPECT_DOUBLE_EQ(request.buffer_level(), 297.0);
   request.set_allocation(1.0, 0.0);
   request.advance(100.0);  // playback end
-  EXPECT_NEAR(request.buffer().level(), 0.0, 1e-9);
+  EXPECT_NEAR(request.buffer_level(), 0.0, 1e-9);
   request.advance(200.0);  // beyond playback end: no further consumption
-  EXPECT_NEAR(request.buffer().level(), 0.0, 1e-9);
+  EXPECT_NEAR(request.buffer_level(), 0.0, 1e-9);
 }
 
 TEST(Request, LifecycleToDone) {
@@ -162,10 +165,10 @@ TEST(Request, MigrationPauseDrainsBuffer) {
   request.begin_streaming(0.0, 0);
   request.set_allocation(0.0, 9.0);
   request.advance(10.0);  // buffer: (9-3)*10 = 60
-  EXPECT_DOUBLE_EQ(request.buffer().level(), 60.0);
+  EXPECT_DOUBLE_EQ(request.buffer_level(), 60.0);
   request.begin_migration(10.0);
   EXPECT_DOUBLE_EQ(request.advance(20.0), 0.0);  // drains 30, no underflow
-  EXPECT_DOUBLE_EQ(request.buffer().level(), 30.0);
+  EXPECT_DOUBLE_EQ(request.buffer_level(), 30.0);
 }
 
 TEST(Request, RejectionIsTerminal) {
@@ -264,6 +267,139 @@ TEST(Server, TotalAttachedCounts) {
   Request r2(2, make_video(0), 0.0, client);
   server.attach(r2);
   EXPECT_EQ(server.total_attached(), 2u);
+}
+
+// ---------------------------------------------------------------- fluid lane
+
+// The batched kernel must be BIT-identical per stream to the per-stream
+// advance path: both call the same fluid_detail formulas in the same order
+// per slot, so exact doubles compare equal — only the *metering sum* is
+// grouped differently. Three regimes in one batch: workahead (buffer
+// fills), exact-rate (buffer stays empty), starved (buffer empty, drains
+// into underflow).
+TEST(FluidLane, BatchAdvanceIsBitIdenticalToPerStream) {
+  ClientProfile client{120.0, 30.0};
+  Server per_stream_server(0, 1000.0, 1e6);
+  Server batched_server(1, 1000.0, 1e6);
+  const Mbps rates[] = {15.0, 3.0, 1.0};
+
+  Request p1(1, make_video(0), 0.0, client), p2(2, make_video(1), 0.0, client),
+      p3(3, make_video(2), 0.0, client);
+  Request b1(1, make_video(0), 0.0, client), b2(2, make_video(1), 0.0, client),
+      b3(3, make_video(2), 0.0, client);
+  Request* per_stream[] = {&p1, &p2, &p3};
+  Request* batched[] = {&b1, &b2, &b3};
+  for (int i = 0; i < 3; ++i) {
+    per_stream[i]->begin_streaming(0.0, 0);
+    batched[i]->begin_streaming(0.0, 1);
+    per_stream_server.attach(*per_stream[i]);
+    batched_server.attach(*batched[i]);
+    per_stream[i]->set_allocation(0.0, rates[i]);
+    batched[i]->set_allocation(0.0, rates[i]);
+  }
+
+  Megabits per_stream_underflow[3];
+  for (int i = 0; i < 3; ++i) {
+    per_stream_underflow[i] = per_stream[i]->advance(10.0);
+  }
+
+  std::vector<Megabits> scratch;
+  const FluidLane::BatchResult batch =
+      batched_server.lane().advance_batch(10.0, 0.0, 100.0, scratch);
+  EXPECT_EQ(batch.advanced, 3u);
+  EXPECT_TRUE(batch.any_underflow);
+
+  for (int i = 0; i < 3; ++i) {
+    SCOPED_TRACE(i);
+    // Exact double equality on purpose: identical formulas, identical order.
+    EXPECT_EQ(batched[i]->remaining(), per_stream[i]->remaining());
+    EXPECT_EQ(batched[i]->buffer_level(), per_stream[i]->buffer_level());
+    EXPECT_EQ(batched[i]->last_update(), per_stream[i]->last_update());
+    EXPECT_EQ(scratch[static_cast<std::size_t>(i)], per_stream_underflow[i]);
+  }
+  // The starved stream (rate 1 vs view 3, empty buffer): 10 in, 30 out.
+  EXPECT_DOUBLE_EQ(per_stream_underflow[2], 20.0);
+  // Batch metering: every stream live across [0,10] inside the window.
+  EXPECT_NEAR(batch.transmitted_in_window, (15.0 + 3.0 + 1.0) * 10.0, 1e-9);
+}
+
+TEST(FluidLane, BatchMeteringClipsToWindow) {
+  ClientProfile client{0.0, 3.0};
+  Server server(0, 1000.0, 1e6);
+  Request request(1, make_video(0), 0.0, client);
+  request.begin_streaming(0.0, 0);
+  server.attach(request);
+  request.set_allocation(0.0, 3.0);
+
+  std::vector<Megabits> scratch;
+  // Window starts at t=20: the advance over [0,30] must meter only [20,30].
+  const FluidLane::BatchResult batch =
+      server.lane().advance_batch(30.0, 20.0, 100.0, scratch);
+  EXPECT_NEAR(batch.transmitted_in_window, 3.0 * 10.0, 1e-12);
+  // And an advance wholly before the window meters nothing... (new stream)
+  Request early(2, make_video(1), 0.0, client);
+  early.begin_streaming(30.0, 0);
+  server.attach(early);
+  early.set_allocation(30.0, 3.0);
+  const FluidLane::BatchResult clipped =
+      server.lane().advance_batch(40.0, 50.0, 100.0, scratch);
+  EXPECT_DOUBLE_EQ(clipped.transmitted_in_window, 0.0);
+}
+
+TEST(FluidLane, SwapRemoveKeepsSlotsCoherent) {
+  ClientProfile client{120.0, 30.0};
+  Server server(0, 1000.0, 1e6);
+  Request r1(1, make_video(0), 0.0, client), r2(2, make_video(1), 0.0, client),
+      r3(3, make_video(2), 0.0, client);
+  const Mbps rates[] = {3.0, 6.0, 9.0};
+  Request* all[] = {&r1, &r2, &r3};
+  for (int i = 0; i < 3; ++i) {
+    all[i]->begin_streaming(0.0, 0);
+    server.attach(*all[i]);
+    all[i]->set_allocation(0.0, rates[i]);
+  }
+  for (Request* request : all) request->advance(10.0);
+
+  // Detach the middle stream: r3's lane slot swaps into r2's, mirroring the
+  // active_ vector swap — indices and values must stay paired.
+  server.detach(r2);
+  EXPECT_EQ(server.lane().size(), 2u);
+  EXPECT_EQ(server.active_requests()[r3.active_index], &r3);
+  // The detached request reads its home scalars (copied back on detach).
+  EXPECT_DOUBLE_EQ(r2.remaining(), 1800.0 - 60.0);
+  EXPECT_DOUBLE_EQ(r2.buffer_level(), 30.0);  // (6-3)*10
+  // The survivors still read correct state through their (moved) lane slots.
+  EXPECT_DOUBLE_EQ(r1.remaining(), 1800.0 - 30.0);
+  EXPECT_DOUBLE_EQ(r3.remaining(), 1800.0 - 90.0);
+  EXPECT_DOUBLE_EQ(r3.buffer_level(), 60.0);  // (9-3)*10
+  EXPECT_EQ(server.lane().remaining(r3.active_index), r3.remaining());
+
+  // And the survivors keep advancing correctly post-swap.
+  r3.advance(20.0);
+  EXPECT_DOUBLE_EQ(r3.remaining(), 1800.0 - 180.0);
+}
+
+TEST(FluidLane, MutatorsWriteThroughToLane) {
+  ClientProfile client{120.0, 30.0};
+  Server server(0, 1000.0, 1e6);
+  Request request(1, make_video(0), 0.0, client);
+  request.begin_streaming(0.0, 0);
+  server.attach(request);
+  request.set_allocation(0.0, 6.0);
+  request.advance(10.0);
+  EXPECT_DOUBLE_EQ(request.buffer_level(), 30.0);  // (6-3)*10
+
+  // Pause: transmission keeps filling, playback stops draining — the lane
+  // must see the paused flag or the batched advance would keep draining.
+  request.pause_viewing(10.0);
+  std::vector<Megabits> scratch;
+  server.lane().advance_batch(15.0, 0.0, 1e9, scratch);
+  EXPECT_DOUBLE_EQ(request.buffer_level(), 60.0);  // +6*5 in, nothing out
+
+  request.resume_viewing(15.0);
+  request.set_allocation(15.0, 0.0);
+  server.lane().advance_batch(25.0, 0.0, 1e9, scratch);
+  EXPECT_DOUBLE_EQ(request.buffer_level(), 30.0);  // -3*10 out, nothing in
 }
 
 // ---------------------------------------------------------------- catalog

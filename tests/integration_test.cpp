@@ -100,9 +100,9 @@ TEST(Integration, AllExtensionsTogether) {
     EXPECT_LE(server.storage_used(), server.storage_capacity() + 1e-6);
   }
   for (const Request& request : simulation.requests()) {
-    EXPECT_GE(request.buffer().level(), 0.0);
-    EXPECT_LE(request.buffer().level(),
-              request.buffer().capacity() + StagingBuffer::kLevelTolerance);
+    EXPECT_GE(request.buffer_level(), 0.0);
+    EXPECT_LE(request.buffer_level(),
+              request.buffer_capacity() + StagingBuffer::kLevelTolerance);
     EXPECT_LE(request.hops(), 3);  // 2 admission hops + possibly 1 recovery
   }
 

@@ -24,11 +24,11 @@ TEST(Interactivity, PauseStopsConsumption) {
   request.begin_streaming(0.0, 0);
   request.set_allocation(0.0, 9.0);
   request.advance(10.0);  // buffer (9-3)*10 = 60
-  EXPECT_DOUBLE_EQ(request.buffer().level(), 60.0);
+  EXPECT_DOUBLE_EQ(request.buffer_level(), 60.0);
 
   request.pause_viewing(10.0);
   request.advance(20.0);  // inflow 90, no drain
-  EXPECT_DOUBLE_EQ(request.buffer().level(), 150.0);
+  EXPECT_DOUBLE_EQ(request.buffer_level(), 150.0);
   EXPECT_EQ(request.pause_count(), 1);
 }
 
@@ -65,7 +65,7 @@ TEST(Interactivity, PausedFullBufferAbsorbsNothing) {
   request.begin_streaming(0.0, 0);
   request.set_allocation(0.0, 9.0);
   request.advance(10.0);  // buffer hits 60 = capacity
-  EXPECT_TRUE(request.buffer().full());
+  EXPECT_TRUE(request.buffer_full());
   EXPECT_DOUBLE_EQ(request.minimum_rate(), 3.0);  // playing: drains at 3
   request.set_allocation(10.0, 3.0);
   request.pause_viewing(10.0);
@@ -102,9 +102,9 @@ TEST(Interactivity, EngineRunsWithPausesAndStaysContinuous) {
   EXPECT_LE(metrics.utilization(), 1.0 + 1e-9);
   // Buffers still within bounds.
   for (const Request& request : simulation.requests()) {
-    EXPECT_GE(request.buffer().level(), 0.0);
-    EXPECT_LE(request.buffer().level(),
-              request.buffer().capacity() + StagingBuffer::kLevelTolerance);
+    EXPECT_GE(request.buffer_level(), 0.0);
+    EXPECT_LE(request.buffer_level(),
+              request.buffer_capacity() + StagingBuffer::kLevelTolerance);
   }
 }
 

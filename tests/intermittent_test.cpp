@@ -154,7 +154,7 @@ TEST(Intermittent, NeverExceedsCapacityOrReceiveCaps) {
     for (std::size_t i = 0; i < rates.size(); ++i) {
       EXPECT_GE(rates[i], 0.0);
       EXPECT_LE(rates[i], set.active[i]->receive_bandwidth() + 1e-9);
-      if (set.active[i]->buffer().full()) {
+      if (set.active[i]->buffer_full()) {
         EXPECT_LE(rates[i], set.active[i]->view_bandwidth() + 1e-9);
       }
       total += rates[i];

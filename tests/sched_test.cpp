@@ -130,7 +130,7 @@ TEST(Eftf, FullBufferExcludedFromWorkahead) {
   Request& full = fx.add(100.0, 60.0, 60.0, 30.0);  // buffer at capacity
   Request& open = fx.add(5000.0, 1e9, 0.0, 30.0);
   fx.sync();
-  EXPECT_TRUE(full.buffer().full());
+  EXPECT_TRUE(full.buffer_full());
   EftfScheduler scheduler;
   std::vector<Mbps> rates;
   scheduler.allocate(fx.now(), 100.0, fx.active(), rates);
@@ -260,7 +260,7 @@ TEST_P(SchedulerInvariants, RandomInstancesRespectContracts) {
           << scheduler->name() << " violated minimum flow";
       EXPECT_LE(rates[i], request.receive_bandwidth() + 1e-9)
           << scheduler->name() << " exceeded receive cap";
-      if (request.buffer().full()) {
+      if (request.buffer_full()) {
         EXPECT_DOUBLE_EQ(rates[i], request.view_bandwidth())
             << scheduler->name() << " sent workahead into a full buffer";
       }
@@ -408,7 +408,7 @@ TEST(Eftf, WorkConservation) {
     if (total < capacity - 1e-6) {
       for (std::size_t i = 0; i < rates.size(); ++i) {
         const Request& request = *fx.active()[i];
-        const bool saturated = request.buffer().full() ||
+        const bool saturated = request.buffer_full() ||
                                rates[i] >= request.receive_bandwidth() - 1e-9;
         EXPECT_TRUE(saturated) << "slack left while request " << i
                                << " could absorb more";

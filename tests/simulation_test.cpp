@@ -97,9 +97,9 @@ TEST_P(SimulationInvariants, HoldEndToEnd) {
       EXPECT_EQ(request.hops(), 0);
     }
     // Buffers stay within capacity.
-    EXPECT_GE(request.buffer().level(), 0.0);
-    EXPECT_LE(request.buffer().level(),
-              request.buffer().capacity() + StagingBuffer::kLevelTolerance);
+    EXPECT_GE(request.buffer_level(), 0.0);
+    EXPECT_LE(request.buffer_level(),
+              request.buffer_capacity() + StagingBuffer::kLevelTolerance);
     // Completed requests received all of their data (bit conservation);
     // only horizon truncation leaves data in flight.
     if (request.state() == RequestState::kDone &&
