@@ -633,6 +633,46 @@ BENCHMARK(BM_EndToEndFig7SweepPaired)
     ->ArgNames({"sweep_context"})
     ->Unit(benchmark::kMillisecond);
 
+void BM_TournamentSmall(benchmark::State& state) {
+  // A shrunk cell grid of the vodsim_tournament tool: 2 schedulers x
+  // 2 placements x {off, 1-hop} migration over a 60-title catalog, half a
+  // simulated hour per cell, world construction shared through a
+  // SweepContext (which also memoizes one BoundsReport per column). Guards
+  // the end-to-end cost of the tournament path — including the bounds
+  // computation and the gap bookkeeping — at CI smoke scale.
+  const std::vector<TournamentSpec> grid = tournament_grid(
+      {SchedulerKind::kEftf, SchedulerKind::kLftf},
+      {PlacementKind::kEven, PlacementKind::kBsr}, {0, 1}, 0.2);
+  std::uint64_t events = 0;
+  std::uint64_t master_seed = 1;
+  for (auto _ : state) {
+    std::vector<SimulationConfig> configs;
+    for (const TournamentSpec& spec : grid) {
+      SimulationConfig config;
+      config.system = SystemConfig::small_system();
+      config.system.num_videos = 60;
+      config.zipf_theta = 0.271;
+      config.duration = hours(0.5);
+      config.warmup = 0.0;
+      config.fast_math = true;
+      configs.push_back(apply_tournament_spec(std::move(config), spec));
+    }
+    SweepContext context;
+    context.prepare(configs, 1, master_seed);
+    for (SimulationConfig config : configs) {
+      config.seed = ExperimentRunner::derive_seed(master_seed, 0);
+      VodSimulation simulation(std::move(config), &context);
+      simulation.run();
+      benchmark::DoNotOptimize(simulation.metrics().utilization_gap());
+      events += simulation.simulator().executed_count();
+    }
+    ++master_seed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_TournamentSmall)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

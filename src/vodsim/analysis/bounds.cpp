@@ -1,0 +1,298 @@
+#include "vodsim/analysis/bounds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "vodsim/analysis/erlang.h"
+
+namespace vodsim {
+
+namespace {
+
+double clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// Folds the Erlang-B family into a report whose fluid terms are final.
+/// The regime needs every accepted stream to hold exactly one channel for
+/// its full playback: zero staging (semi-continuous transmission shortens
+/// holding times — the paper's thesis — which breaks M/G/c/c), no
+/// buffer-aware over-commit, and no retry queue (retrials re-admit
+/// rejected arrivals, so carried load can exceed the loss-system value).
+void fold_erlang(const SimulationConfig& config, BoundsReport& bounds) {
+  bounds.erlang_regime = config.staging_capacity() == 0.0 &&
+                         !config.admission.buffer_aware &&
+                         !config.failure.retry.enabled;
+  if (!bounds.erlang_regime) return;
+  bounds.rejection_lower_erlang =
+      erlang_b_blocking(bounds.pooled_channels, bounds.offered_erlangs);
+  bounds.rejection_lower =
+      std::max(bounds.rejection_lower, bounds.rejection_lower_erlang);
+  if (bounds.total_bandwidth > 0.0) {
+    const double carried =
+        erlang_b_carried(bounds.pooled_channels, bounds.offered_erlangs);
+    bounds.utilization_upper =
+        std::min(bounds.utilization_upper,
+                 carried * config.system.view_bandwidth / bounds.total_bandwidth);
+  }
+}
+
+bool static_replica_set(const SimulationConfig& config) {
+  // Drift re-ranks popularity after placement; dynamic replication and
+  // repair replication add holders mid-run. Any of them invalidates bounds
+  // derived from the t = 0 replica directory.
+  return !config.drift.enabled && !config.replication.enabled &&
+         !config.failure.repair.enabled;
+}
+
+}  // namespace
+
+namespace bounds_detail {
+
+int pooled_channels(const std::vector<Server>& servers, Mbps view_bandwidth) {
+  if (view_bandwidth <= 0.0) return 0;
+  int channels = 0;
+  for (const Server& server : servers) {
+    // Nominal link: faults only shrink capacity, which keeps every bound
+    // derived from the nominal channel count valid.
+    channels += static_cast<int>(
+        std::floor(server.bandwidth() / view_bandwidth + 1e-9));
+  }
+  return channels;
+}
+
+double max_kept_mass(std::vector<std::pair<double, double>> items, double rate,
+                     double capacity) {
+  double total_mass = 0.0;
+  for (const auto& [mass, size] : items) total_mass += mass;
+  if (rate <= 0.0 || capacity <= 0.0) {
+    return capacity <= 0.0 && rate > 0.0 ? 0.0 : total_mass;
+  }
+  // Cheapest work per unit mass first: exchange argument — swapping any
+  // kept item for a smaller one frees work without losing mass, so the
+  // size-ascending prefix (fractional at the boundary) is optimal.
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  double kept = 0.0;
+  double work = 0.0;
+  for (const auto& [mass, size] : items) {
+    const double item_work = rate * mass * size;
+    if (work + item_work <= capacity) {
+      kept += mass;
+      work += item_work;
+    } else {
+      if (item_work > 0.0) kept += mass * (capacity - work) / item_work;
+      return kept;
+    }
+  }
+  return kept;
+}
+
+double uniform_kept_fraction(Megabits min_size, Megabits max_size, double rate,
+                             double capacity) {
+  if (rate <= 0.0) return 1.0;
+  const double offered = rate * 0.5 * (min_size + max_size);
+  if (offered <= capacity) return 1.0;
+  const double spread = max_size - min_size;
+  if (spread <= 0.0) {
+    return min_size > 0.0 ? clamp01(capacity / (rate * min_size)) : 1.0;
+  }
+  // Keep every arrival of size <= s*; the kept work rate is
+  // rate * (s*^2 - smin^2) / (2 * spread) = capacity.
+  const double boundary =
+      std::sqrt(min_size * min_size + 2.0 * capacity * spread / rate);
+  return clamp01((boundary - min_size) / spread);
+}
+
+}  // namespace bounds_detail
+
+BoundsReport compute_bounds(const SimulationConfig& config) {
+  const SystemConfig& sys = config.system;
+  BoundsReport bounds;
+  bounds.total_bandwidth = sys.total_bandwidth();
+  bounds.pooled_channels =
+      bounds_detail::pooled_channels(make_servers(sys), sys.view_bandwidth);
+  bounds.arrival_rate = config.arrival_rate();
+  bounds.mean_duration = sys.mean_video_duration();
+  bounds.max_duration = sys.video_max_duration;
+  bounds.max_size = sys.video_max_duration * sys.view_bandwidth;
+  bounds.offered_erlangs = bounds.arrival_rate * bounds.mean_duration;
+  bounds.offered_work = bounds.arrival_rate * sys.mean_video_size();
+  bounds.statistically_sound = !config.drift.enabled;
+  bounds.placement_terms_valid = static_replica_set(config);
+
+  // Sizes are uniform on [dmin, dmax] * view_bw independently of rank, so
+  // the arrival-size law is uniform and the knapsack has a closed form.
+  const double kept = bounds_detail::uniform_kept_fraction(
+      sys.video_min_duration * sys.view_bandwidth, bounds.max_size,
+      bounds.arrival_rate, bounds.total_bandwidth);
+  bounds.rejection_lower_fluid = clamp01(1.0 - kept);
+  bounds.rejection_lower = bounds.rejection_lower_fluid;
+  bounds.utilization_upper =
+      bounds.total_bandwidth > 0.0
+          ? std::min(1.0, bounds.offered_work / bounds.total_bandwidth)
+          : 1.0;
+  fold_erlang(config, bounds);
+  return bounds;
+}
+
+BoundsReport compute_bounds(const SimulationConfig& config,
+                            const VideoCatalog& catalog,
+                            const std::vector<double>& popularity,
+                            const ReplicaDirectory& directory,
+                            const std::vector<Server>& servers) {
+  assert(popularity.size() == catalog.size());
+  assert(directory.num_videos() == catalog.size());
+  BoundsReport bounds;
+  bounds.placement_aware = true;
+  bounds.total_bandwidth = config.system.total_bandwidth();
+  bounds.pooled_channels =
+      bounds_detail::pooled_channels(servers, config.system.view_bandwidth);
+  bounds.arrival_rate = config.arrival_rate();
+  bounds.statistically_sound = !config.drift.enabled;
+  bounds.placement_terms_valid = static_replica_set(config);
+
+  const std::size_t n = std::min(popularity.size(), catalog.size());
+  std::vector<std::pair<double, double>> reachable_items;
+  reachable_items.reserve(n);
+  double mean_duration = 0.0;
+  double offered_size = 0.0;      // E[size], Mb per arrival
+  double reachable_size = 0.0;    // E[size * 1(title has a replica)]
+  double unreachable_mass = 0.0;  // P(title has no replica)
+  for (std::size_t v = 0; v < n; ++v) {
+    const Video& video = catalog[static_cast<VideoId>(v)];
+    bounds.max_duration = std::max(bounds.max_duration, video.duration);
+    bounds.max_size = std::max(bounds.max_size, video.size());
+    const double mass = popularity[v];
+    if (mass <= 0.0) continue;
+    mean_duration += mass * video.duration;
+    offered_size += mass * video.size();
+    // Without a static replica set, replication may make any title
+    // reachable later, so only the aggregate-capacity knapsack applies.
+    const bool reachable = !bounds.placement_terms_valid ||
+                           !directory.holders(static_cast<VideoId>(v)).empty();
+    if (reachable) {
+      reachable_items.emplace_back(mass, video.size());
+      reachable_size += mass * video.size();
+    } else {
+      unreachable_mass += mass;
+    }
+  }
+  bounds.mean_duration = mean_duration;
+  bounds.offered_erlangs = bounds.arrival_rate * mean_duration;
+  bounds.offered_work = bounds.arrival_rate * offered_size;
+  bounds.unreachable_mass = unreachable_mass;
+
+  // Fluid knapsack over the reachable titles: unreachable mass is simply
+  // never keepable, so 1 - kept already folds it in.
+  const double kept = bounds_detail::max_kept_mass(
+      std::move(reachable_items), bounds.arrival_rate, bounds.total_bandwidth);
+  bounds.rejection_lower_fluid = clamp01(1.0 - kept);
+
+  // Exclusive-holder excess: all work for titles held *only* by server s
+  // must flow through s's link. The excess work rate beyond the link,
+  // divided by the largest such title's size, is a count of arrivals per
+  // second that must be rejected — disjoint across servers (a title is
+  // exclusive to at most one) and disjoint from the zero-replica mass.
+  double placement_lower = unreachable_mass;
+  if (bounds.placement_terms_valid && bounds.arrival_rate > 0.0) {
+    std::vector<double> exclusive_work(servers.size(), 0.0);
+    std::vector<double> exclusive_max_size(servers.size(), 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (popularity[v] <= 0.0) continue;
+      const std::vector<ServerId>& holders =
+          directory.holders(static_cast<VideoId>(v));
+      if (holders.size() != 1) continue;
+      const auto s = static_cast<std::size_t>(holders.front());
+      const Video& video = catalog[static_cast<VideoId>(v)];
+      exclusive_work[s] += bounds.arrival_rate * popularity[v] * video.size();
+      exclusive_max_size[s] = std::max(exclusive_max_size[s], video.size());
+    }
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      const double excess = exclusive_work[s] - servers[s].bandwidth();
+      if (excess > 0.0 && exclusive_max_size[s] > 0.0) {
+        placement_lower +=
+            excess / (bounds.arrival_rate * exclusive_max_size[s]);
+      }
+    }
+  }
+  bounds.rejection_lower_placement =
+      bounds.placement_terms_valid ? clamp01(placement_lower) : 0.0;
+
+  bounds.rejection_lower =
+      std::max(bounds.rejection_lower_fluid, bounds.rejection_lower_placement);
+  const double usable_work = bounds.placement_terms_valid
+                                 ? bounds.arrival_rate * reachable_size
+                                 : bounds.offered_work;
+  bounds.utilization_upper =
+      bounds.total_bandwidth > 0.0
+          ? std::min(1.0, usable_work / bounds.total_bandwidth)
+          : 1.0;
+  fold_erlang(config, bounds);
+  return bounds;
+}
+
+std::string audit_bounds(const BoundsReport& bounds, const Metrics& metrics) {
+  std::ostringstream why;
+  const double utilization = metrics.utilization();
+  if (utilization > 1.0 + 1e-9) {
+    why << "utilization " << utilization << " exceeds 1";
+    return why.str();
+  }
+  const double availability = metrics.availability();
+  if (utilization > availability + 1e-6) {
+    why << "utilization " << utilization << " exceeds availability "
+        << availability << " (delivered more than the surviving capacity)";
+    return why.str();
+  }
+
+  // The remaining checks compare a finite-window measurement against an
+  // expectation bound, so they need statistical room: 6 sigma on the
+  // arrival count, the warmup/fill-up transient (the loss system mixes in
+  // about one holding time), and window-edge spill. Tiny fuzz worlds make
+  // the slack vacuous by construction; sweep-scale runs tighten it to a
+  // few percent — which is where this becomes a real bug detector.
+  if (!bounds.statistically_sound) return "";
+  const double arrivals = static_cast<double>(metrics.arrivals());
+  const Seconds window = metrics.window();
+  if (arrivals < 1.0 || window <= 0.0) return "";
+
+  // Streams aborted by faults (drops, abandoned retries) consumed less
+  // than their full work, so work conservation only bounds the mass that
+  // was *fully served*: fold them into the rejected side.
+  const double not_served =
+      static_cast<double>(metrics.rejects() + metrics.drops() +
+                          metrics.retry_abandoned()) /
+      arrivals;
+  const double transient = std::min(1.0, 3.0 * bounds.mean_duration / window);
+  const double rejection_slack = 6.0 * std::sqrt(0.25 / arrivals) +
+                                 bounds.rejection_lower * transient + 1e-9;
+  if (not_served < bounds.rejection_lower - rejection_slack) {
+    why << "rejected+dropped fraction " << not_served
+        << " beats the proven lower bound " << bounds.rejection_lower
+        << " by more than the statistical slack " << rejection_slack << " ("
+        << metrics.arrivals() << " arrivals, window " << window << " s)";
+    return why.str();
+  }
+
+  const double capacity_seconds = bounds.total_bandwidth * window;
+  if (capacity_seconds > 0.0 && bounds.max_size > 0.0) {
+    const double utilization_slack =
+        (6.0 * std::sqrt(arrivals) +
+         2.0 * arrivals * bounds.max_duration / window) *
+            bounds.max_size / capacity_seconds +
+        1e-9;
+    if (utilization > bounds.utilization_upper + utilization_slack) {
+      why << "utilization " << utilization
+          << " beats the proven upper bound " << bounds.utilization_upper
+          << " by more than the statistical slack " << utilization_slack
+          << " (" << metrics.arrivals() << " arrivals, window " << window
+          << " s)";
+      return why.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace vodsim

@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file bounds.h
+/// \brief Closed-form achievability bounds for one simulation configuration.
+///
+/// Every sweep cell reports its distance from what is *provably achievable*
+/// (Viennot et al., "Scalable Distributed Video-on-Demand: Theoretical
+/// Bounds and Practical Algorithms" frames the same setting). Two bound
+/// families, from weakest assumptions to strongest:
+///
+///  1. **Fluid work conservation** (unconditional). The cluster's aggregate
+///     link is C Mb/s; over any long window it cannot deliver more than C·W
+///     megabits, so utilization <= min(1, offered_work / C). Dually, when
+///     the offered work rate lambda·E[size] exceeds C, *some* arrival mass
+///     must be rejected; the most favorable policy keeps the smallest
+///     objects, so the rejection lower bound is 1 minus the largest arrival
+///     mass whose work fits in C (a fractional knapsack over the realized
+///     catalog, or a closed-form quadratic for the uniform-duration config).
+///     Placement refinements (valid while the replica set is static):
+///     titles with zero replicas force their whole popularity mass to
+///     reject, and a server that is the *only* holder of a title set whose
+///     offered work exceeds its link must shed the excess.
+///
+///  2. **Erlang-B admission** (continuous-transmission regime only). With
+///     zero client staging and minimum-flow admission, every accepted
+///     stream occupies exactly view_bandwidth for its full duration — an
+///     M/G/c/c loss system. Pooling all servers into c = sum_s
+///     floor(bw_s / view_bw) channels relaxes every placement constraint,
+///     so B(c, lambda·E[duration]) lower-bounds expected blocking and the
+///     pooled carried load upper-bounds expected utilization for the
+///     duration-blind admission policies this repo implements. (A
+///     clairvoyant policy that rejects long titles on purpose could beat
+///     the Erlang terms; none of ours looks at durations. Client staging
+///     invalidates the regime by *design* — semi-continuous transmission
+///     shortens holding times below playback duration, which is the
+///     paper's whole point — so the Erlang terms switch off whenever
+///     staging_fraction > 0 or admission is buffer-aware.)
+///
+/// Every oracle is a pure deterministic function of the configuration (and
+/// optionally the realized catalog/placement); nothing here touches RNG or
+/// mutable engine state, so attaching bounds to a run is observe-only.
+///
+/// Because the bounds are *proven*, they double as a differential-testing
+/// layer: a measured run that beats a bound by more than statistical slack
+/// is a simulator bug. audit_bounds() packages that check; the invariant
+/// auditor calls it at end of run and the fuzzer corpus keeps it armed.
+
+#include <string>
+#include <vector>
+
+#include "vodsim/engine/config.h"
+#include "vodsim/engine/metrics.h"
+
+namespace vodsim {
+
+/// Closed-form achievability envelope for one configuration.
+struct BoundsReport {
+  // --- digested inputs -------------------------------------------------
+  Mbps total_bandwidth = 0.0;   ///< nominal aggregate link C
+  int pooled_channels = 0;      ///< sum_s floor(bw_s / view_bw)
+  double arrival_rate = 0.0;    ///< lambda, arrivals / s
+  double offered_erlangs = 0.0; ///< lambda * E[duration]
+  Mbps offered_work = 0.0;      ///< lambda * E[size], Mb/s
+  Seconds mean_duration = 0.0;  ///< E[duration] (popularity-weighted)
+  Seconds max_duration = 0.0;   ///< largest title duration
+  Megabits max_size = 0.0;      ///< largest title size
+
+  // --- validity gates ---------------------------------------------------
+  /// Erlang terms apply: no client staging, no buffer-aware admission.
+  bool erlang_regime = false;
+  /// Placement terms apply: the replica set is static for the whole run
+  /// (no drift re-ranking, no dynamic replication, no repair replication).
+  bool placement_terms_valid = false;
+  /// The popularity weights baked into the catalog-weighted terms stay
+  /// correct for the whole run (false under popularity drift). When false
+  /// the statistical audit checks are skipped; the sure checks
+  /// (utilization <= 1, <= availability) always run.
+  bool statistically_sound = true;
+  /// Computed from the realized catalog/placement (vs. config-only).
+  bool placement_aware = false;
+
+  // --- oracles ----------------------------------------------------------
+  /// Expected utilization no policy can exceed (min over active families).
+  double utilization_upper = 1.0;
+  /// Expected rejection ratio no policy can beat (max over families).
+  double rejection_lower = 0.0;
+
+  // --- per-family decomposition (for reporting; already folded above) ---
+  double rejection_lower_fluid = 0.0;     ///< work-conservation knapsack
+  double rejection_lower_erlang = 0.0;    ///< B(pooled_channels, a); 0 off-regime
+  double rejection_lower_placement = 0.0; ///< zero-copy + exclusive-holder
+  double unreachable_mass = 0.0;          ///< popularity on zero-replica titles
+};
+
+/// Config-only bounds: catalog statistics are taken from the uniform
+/// duration law in \p config (closed forms), placement terms are zero.
+/// Pure; may construct a scratch server vector for heterogeneity profiles.
+BoundsReport compute_bounds(const SimulationConfig& config);
+
+/// Placement-aware bounds from the realized world: the actual catalog
+/// sizes, the popularity law at t = 0 (\p popularity, one probability per
+/// VideoId), the replica directory and the (post-placement) servers.
+BoundsReport compute_bounds(const SimulationConfig& config,
+                            const VideoCatalog& catalog,
+                            const std::vector<double>& popularity,
+                            const ReplicaDirectory& directory,
+                            const std::vector<Server>& servers);
+
+/// "Measured never beats a proven bound." Returns "" when \p metrics is
+/// consistent with \p bounds, otherwise a description of the violation.
+///
+/// Sure checks (always): utilization <= 1 and utilization <= availability.
+/// Statistical checks (when bounds.statistically_sound): measured
+/// utilization/rejection may not beat the bound by more than a slack
+/// covering finite-window noise (6 sigma on the arrival count), the
+/// warmup/fill-up transient (~mean_duration / window) and window-edge
+/// spill (~max_duration / window). On tiny fuzz worlds the slack is
+/// near-vacuous by construction — the bounds are expectations — while at
+/// sweep scale (thousands of arrivals, long windows) it tightens to a few
+/// percent, which is what makes the check a real bug detector.
+std::string audit_bounds(const BoundsReport& bounds, const Metrics& metrics);
+
+namespace bounds_detail {
+
+/// sum_s floor(effective channels per server), with an epsilon guard so
+/// e.g. 100/3 -> 33 channels is not lost to float rounding.
+int pooled_channels(const std::vector<Server>& servers, Mbps view_bandwidth);
+
+/// Fractional-knapsack core of the fluid rejection bound: the largest
+/// total mass keepable from items (mass_i, size_i) — work rate of a kept
+/// item is rate * mass_i * size_i — subject to total work <= capacity.
+/// Items are divisible (an adversary can keep part of a title's mass), so
+/// the result is >= any 0/1 selection; tests/bounds_test.cpp checks both
+/// directions against exhaustive enumeration.
+/// \param items (mass, per-arrival size in Mb) pairs; masses sum to <= 1.
+/// \param rate arrival rate lambda (1/s).
+/// \param capacity work budget (Mb/s).
+double max_kept_mass(std::vector<std::pair<double, double>> items, double rate,
+                     double capacity);
+
+/// Closed form of max_kept_mass for sizes uniform on [min_size, max_size]
+/// with popularity-independent mass: the kept fraction u solves
+/// lambda * integral_{smin}^{s*} s ds / (smax - smin) = capacity.
+double uniform_kept_fraction(Megabits min_size, Megabits max_size, double rate,
+                             double capacity);
+
+}  // namespace bounds_detail
+
+}  // namespace vodsim

@@ -453,6 +453,44 @@ std::vector<SimulationConfig> pathology_corpus() {
     corpus.push_back(config);
   }
 
+  // 9. Erlang saturation: zero staging, plain admission, load well past
+  // capacity — the continuous-transmission regime where the pooled
+  // Erlang-B terms (analysis/bounds.h) are armed and *tight*. The run must
+  // reject heavily yet never beat the blocking lower bound.
+  {
+    SimulationConfig config = base;
+    config.client.staging_fraction = 0.0;
+    config.load_factor = 1.6;
+    config.seed = 109;
+    corpus.push_back(config);
+  }
+
+  // 10. Fluid overload: huge staging buffers at 2.5x offered load. Deep
+  // workahead decouples transmission from playback, so utilization pins to
+  // 1 while the knapsack rejection bound demands most mass be shed — the
+  // regime where measured rejection sits closest to the fluid lower bound.
+  {
+    SimulationConfig config = base;
+    config.client.staging_fraction = 1.0;
+    config.load_factor = 2.5;
+    config.seed = 110;
+    corpus.push_back(config);
+  }
+
+  // 11. Placement starvation: single-copy catalog under extreme skew — the
+  // hottest title's exclusive holder is the whole cluster's bottleneck, so
+  // the exclusive-holder excess term dominates the rejection bound while
+  // the aggregate link sits half idle.
+  {
+    SimulationConfig config = base;
+    config.system.avg_copies = 1.0;
+    config.zipf_theta = -1.5;
+    config.client.staging_fraction = 0.2;
+    config.load_factor = 1.2;
+    config.seed = 111;
+    corpus.push_back(config);
+  }
+
   return corpus;
 }
 

@@ -231,6 +231,20 @@ void InvariantAuditor::finalize() const {
     d << "utilization " << sim_.metrics().utilization();
     fail("utilization cannot exceed 1", d);
   }
+  // "Measured never beats a proven bound": the analytic achievability
+  // envelope (analysis/bounds.h) is a differential oracle — a run whose
+  // utilization exceeds the achievable bound, or whose rejected+dropped
+  // fraction beats the rejection lower bound by more than statistical
+  // slack, has a simulator bug somewhere (metering, admission, or the
+  // bound math itself). audit_bounds sizes the slack from the window and
+  // arrival count, so tiny fuzz worlds stay noise-tolerant while
+  // sweep-scale runs are checked tightly.
+  const std::string bound_violation = audit_bounds(sim_.bounds(), sim_.metrics());
+  if (!bound_violation.empty()) {
+    std::ostringstream d;
+    d << bound_violation;
+    fail("measured results never beat the analytic bounds", d);
+  }
 }
 
 }  // namespace vodsim

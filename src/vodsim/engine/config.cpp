@@ -58,6 +58,36 @@ void SimulationConfig::validate() const {
   auto fail = [](const std::string& what) {
     throw std::invalid_argument("SimulationConfig: " + what);
   };
+  // NaN slips through every ordered comparison below (NaN <= 0 is false),
+  // so finiteness is checked explicitly first. receive_bandwidth is the one
+  // field where +infinity is meaningful ("no client-side cap") — it only
+  // rejects NaN.
+  const auto finite = [&fail](double value, const char* name) {
+    if (!std::isfinite(value)) {
+      fail(std::string(name) + " must be finite (got NaN or infinity)");
+    }
+  };
+  finite(system.server_bandwidth, "server_bandwidth");
+  finite(system.server_storage, "server_storage");
+  finite(system.video_min_duration, "video_min_duration");
+  finite(system.video_max_duration, "video_max_duration");
+  finite(system.avg_copies, "avg_copies");
+  finite(system.view_bandwidth, "view_bandwidth");
+  finite(client.staging_fraction, "staging_fraction");
+  finite(zipf_theta, "zipf_theta");
+  finite(load_factor, "load_factor");
+  finite(duration, "duration");
+  finite(warmup, "warmup");
+  finite(intermittent_safety_cover, "intermittent_safety_cover");
+  for (double entry : system.bandwidth_profile) {
+    finite(entry, "bandwidth_profile entry");
+  }
+  for (double entry : system.storage_profile) {
+    finite(entry, "storage_profile entry");
+  }
+  if (std::isnan(client.receive_bandwidth)) {
+    fail("receive_bandwidth must not be NaN");
+  }
   if (system.num_servers < 1) fail("num_servers must be >= 1");
   if (system.server_bandwidth <= 0.0) fail("server_bandwidth must be > 0");
   if (system.server_storage < 0.0) fail("server_storage must be >= 0");

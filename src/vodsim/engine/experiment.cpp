@@ -1,8 +1,10 @@
 #include "vodsim/engine/experiment.h"
 
 #include <cassert>
+#include <ostream>
 
 #include "vodsim/engine/sweep_context.h"
+#include "vodsim/util/csv.h"
 #include "vodsim/util/rng.h"
 
 namespace vodsim {
@@ -13,6 +15,10 @@ TrialResult TrialResult::from(const VodSimulation& simulation) {
   result.utilization = metrics.utilization();
   result.rejection_ratio = metrics.rejection_ratio();
   result.migrations_per_arrival = metrics.migrations_per_arrival();
+  result.bound_utilization = metrics.bound_utilization();
+  result.bound_rejection = metrics.bound_rejection();
+  result.utilization_gap = metrics.utilization_gap();
+  result.rejection_gap = metrics.rejection_gap();
   result.arrivals = metrics.arrivals();
   result.accepts = metrics.accepts();
   result.rejects = metrics.rejects();
@@ -39,7 +45,41 @@ void ExperimentPoint::add(const TrialResult& trial) {
   rejection_ratio.add(trial.rejection_ratio);
   migrations_per_arrival.add(trial.migrations_per_arrival);
   drops.add(static_cast<double>(trial.drops));
+  utilization_gap.add(trial.utilization_gap);
+  rejection_gap.add(trial.rejection_gap);
   trials.push_back(trial);
+}
+
+void write_sweep_csv(std::ostream& out, const std::vector<std::string>& labels,
+                     const std::vector<ExperimentPoint>& points) {
+  assert(labels.size() == points.size());
+  CsvWriter csv(out);
+  csv.write_row({"label", "trial", "utilization", "bound_utilization",
+                 "utilization_gap", "rejection_ratio", "bound_rejection",
+                 "rejection_gap", "migrations_per_arrival", "arrivals",
+                 "accepts", "rejects", "drops", "underflow_events",
+                 "availability", "glitch_seconds"});
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const std::string& label = p < labels.size() ? labels[p] : "";
+    for (std::size_t t = 0; t < points[p].trials.size(); ++t) {
+      const TrialResult& trial = points[p].trials[t];
+      csv.write_row({label, CsvWriter::field(static_cast<std::uint64_t>(t)),
+                     CsvWriter::field(trial.utilization),
+                     CsvWriter::field(trial.bound_utilization),
+                     CsvWriter::field(trial.utilization_gap),
+                     CsvWriter::field(trial.rejection_ratio),
+                     CsvWriter::field(trial.bound_rejection),
+                     CsvWriter::field(trial.rejection_gap),
+                     CsvWriter::field(trial.migrations_per_arrival),
+                     CsvWriter::field(trial.arrivals),
+                     CsvWriter::field(trial.accepts),
+                     CsvWriter::field(trial.rejects),
+                     CsvWriter::field(trial.drops),
+                     CsvWriter::field(trial.underflow_events),
+                     CsvWriter::field(trial.availability),
+                     CsvWriter::field(trial.glitch_seconds)});
+    }
+  }
 }
 
 ExperimentRunner::ExperimentRunner(std::size_t threads) : pool_(threads) {}

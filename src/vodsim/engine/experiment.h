@@ -10,6 +10,8 @@
 /// and fans trials out across a thread pool.
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "vodsim/engine/config.h"
@@ -24,6 +26,14 @@ struct TrialResult {
   double utilization = 0.0;
   double rejection_ratio = 0.0;
   double migrations_per_arrival = 0.0;
+
+  // Measured-vs-bound gap block (analysis/bounds.h): the achievability
+  // envelope of the trial's world and the measured distance from it.
+  double bound_utilization = 1.0;  ///< utilization no policy can exceed
+  double bound_rejection = 0.0;    ///< rejection ratio no policy can beat
+  double utilization_gap = 0.0;    ///< bound_utilization - utilization
+  double rejection_gap = 0.0;      ///< rejection_ratio - bound_rejection
+
   std::uint64_t arrivals = 0;
   std::uint64_t accepts = 0;
   std::uint64_t rejects = 0;
@@ -54,10 +64,22 @@ struct ExperimentPoint {
   Accumulator rejection_ratio;
   Accumulator migrations_per_arrival;
   Accumulator drops;
+  Accumulator utilization_gap;  ///< headroom to the achievable bound
+  Accumulator rejection_gap;    ///< excess over the rejection lower bound
   std::vector<TrialResult> trials;
 
   void add(const TrialResult& trial);
 };
+
+/// Writes one CSV row per (point, trial) with the measured scalars AND the
+/// bound/gap columns, so every sweep artifact reports its distance from
+/// theory. \p labels names each point (same length as \p points); header
+/// included. Columns: label, trial, utilization, bound_utilization,
+/// utilization_gap, rejection_ratio, bound_rejection, rejection_gap,
+/// migrations_per_arrival, arrivals, accepts, rejects, drops,
+/// underflow_events, availability, glitch_seconds.
+void write_sweep_csv(std::ostream& out, const std::vector<std::string>& labels,
+                     const std::vector<ExperimentPoint>& points);
 
 class ExperimentRunner {
  public:

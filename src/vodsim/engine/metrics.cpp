@@ -117,6 +117,12 @@ void Metrics::record_repair(Seconds t) {
   ++repairs_;
 }
 
+void Metrics::set_bounds(double utilization_upper, double rejection_lower) {
+  has_bounds_ = true;
+  bound_utilization_ = utilization_upper;
+  bound_rejection_ = rejection_lower;
+}
+
 double Metrics::availability() const {
   return 1.0 - capacity_lost_ / (total_bandwidth_ * window());
 }

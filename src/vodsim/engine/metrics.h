@@ -81,6 +81,12 @@ class Metrics {
   /// A repair re-replication was planned for a long-down server's video.
   void record_repair(Seconds t);
 
+  /// Attaches the analytic achievability envelope for this trial's
+  /// configuration (analysis/bounds.h): the utilization no policy can
+  /// exceed and the rejection ratio none can beat. Set once at world
+  /// construction; pure annotation — recording is unaffected.
+  void set_bounds(double utilization_upper, double rejection_lower);
+
   // --- results ----------------------------------------------------------
   Seconds window() const { return window_end_ - window_start_; }
 
@@ -132,6 +138,25 @@ class Metrics {
   /// Time-to-recover distribution (per server-down episode, seconds).
   const Accumulator& recovery_time() const { return recovery_time_; }
 
+  // --- measured-vs-bound gaps ------------------------------------------
+  bool has_bounds() const { return has_bounds_; }
+  double bound_utilization() const { return bound_utilization_; }
+  double bound_rejection() const { return bound_rejection_; }
+
+  /// Headroom to theory: achievable-utilization bound minus measured
+  /// (>= ~0 up to statistical noise; the paper's "how close to full
+  /// cluster utilization" question, answered against the bound instead of
+  /// against 1). 0.0 until set_bounds.
+  double utilization_gap() const {
+    return has_bounds_ ? bound_utilization_ - utilization() : 0.0;
+  }
+
+  /// Measured rejection ratio minus its proven lower bound (>= ~0 up to
+  /// statistical noise). 0.0 until set_bounds.
+  double rejection_gap() const {
+    return has_bounds_ ? rejection_ratio() - bound_rejection_ : 0.0;
+  }
+
  private:
   bool in_window(Seconds t) const { return t >= window_start_ && t < window_end_; }
 
@@ -164,6 +189,10 @@ class Metrics {
   std::uint64_t retry_abandoned_ = 0;
   std::uint64_t repairs_ = 0;
   Accumulator recovery_time_;
+
+  bool has_bounds_ = false;
+  double bound_utilization_ = 1.0;
+  double bound_rejection_ = 0.0;
 };
 
 }  // namespace vodsim

@@ -36,4 +36,52 @@ SimulationConfig apply_policy(SimulationConfig base, const PolicySpec& policy) {
   return base;
 }
 
+std::string TournamentSpec::description() const {
+  std::string out = to_string(scheduler);
+  out += " + ";
+  out += to_string(placement);
+  out += migration_hops > 0
+             ? " + migration(hops=" + std::to_string(migration_hops) + ")"
+             : " + no-migration";
+  out += " + " + std::to_string(static_cast<int>(staging_fraction * 100.0)) +
+         "% buffer";
+  return out;
+}
+
+std::vector<TournamentSpec> tournament_grid(
+    const std::vector<SchedulerKind>& schedulers,
+    const std::vector<PlacementKind>& placements,
+    const std::vector<int>& migration_budgets, double staging_fraction) {
+  std::vector<TournamentSpec> grid;
+  grid.reserve(schedulers.size() * placements.size() * migration_budgets.size());
+  for (SchedulerKind scheduler : schedulers) {
+    for (PlacementKind placement : placements) {
+      for (int hops : migration_budgets) {
+        TournamentSpec spec;
+        spec.scheduler = scheduler;
+        spec.placement = placement;
+        spec.migration_hops = hops;
+        spec.staging_fraction = staging_fraction;
+        spec.label = to_string(scheduler) + "/" + to_string(placement) + "/m" +
+                     std::to_string(hops);
+        grid.push_back(std::move(spec));
+      }
+    }
+  }
+  return grid;
+}
+
+SimulationConfig apply_tournament_spec(SimulationConfig base,
+                                       const TournamentSpec& spec) {
+  base.scheduler = spec.scheduler;
+  base.placement.kind = spec.placement;
+  base.client.staging_fraction = spec.staging_fraction;
+  base.admission.migration.enabled = spec.migration_hops > 0;
+  if (spec.migration_hops > 0) {
+    base.admission.migration.max_chain_length = 1;
+    base.admission.migration.max_hops_per_request = spec.migration_hops;
+  }
+  return base;
+}
+
 }  // namespace vodsim

@@ -80,6 +80,22 @@ std::string SweepContext::placement_key(const SimulationConfig& config) {
   return key;
 }
 
+std::string SweepContext::bounds_key(const SimulationConfig& config) {
+  // Bounds are a pure function of the placement inputs (world shape) plus
+  // the load factor and the regime gates (analysis/bounds.h). Scheduler
+  // and migration policy deliberately do not appear: bounds are
+  // policy-independent, which is what lets a whole tournament column share
+  // one report.
+  std::string key = placement_key(config);
+  append_f(key, config.load_factor);
+  append_f(key, config.client.staging_fraction);
+  append_u(key, config.admission.buffer_aware ? 1 : 0);
+  append_u(key, config.failure.retry.enabled ? 1 : 0);
+  append_u(key, config.replication.enabled ? 1 : 0);
+  append_u(key, config.failure.repair.enabled ? 1 : 0);
+  return key;
+}
+
 void SweepContext::prepare(const std::vector<SimulationConfig>& configs,
                            int trials, std::uint64_t master_seed) {
   for (const SimulationConfig& base : configs) {
@@ -138,6 +154,26 @@ void SweepContext::prepare(const std::vector<SimulationConfig>& configs,
         }
         place_it->second = std::move(blueprint);
       }
+
+      auto [bounds_it, bounds_fresh] = bounds_.try_emplace(bounds_key(config));
+      if (bounds_fresh) {
+        // Reconstruct the placed world from the blueprint (the placement
+        // may have been cached by an earlier config, so the scratch servers
+        // from the fresh branch are not necessarily in scope) and compute
+        // the placement-aware bounds exactly as build_world would.
+        std::vector<Server> bound_servers = make_servers(config.system);
+        const PlacementBlueprint& blueprint = *place_it->second;
+        for (std::size_t s = 0; s < bound_servers.size(); ++s) {
+          for (VideoId video : blueprint.server_replicas[s]) {
+            bound_servers[s].add_replica((*cat_it->second)[video]);
+          }
+        }
+        const ReplicaDirectory directory(cat_it->second->size(), bound_servers);
+        bounds_it->second = std::make_shared<const BoundsReport>(
+            compute_bounds(config, *cat_it->second,
+                           pop_it->second->probabilities(0.0), directory,
+                           bound_servers));
+      }
     }
   }
 }
@@ -158,6 +194,12 @@ std::shared_ptr<const PlacementBlueprint> SweepContext::find_placement(
     const SimulationConfig& config) const {
   auto it = placements_.find(placement_key(config));
   return it == placements_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const BoundsReport> SweepContext::find_bounds(
+    const SimulationConfig& config) const {
+  auto it = bounds_.find(bounds_key(config));
+  return it == bounds_.end() ? nullptr : it->second;
 }
 
 }  // namespace vodsim

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "vodsim/analysis/bounds.h"
 #include "vodsim/cluster/video.h"
 #include "vodsim/engine/config.h"
 #include "vodsim/placement/placement.h"
@@ -74,21 +75,32 @@ class SweepContext {
   std::shared_ptr<const PlacementBlueprint> find_placement(
       const SimulationConfig& config) const;
 
+  /// Achievability bounds for the cell's world (analysis/bounds.h) — a pure
+  /// function of the placement inputs plus load factor and the regime
+  /// gates, so cells differing only in scheduler/migration policy share one
+  /// report. Materializing the popularity vector is O(catalog), which is
+  /// exactly the per-cell cost this cache exists to kill.
+  std::shared_ptr<const BoundsReport> find_bounds(
+      const SimulationConfig& config) const;
+
   // Cache sizes, for tests and sweep diagnostics.
   std::size_t catalog_count() const { return catalogs_.size(); }
   std::size_t popularity_count() const { return popularity_.size(); }
   std::size_t placement_count() const { return placements_.size(); }
+  std::size_t bounds_count() const { return bounds_.size(); }
 
  private:
   static std::string catalog_key(const SimulationConfig& config);
   static std::string popularity_key(const SimulationConfig& config);
   static std::string placement_key(const SimulationConfig& config);
+  static std::string bounds_key(const SimulationConfig& config);
 
   std::unordered_map<std::string, std::shared_ptr<const VideoCatalog>> catalogs_;
   std::unordered_map<std::string, std::shared_ptr<const PopularityModel>>
       popularity_;
   std::unordered_map<std::string, std::shared_ptr<const PlacementBlueprint>>
       placements_;
+  std::unordered_map<std::string, std::shared_ptr<const BoundsReport>> bounds_;
 };
 
 }  // namespace vodsim

@@ -104,6 +104,20 @@ void VodSimulation::build_world() {
                                          placement_rng);
   }
   directory_ = ReplicaDirectory(catalog_->size(), servers_);
+
+  // Analytic achievability envelope for this world (analysis/bounds.h):
+  // pure observation of the t = 0 catalog/placement, no RNG, no mutation —
+  // so it cannot perturb results. Sweeps memoize it (the popularity vector
+  // is O(catalog) to materialize); a miss recomputes locally.
+  std::shared_ptr<const BoundsReport> shared_bounds;
+  if (sweep_context_ != nullptr) shared_bounds = sweep_context_->find_bounds(config_);
+  if (shared_bounds) {
+    bounds_ = *shared_bounds;
+  } else {
+    bounds_ = compute_bounds(config_, *catalog_, popularity_->probabilities(0.0),
+                             directory_, servers_);
+  }
+
   controller_ = std::make_unique<AdmissionController>(config_.admission, directory_);
   if (config_.scheduler == SchedulerKind::kIntermittent) {
     scheduler_ = std::make_unique<IntermittentScheduler>(
@@ -118,6 +132,7 @@ void VodSimulation::build_world() {
 
   metrics_ = std::make_unique<Metrics>(config_.warmup, config_.duration,
                                        config_.system.total_bandwidth());
+  metrics_->set_bounds(bounds_.utilization_upper, bounds_.rejection_lower);
   occupancy_.assign(servers_.size(), TimeWeighted(config_.warmup, config_.duration));
   recompute_state_.assign(servers_.size(), ServerRecomputeState{});
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "vodsim/admission/controller.h"
+#include "vodsim/analysis/bounds.h"
 #include "vodsim/cluster/request.h"
 #include "vodsim/cluster/server.h"
 #include "vodsim/cluster/video.h"
@@ -78,6 +79,13 @@ class VodSimulation {
   const PlacementResult& placement_result() const { return placement_result_; }
   const ReplicaDirectory& directory() const { return directory_; }
   const Metrics& metrics() const { return *metrics_; }
+
+  /// Analytic achievability envelope for this configuration, computed from
+  /// the realized catalog/placement at world construction (analysis/
+  /// bounds.h). Pure annotation: runs are bit-identical with or without
+  /// reading it. The invariant auditor checks the run against it.
+  const BoundsReport& bounds() const { return bounds_; }
+
   const Simulator& simulator() const { return sim_; }
   const BandwidthScheduler& scheduler() const { return *scheduler_; }
   const AdmissionController& controller() const { return *controller_; }
@@ -231,6 +239,7 @@ class VodSimulation {
   std::vector<Server> servers_;
   PlacementResult placement_result_;
   ReplicaDirectory directory_;
+  BoundsReport bounds_;
   std::shared_ptr<const PopularityModel> popularity_;
   /// World-construction cache for sweeps; nullptr outside run_sweep.
   const SweepContext* sweep_context_ = nullptr;

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "vodsim/engine/config.h"
 #include "vodsim/fault/schedule.h"
 #include "vodsim/engine/metrics.h"
@@ -92,6 +97,301 @@ TEST(Config, ValidationCatchesNonsense) {
     c.failure.enabled = true;
     c.failure.mean_time_between_failures = 0.0;
   });
+}
+
+TEST(Config, EveryRejectableFieldRejectsWithAUsefulMessage) {
+  // One row per fail() branch in SimulationConfig::validate(): the mutation
+  // that trips it and a substring the thrown message must carry, so a user
+  // staring at the error can tell *which* field is wrong.
+  struct Row {
+    const char* what;
+    std::function<void(SimulationConfig&)> mutate;
+    const char* expect;
+  };
+  const std::vector<Row> rows = {
+      {"num_servers", [](SimulationConfig& c) { c.system.num_servers = 0; },
+       "num_servers"},
+      {"server_bandwidth",
+       [](SimulationConfig& c) { c.system.server_bandwidth = 0.0; },
+       "server_bandwidth"},
+      {"server_storage",
+       [](SimulationConfig& c) { c.system.server_storage = -1.0; },
+       "server_storage"},
+      {"video_min_duration",
+       [](SimulationConfig& c) { c.system.video_min_duration = 0.0; },
+       "video_min_duration"},
+      {"duration order",
+       [](SimulationConfig& c) {
+         c.system.video_max_duration = c.system.video_min_duration / 2.0;
+       },
+       "video_max_duration"},
+      {"num_videos", [](SimulationConfig& c) { c.system.num_videos = 0; },
+       "num_videos"},
+      {"avg_copies", [](SimulationConfig& c) { c.system.avg_copies = 0.9; },
+       "avg_copies"},
+      {"view_bandwidth",
+       [](SimulationConfig& c) { c.system.view_bandwidth = 0.0; },
+       "view_bandwidth"},
+      {"view > server bandwidth",
+       [](SimulationConfig& c) {
+         c.system.view_bandwidth = c.system.server_bandwidth * 2.0;
+       },
+       "cannot sustain"},
+      {"bandwidth_profile size",
+       [](SimulationConfig& c) { c.system.bandwidth_profile = {1.0}; },
+       "bandwidth_profile"},
+      {"storage_profile size",
+       [](SimulationConfig& c) { c.system.storage_profile = {1.0}; },
+       "storage_profile"},
+      {"staging_fraction",
+       [](SimulationConfig& c) { c.client.staging_fraction = -0.01; },
+       "staging_fraction"},
+      {"receive below view",
+       [](SimulationConfig& c) { c.client.receive_bandwidth = 0.1; },
+       "receive bandwidth"},
+      {"load_factor", [](SimulationConfig& c) { c.load_factor = 0.0; },
+       "load_factor"},
+      {"duration", [](SimulationConfig& c) { c.duration = 0.0; }, "duration"},
+      {"warmup", [](SimulationConfig& c) { c.warmup = c.duration * 2.0; },
+       "warmup"},
+      {"max_chain_length",
+       [](SimulationConfig& c) { c.admission.migration.max_chain_length = -1; },
+       "max_chain_length"},
+      {"buffer-aware scheduler pairing",
+       [](SimulationConfig& c) {
+         c.admission.buffer_aware = true;
+         c.scheduler = SchedulerKind::kEftf;
+       },
+       "intermittent"},
+      {"intermittent_safety_cover",
+       [](SimulationConfig& c) { c.intermittent_safety_cover = -1.0; },
+       "intermittent_safety_cover"},
+      {"switch_latency",
+       [](SimulationConfig& c) { c.admission.migration.switch_latency = -1.0; },
+       "switch_latency"},
+      {"MTBF",
+       [](SimulationConfig& c) {
+         c.failure.enabled = true;
+         c.failure.mean_time_between_failures = 0.0;
+       },
+       "MTBF"},
+      {"MTTR",
+       [](SimulationConfig& c) {
+         c.failure.enabled = true;
+         c.failure.mean_time_between_failures = 100.0;
+         c.failure.mean_time_to_repair = 0.0;
+       },
+       "MTTR"},
+      {"min_dwell",
+       [](SimulationConfig& c) {
+         c.failure.enabled = true;
+         c.failure.mean_time_between_failures = 100.0;
+         c.failure.min_dwell = -1.0;
+       },
+       "min_dwell"},
+      {"brownout mean_time_between",
+       [](SimulationConfig& c) {
+         c.failure.enabled = true;
+         c.failure.mean_time_between_failures = 100.0;
+         c.failure.brownout.enabled = true;
+         c.failure.brownout.mean_time_between = 0.0;
+       },
+       "brownout mean_time_between"},
+      {"brownout mean_duration",
+       [](SimulationConfig& c) {
+         c.failure.enabled = true;
+         c.failure.mean_time_between_failures = 100.0;
+         c.failure.brownout.enabled = true;
+         c.failure.brownout.mean_duration = 0.0;
+       },
+       "brownout mean_duration"},
+      {"brownout capacity_factor",
+       [](SimulationConfig& c) {
+         c.failure.enabled = true;
+         c.failure.mean_time_between_failures = 100.0;
+         c.failure.brownout.enabled = true;
+         c.failure.brownout.capacity_factor = 1.0;
+       },
+       "capacity_factor"},
+      {"correlated group_size",
+       [](SimulationConfig& c) {
+         c.failure.enabled = true;
+         c.failure.mean_time_between_failures = 100.0;
+         c.failure.correlated.enabled = true;
+         c.failure.correlated.group_size = 0;
+       },
+       "group_size"},
+      {"correlated mean_time_between",
+       [](SimulationConfig& c) {
+         c.failure.enabled = true;
+         c.failure.mean_time_between_failures = 100.0;
+         c.failure.correlated.enabled = true;
+         c.failure.correlated.mean_time_between = 0.0;
+       },
+       "correlated mean_time_between"},
+      {"correlated mean_duration",
+       [](SimulationConfig& c) {
+         c.failure.enabled = true;
+         c.failure.mean_time_between_failures = 100.0;
+         c.failure.correlated.enabled = true;
+         c.failure.correlated.mean_duration = 0.0;
+       },
+       "correlated mean_duration"},
+      {"retry max_queue",
+       [](SimulationConfig& c) {
+         c.failure.retry.enabled = true;
+         c.failure.retry.max_queue = 0;
+       },
+       "max_queue"},
+      {"retry max_attempts",
+       [](SimulationConfig& c) {
+         c.failure.retry.enabled = true;
+         c.failure.retry.max_attempts = 0;
+       },
+       "max_attempts"},
+      {"retry backoff_base",
+       [](SimulationConfig& c) {
+         c.failure.retry.enabled = true;
+         c.failure.retry.backoff_base = 0.0;
+       },
+       "backoff_base"},
+      {"retry backoff_cap",
+       [](SimulationConfig& c) {
+         c.failure.retry.enabled = true;
+         c.failure.retry.backoff_base = 10.0;
+         c.failure.retry.backoff_cap = 5.0;
+       },
+       "backoff_cap"},
+      {"repair down_threshold",
+       [](SimulationConfig& c) {
+         c.failure.repair.enabled = true;
+         c.failure.repair.down_threshold = 0.0;
+       },
+       "down_threshold"},
+      {"scripted fault server range",
+       [](SimulationConfig& c) {
+         c.scripted_faults.push_back({10.0, 99, FaultTransitionKind::kDown, 1.0});
+       },
+       "out-of-range server"},
+      {"scripted fault time",
+       [](SimulationConfig& c) {
+         c.scripted_faults.push_back({-1.0, 0, FaultTransitionKind::kDown, 1.0});
+       },
+       "time must be >= 0"},
+      {"scripted brownout factor",
+       [](SimulationConfig& c) {
+         c.scripted_faults.push_back(
+             {10.0, 0, FaultTransitionKind::kBrownoutBegin, 1.5});
+       },
+       "capacity_factor"},
+      {"drift period",
+       [](SimulationConfig& c) {
+         c.drift.enabled = true;
+         c.drift.period = 0.0;
+       },
+       "drift period"},
+      {"pauses_per_hour",
+       [](SimulationConfig& c) {
+         c.interactivity.enabled = true;
+         c.interactivity.pauses_per_hour = 0.0;
+       },
+       "pauses_per_hour"},
+      {"mean_pause_duration",
+       [](SimulationConfig& c) {
+         c.interactivity.enabled = true;
+         c.interactivity.pauses_per_hour = 6.0;
+         c.interactivity.mean_pause_duration = 0.0;
+       },
+       "mean_pause_duration"},
+      {"rejection_threshold",
+       [](SimulationConfig& c) {
+         c.replication.enabled = true;
+         c.replication.rejection_threshold = 0;
+       },
+       "rejection_threshold"},
+      {"replication window",
+       [](SimulationConfig& c) {
+         c.replication.enabled = true;
+         c.replication.window = 0.0;
+       },
+       "replication window"},
+      {"transfer_bandwidth",
+       [](SimulationConfig& c) {
+         c.replication.enabled = true;
+         c.replication.transfer_bandwidth = 0.0;
+       },
+       "transfer_bandwidth"},
+      {"replication max_concurrent",
+       [](SimulationConfig& c) {
+         c.replication.enabled = true;
+         c.replication.max_concurrent = 0;
+       },
+       "max_concurrent"},
+      {"trace capacity",
+       [](SimulationConfig& c) {
+         c.trace.enabled = true;
+         c.trace.capacity = 0;
+       },
+       "trace capacity"},
+      {"probe period",
+       [](SimulationConfig& c) {
+         c.probe.enabled = true;
+         c.probe.period = 0.0;
+       },
+       "probe period"},
+  };
+
+  for (const Row& row : rows) {
+    SimulationConfig config;
+    config.system = SystemConfig::small_system();
+    row.mutate(config);
+    try {
+      config.validate();
+      ADD_FAILURE() << row.what << ": expected validate() to throw";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(row.expect), std::string::npos)
+          << row.what << ": message \"" << error.what()
+          << "\" does not mention \"" << row.expect << "\"";
+    }
+  }
+}
+
+TEST(Config, ValidationRejectsNonFiniteFields) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<std::function<void(SimulationConfig&)>> mutations = {
+      [=](SimulationConfig& c) { c.system.server_bandwidth = nan; },
+      [=](SimulationConfig& c) { c.system.server_storage = nan; },
+      [=](SimulationConfig& c) { c.system.video_min_duration = nan; },
+      [=](SimulationConfig& c) { c.system.video_max_duration = inf; },
+      [=](SimulationConfig& c) { c.system.avg_copies = nan; },
+      [=](SimulationConfig& c) { c.system.view_bandwidth = nan; },
+      [=](SimulationConfig& c) { c.client.staging_fraction = nan; },
+      [=](SimulationConfig& c) { c.client.receive_bandwidth = nan; },
+      [=](SimulationConfig& c) { c.zipf_theta = nan; },
+      [=](SimulationConfig& c) { c.load_factor = nan; },
+      [=](SimulationConfig& c) { c.load_factor = inf; },
+      [=](SimulationConfig& c) { c.duration = nan; },
+      [=](SimulationConfig& c) { c.warmup = nan; },
+      [=](SimulationConfig& c) { c.intermittent_safety_cover = nan; },
+      [=](SimulationConfig& c) {
+        c.system.bandwidth_profile = {1.0, 1.0, nan, 1.0, 1.0};
+      },
+      [=](SimulationConfig& c) {
+        c.system.storage_profile = {1.0, 1.0, 1.0, inf, 1.0};
+      },
+  };
+  for (std::size_t i = 0; i < mutations.size(); ++i) {
+    SimulationConfig config;
+    config.system = SystemConfig::small_system();
+    mutations[i](config);
+    EXPECT_THROW(config.validate(), std::invalid_argument) << "mutation " << i;
+  }
+  // The documented exception: receive_bandwidth = +infinity means "no cap".
+  SimulationConfig uncapped;
+  uncapped.system = SystemConfig::small_system();
+  uncapped.client.receive_bandwidth = inf;
+  EXPECT_NO_THROW(uncapped.validate());
 }
 
 TEST(Config, NormalizeProfileKeepsTotals) {

@@ -354,5 +354,102 @@ TEST(TimeWeighted, RepeatedUpdatesAtSameTime) {
   EXPECT_DOUBLE_EQ(tw.mean(), 5.0);
 }
 
+// --- property tests -------------------------------------------------------
+
+TEST(HistogramProperty, QuantilesMonotoneInQ) {
+  Rng rng(31);
+  for (int instance = 0; instance < 20; ++instance) {
+    Histogram hist(0.0, 100.0, 1 + rng.uniform_int(40));
+    const int samples = 1 + static_cast<int>(rng.uniform_int(500));
+    for (int i = 0; i < samples; ++i) {
+      // Include out-of-range mass so under/overflow paths are exercised.
+      hist.add(rng.uniform(-20.0, 120.0));
+    }
+    double last = -1e300;
+    for (double q = 0.0; q <= 1.0 + 1e-12; q += 0.01) {
+      const double value = hist.quantile(std::min(q, 1.0));
+      EXPECT_GE(value, last) << "q=" << q << " instance " << instance;
+      last = value;
+    }
+  }
+}
+
+TEST(HistogramProperty, QuantilesInvariantUnderBucketPreservingPermutations) {
+  // Quantiles are a function of the bucket counts alone, so (a) insertion
+  // order and (b) the position of a sample *within* its bucket must not
+  // matter.
+  Rng rng(32);
+  Histogram original(0.0, 50.0, 25);  // bin width 2
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(rng.uniform(0.0, 50.0));
+  for (double sample : samples) original.add(sample);
+
+  std::vector<double> scrambled = samples;
+  rng.shuffle(scrambled);
+  Histogram permuted(0.0, 50.0, 25);
+  for (double sample : scrambled) {
+    // Move the sample to a fresh position inside the same 2-wide bucket.
+    const double bucket_lo = std::floor(sample / 2.0) * 2.0;
+    permuted.add(std::min(bucket_lo + 2.0 * rng.uniform(), 49.999999));
+  }
+
+  ASSERT_EQ(original.total_count(), permuted.total_count());
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(original.quantile(q), permuted.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(BatchMeansProperty, CiWidthShrinksWithRunLength) {
+  // Same iid source, geometrically longer runs: the batch-means CI
+  // half-width must shrink (up to Student-t luck, so require monotone
+  // decrease across 16x steps, not adjacent pairs).
+  Rng rng(33);
+  std::vector<double> widths;
+  for (std::uint64_t n : {2000ull, 32000ull, 512000ull}) {
+    BatchMeans bm(/*batch_size=*/n / 20, /*warmup_observations=*/0);
+    for (std::uint64_t i = 0; i < n; ++i) bm.add(rng.uniform(0.0, 1.0));
+    ASSERT_GE(bm.batch_count(), 2u);
+    widths.push_back(bm.ci_half_width());
+  }
+  EXPECT_LT(widths[1], widths[0]);
+  EXPECT_LT(widths[2], widths[1]);
+  // sqrt(n) scaling: 16x the data should cut the width by ~4; accept 2x.
+  EXPECT_LT(widths[2], widths[0] / 2.0);
+}
+
+TEST(TimeWeightedProperty, AgreesWithHandIntegratedStepFunctions) {
+  // Random step functions, integrated by hand over the clipped window.
+  Rng rng(34);
+  for (int instance = 0; instance < 50; ++instance) {
+    const double window_start = rng.uniform(0.0, 20.0);
+    const double window_end = window_start + rng.uniform(1.0, 50.0);
+    TimeWeighted tw(window_start, window_end);
+
+    double t = rng.uniform(0.0, 10.0);
+    double value = rng.uniform(-5.0, 5.0);
+    tw.update(t, value);
+    double integral = 0.0;
+    double observed = 0.0;
+    for (int step = 0; step < 30; ++step) {
+      const double next = t + rng.uniform(0.0, 5.0);
+      const double lo = std::max(t, window_start);
+      const double hi = std::min(next, window_end);
+      if (hi > lo) {
+        integral += value * (hi - lo);
+        observed += hi - lo;
+      }
+      value = rng.uniform(-5.0, 5.0);
+      tw.update(next, value);
+      t = next;
+    }
+    tw.flush(t);
+    EXPECT_NEAR(tw.observed(), observed, 1e-9) << "instance " << instance;
+    if (observed > 0.0) {
+      EXPECT_NEAR(tw.mean(), integral / observed, 1e-9)
+          << "instance " << instance;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace vodsim

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py and tools/validate_trace.py.
+
+Run directly or via ctest (registered as `tools_py`). Stdlib only; the
+tools are exercised as subprocesses, exactly as CI invokes them, so exit
+codes and stderr contracts are part of what is tested.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         os.pardir, "tools")
+BENCH_DIFF = os.path.join(TOOLS_DIR, "bench_diff.py")
+VALIDATE_TRACE = os.path.join(TOOLS_DIR, "validate_trace.py")
+
+
+def run_tool(script, *args):
+    return subprocess.run([sys.executable, script, *args],
+                          capture_output=True, text=True)
+
+
+def bench_json(path, benchmarks):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"benchmarks": benchmarks}, handle)
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.before = os.path.join(self.dir.name, "before.json")
+        self.after = os.path.join(self.dir.name, "after.json")
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def test_reports_speedup_and_geomean(self):
+        bench_json(self.before, [
+            {"name": "BM_A", "items_per_second": 100.0},
+            {"name": "BM_B", "real_time": 20.0},
+        ])
+        bench_json(self.after, [
+            {"name": "BM_A", "items_per_second": 200.0},
+            {"name": "BM_B", "real_time": 10.0},
+        ])
+        result = run_tool(BENCH_DIFF, self.before, self.after)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("2.00x", result.stdout)
+        self.assertIn("geometric-mean speedup over 2", result.stdout)
+
+    def test_missing_and_renamed_benchmarks_are_not_an_error(self):
+        bench_json(self.before, [
+            {"name": "BM_Old", "items_per_second": 100.0},
+            {"name": "BM_Common", "items_per_second": 50.0},
+        ])
+        bench_json(self.after, [
+            {"name": "BM_New", "items_per_second": 100.0},
+            {"name": "BM_Common", "items_per_second": 50.0},
+        ])
+        result = run_tool(BENCH_DIFF, self.before, self.after)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("BM_Old", result.stdout)
+        self.assertIn("BM_New", result.stdout)
+
+    def test_nameless_records_are_skipped_not_a_crash(self):
+        # Regression: records lacking both run_name and name used to raise
+        # KeyError inside load_benchmarks.
+        bench_json(self.before, [
+            {"items_per_second": 1.0},                      # no name at all
+            {"name": "", "items_per_second": 2.0},          # empty name
+            {"name": "BM_Real", "items_per_second": 100.0},
+        ])
+        bench_json(self.after, [
+            {"name": "BM_Real", "items_per_second": 150.0},
+        ])
+        result = run_tool(BENCH_DIFF, self.before, self.after)
+        self.assertEqual(result.returncode, 0,
+                         "nameless record crashed bench_diff: " + result.stderr)
+        self.assertIn("BM_Real", result.stdout)
+
+    def test_median_aggregate_preferred_over_repetitions(self):
+        bench_json(self.before, [
+            {"name": "BM_X/repeats:3", "run_name": "BM_X",
+             "run_type": "iteration", "items_per_second": 90.0},
+            {"name": "BM_X/repeats:3_median", "run_name": "BM_X",
+             "run_type": "aggregate", "aggregate_name": "median",
+             "items_per_second": 100.0},
+            {"name": "BM_X/repeats:3_stddev", "run_name": "BM_X",
+             "run_type": "aggregate", "aggregate_name": "stddev",
+             "items_per_second": 5.0},
+        ])
+        bench_json(self.after, [
+            {"name": "BM_X", "items_per_second": 100.0},
+        ])
+        result = run_tool(BENCH_DIFF, self.before, self.after)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("1.00x", result.stdout)  # median 100 vs 100, not 90 or 5
+
+    def test_threshold_flags_regressions(self):
+        bench_json(self.before, [{"name": "BM_A", "items_per_second": 100.0}])
+        bench_json(self.after, [{"name": "BM_A", "items_per_second": 50.0}])
+        result = run_tool(BENCH_DIFF, self.before, self.after,
+                          "--threshold", "10")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+        # Within threshold: clean exit.
+        bench_json(self.after, [{"name": "BM_A", "items_per_second": 95.0}])
+        result = run_tool(BENCH_DIFF, self.before, self.after,
+                          "--threshold", "10")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_markdown_table(self):
+        bench_json(self.before, [{"name": "BM_A", "items_per_second": 1e6}])
+        bench_json(self.after, [{"name": "BM_A", "items_per_second": 2e6}])
+        result = run_tool(BENCH_DIFF, self.before, self.after, "--markdown")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("| benchmark | metric | before | after | speedup |",
+                      result.stdout)
+        self.assertIn("| BM_A |", result.stdout)
+
+
+class ValidateTraceTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def path(self, name):
+        return os.path.join(self.dir.name, name)
+
+    def write(self, name, text):
+        with open(self.path(name), "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return self.path(name)
+
+    def test_valid_chrome_trace_passes(self):
+        trace = self.write("t.json", json.dumps({"traceEvents": [
+            {"ph": "b", "name": "stream", "ts": 0, "cat": "admission",
+             "id": "1", "pid": 1, "tid": 1},
+            {"ph": "e", "name": "stream", "ts": 5, "cat": "admission",
+             "id": "1", "pid": 1, "tid": 1},
+            {"ph": "C", "name": "load", "ts": 3, "pid": 1, "tid": 1,
+             "args": {"mbps": 12.5}},
+        ]}))
+        result = run_tool(VALIDATE_TRACE, "--chrome", trace)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("all artifacts ok", result.stdout)
+
+    def test_unpaired_async_event_fails(self):
+        trace = self.write("t.json", json.dumps({"traceEvents": [
+            {"ph": "b", "name": "stream", "ts": 0, "cat": "admission",
+             "id": "1", "pid": 1, "tid": 1},
+        ]}))
+        result = run_tool(VALIDATE_TRACE, "--chrome", trace)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL", result.stderr)
+
+    def jsonl_lines(self):
+        events = [
+            {"seq": 1, "t": 0.0, "type": "arrival", "cat": "admission",
+             "server": 0, "request": 1, "video": 2, "a": 0.0, "b": 0.0},
+            {"seq": 2, "t": 1.5, "type": "admit", "cat": "admission",
+             "server": 0, "request": 1, "video": 2, "a": 0.0, "b": 0.0},
+        ]
+        header = {"schema": "vodsim-trace-v1", "events": len(events)}
+        return [json.dumps(header)] + [json.dumps(e) for e in events]
+
+    def test_valid_jsonl_passes(self):
+        trace = self.write("t.jsonl", "\n".join(self.jsonl_lines()) + "\n")
+        result = run_tool(VALIDATE_TRACE, "--jsonl", trace)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_jsonl_bad_schema_and_bad_seq_fail(self):
+        lines = self.jsonl_lines()
+        bad_schema = self.write("s.jsonl", "\n".join(
+            [json.dumps({"schema": "nope", "events": 2})] + lines[1:]) + "\n")
+        result = run_tool(VALIDATE_TRACE, "--jsonl", bad_schema)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("vodsim-trace-v1", result.stderr)
+
+        swapped = self.write("q.jsonl",
+                             "\n".join([lines[0], lines[2], lines[1]]) + "\n")
+        result = run_tool(VALIDATE_TRACE, "--jsonl", swapped)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL", result.stderr)
+
+    def probe_rows(self):
+        header = ("time,server,committed_mbps,reserved_mbps,active_streams,"
+                  "mean_buffer_fill,pending_events,capacity_factor,retry_queue")
+        return [header,
+                "0.0,0,12.0,0.0,4,0.5,7,1.0,0",
+                "60.0,0,15.0,3.0,5,0.55,8,1.0,0"]
+
+    def test_valid_probes_pass(self):
+        probes = self.write("p.csv", "\n".join(self.probe_rows()) + "\n")
+        result = run_tool(VALIDATE_TRACE, "--probes", probes)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_probe_header_and_time_order_enforced(self):
+        rows = self.probe_rows()
+        bad_header = self.write("h.csv",
+                                "\n".join(["when,who"] + rows[1:]) + "\n")
+        result = run_tool(VALIDATE_TRACE, "--probes", bad_header)
+        self.assertEqual(result.returncode, 1)
+
+        back_in_time = self.write("b.csv",
+                                  "\n".join([rows[0], rows[2], rows[1]]) + "\n")
+        result = run_tool(VALIDATE_TRACE, "--probes", back_in_time)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("time went backwards", result.stderr)
+
+    def test_nothing_to_validate_is_an_error(self):
+        result = run_tool(VALIDATE_TRACE)
+        self.assertNotEqual(result.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -35,7 +35,11 @@ def load_benchmarks(path):
     for record in data.get("benchmarks", []):
         if record.get("run_type") == "aggregate" and record.get("aggregate_name") != "median":
             continue
-        name = record.get("run_name", record["name"])
+        # Tolerate rows with no name at all (e.g. malformed or future
+        # google-benchmark context records) instead of raising KeyError.
+        name = record.get("run_name") or record.get("name")
+        if not name:
+            continue
         # Later rows win: for repeated runs the median aggregate comes last.
         out[name] = record
     return out
