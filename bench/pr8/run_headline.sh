@@ -1,0 +1,25 @@
+#!/bin/sh
+# PR8 headline: 100 servers x 15000 Mb/s, 1.5 Mb/s views => 1M concurrent
+# streams at full load; 1200 s simulated, fast-math, intermittent +
+# buffer-aware. One run per (shards, threads) point; wall seconds printed.
+set -e
+cd /root/repo/build
+run() {
+  label="$1"; shards="$2"; threads="$3"
+  echo "=== $label (shards=$shards threads=$threads) ==="
+  start=$(date +%s)
+  ./examples/vodsim_cli \
+    --system custom --servers 100 --bandwidth 15000 \
+    --view-bw 1.5 --receive-bw 4.5 --staging 0.25 \
+    --scheduler intermittent --buffer-aware true --fast-math true \
+    --load 1.0 --hours 0.3333 --warmup-hours 0 --seed 42 \
+    --shards "$shards" --shard-threads "$threads" 2>&1
+  end=$(date +%s)
+  echo "WALL_SECONDS $label $((end - start))"
+  echo "=== end $label ==="
+}
+run baseline 1 1
+run sharded-t1 100 1
+run sharded-t2 100 2
+run sharded-t4 100 4
+echo ALL_RUNS_DONE

@@ -11,6 +11,7 @@
 ///   vodsim_cli --system small --buffer-aware true --scheduler intermittent
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 
@@ -81,6 +82,13 @@ int main(int argc, char** argv) {
   cli.add_flag("fast-math", "false",
                "batched SoA fluid advance (reproducible; fluid aggregates "
                "within 1e-9 of exact mode, counts identical)");
+  cli.add_flag("shards", "1",
+               "server-group shards draining predicted events in parallel "
+               "(1 = classic single-queue engine; fixed shard count is "
+               "bit-reproducible at any thread count)");
+  cli.add_flag("shard-threads", "0",
+               "drain worker threads for --shards > 1 (0 = all cores; "
+               "thread count never changes results)");
   // Observability (re-runs trial 0 with tracing attached; observe-only, so
   // the traced run is bit-identical to the reported one).
   cli.add_flag("trace-out", "", "write a chrome://tracing JSON trace here");
@@ -182,6 +190,8 @@ int main(int argc, char** argv) {
   config.warmup = hours(cli.get_double("warmup-hours"));
   config.seed = static_cast<std::uint64_t>(cli.get_long("seed"));
   config.fast_math = cli.get_bool("fast-math");
+  config.shards = static_cast<int>(cli.get_long("shards"));
+  config.shard_threads = static_cast<int>(cli.get_long("shard-threads"));
 
   try {
     config.validate();
@@ -199,7 +209,9 @@ int main(int argc, char** argv) {
             << config.system.server_bandwidth << " Mb/s, theta "
             << config.zipf_theta << ", " << trials << " trial(s) x "
             << cli.get_double("hours") << " h"
-            << (config.fast_math ? " [fast-math]" : "") << "\n\n";
+            << (config.fast_math ? " [fast-math]" : "");
+  if (config.shards > 1) std::cout << " [shards=" << config.shards << "]";
+  std::cout << "\n\n";
 
   // Analytic achievability envelope (analysis/bounds.h): bounds are computed
   // per trial world (catalog/placement vary with the trial seed), so report
@@ -262,6 +274,25 @@ int main(int argc, char** argv) {
     if (recovery.count() > 0) {
       table.add_row({"mean recovery time (s)", format_mean_ci(recovery)});
     }
+  }
+
+  // Sharded-engine block: the coordinator/shard event split measures the
+  // run's serial fraction — the Amdahl ceiling for this exact workload.
+  if (config.shards > 1) {
+    std::uint64_t coordinator = 0, sharded = 0;
+    for (const TrialResult& trial : point.trials) {
+      coordinator += trial.coordinator_events;
+      sharded += trial.shard_events;
+    }
+    const std::uint64_t total = coordinator + sharded;
+    table.add_row({"coordinator events", std::to_string(coordinator)});
+    table.add_row({"shard events", std::to_string(sharded)});
+    char frac[32];
+    std::snprintf(frac, sizeof(frac), "%.4f",
+                  total > 0 ? static_cast<double>(coordinator) /
+                                  static_cast<double>(total)
+                            : 1.0);
+    table.add_row({"serial fraction (Amdahl)", frac});
   }
   table.print(std::cout);
 

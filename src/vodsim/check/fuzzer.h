@@ -39,8 +39,13 @@ struct FuzzResult {
   /// differentially compared against the exact engine (every passing
   /// scenario — both modes carry the auditor).
   bool fast_checked = false;
+  /// True when the scenario was additionally re-run on the sharded engine
+  /// (config.shards when drawn > 1, else one shard per server) and
+  /// differentially compared against the single-queue run (every passing
+  /// scenario; the single-mode leg carries the auditor).
+  bool shard_checked = false;
   /// Empty when passed; otherwise the auditor's message, the oracle diff,
-  /// or the fast-vs-exact diff.
+  /// the fast-vs-exact diff, or the shard-vs-single diff.
   std::string failure;
 };
 
@@ -68,8 +73,12 @@ std::vector<SimulationConfig> pathology_corpus();
 /// Every scenario (chaos configs included) is then re-run with
 /// `fast_math = true` on the same arrival trace and diffed against the
 /// exact run via compare_fast_vs_exact — the dual-exactness contract's
-/// enforcement point. Exceptions (AuditFailure included) are captured into
-/// the result, never propagated.
+/// enforcement point — and finally re-run on the *sharded* engine
+/// (config.shards when > 1, else one shard per server so every
+/// cross-server interaction crosses a shard boundary) and diffed against
+/// the single-queue run with the same discipline: discrete counters exact,
+/// fluid integrals within the oracle tolerance. Exceptions (AuditFailure
+/// included) are captured into the result, never propagated.
 FuzzResult run_scenario(const SimulationConfig& config);
 
 class VodSimulation;

@@ -37,6 +37,8 @@ TrialResult TrialResult::from(const VodSimulation& simulation) {
   result.retry_abandoned = metrics.retry_abandoned();
   result.repairs = metrics.repairs();
   result.mean_recovery_time = metrics.recovery_time().mean();
+  result.coordinator_events = simulation.coordinator_events();
+  result.shard_events = simulation.shard_events();
   return result;
 }
 

@@ -55,6 +55,12 @@ struct TrialResult {
   std::uint64_t repairs = 0;
   double mean_recovery_time = 0.0;  ///< mean seconds down per episode
 
+  // Sharded-engine block (DESIGN.md §12; shard_events is 0 when shards=1).
+  // coordinator / (coordinator + shard) is the run's measured serial
+  // fraction — the Amdahl ceiling for parallel speedup on this workload.
+  std::uint64_t coordinator_events = 0;  ///< events on the coordinator queue
+  std::uint64_t shard_events = 0;        ///< events drained by all shards
+
   static TrialResult from(const VodSimulation& simulation);
 };
 

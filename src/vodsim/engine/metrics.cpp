@@ -97,6 +97,14 @@ void Metrics::record_glitch(Seconds t, Seconds seconds) {
   glitch_seconds_ += seconds;
 }
 
+void Metrics::merge_shard(const Metrics& shard, double transmitted_scale) {
+  transmitted_ += shard.transmitted_ * transmitted_scale;
+  underflow_events_ += shard.underflow_events_;
+  underflow_megabits_ += shard.underflow_megabits_;
+  interruptions_ += shard.interruptions_;
+  glitch_seconds_ += shard.glitch_seconds_;
+}
+
 void Metrics::record_retry_enqueued(Seconds t) {
   (void)t;
   ++retry_enqueued_;

@@ -12,10 +12,60 @@
 #include "vodsim/sched/intermittent.h"
 #include "vodsim/util/env.h"
 #include "vodsim/util/log.h"
+#include "vodsim/util/thread_pool.h"
 #include "vodsim/workload/catalog.h"
 #include "vodsim/workload/poisson.h"
 
 namespace vodsim {
+
+namespace detail {
+
+/// One shard of the parallel engine (DESIGN.md §12): a contiguous block of
+/// servers [first_server, end_server) with everything their predicted
+/// per-stream events (tx-complete, buffer-full, buffer-low) touch — an
+/// event queue, a Metrics shard, a scheduler instance, scratch arenas, a
+/// tagged trace recorder. Coordinator events (admission, migration,
+/// replication, faults, retries, pause/resume, playback end) run serially
+/// on the root simulator and may touch any shard's servers; between
+/// coordinator events, each shard drains its own queue with no shared
+/// mutable state, so the drains parallelize with no locks.
+struct EngineShard {
+  int index = 0;
+  int first_server = 0;
+  int end_server = 0;  ///< exclusive
+  Simulator sim;
+  std::unique_ptr<Metrics> metrics;
+  std::unique_ptr<TraceRecorder> trace;
+  std::unique_ptr<BandwidthScheduler> scheduler;
+  std::uint64_t continuity_violations = 0;
+  std::vector<Mbps> rates_scratch;
+  AllocationScratch sched_scratch;
+  std::vector<Megabits> underflow_scratch;
+};
+
+}  // namespace detail
+
+namespace {
+
+/// The shard whose queue the calling thread is currently draining, or
+/// nullptr on the coordinator (and everywhere in single mode). The engine's
+/// context-dependent helpers (note, advance_and_account, recompute_server,
+/// ...) consult this to resolve "now", the metrics sink, the scheduler and
+/// the scratch arenas — so the same functions serve both modes, and the
+/// single-mode path never branches into shard state. thread_local because
+/// drains run on pool workers (and concurrent sweep trials may each be
+/// draining their own shards on the same pool).
+thread_local detail::EngineShard* t_shard = nullptr;
+
+/// RAII current-shard marker for one drain.
+struct ScopedShard {
+  explicit ScopedShard(detail::EngineShard& shard) { t_shard = &shard; }
+  ~ScopedShard() { t_shard = nullptr; }
+  ScopedShard(const ScopedShard&) = delete;
+  ScopedShard& operator=(const ScopedShard&) = delete;
+};
+
+}  // namespace
 
 VodSimulation::VodSimulation(SimulationConfig config) : config_(std::move(config)) {
   build_world();
@@ -136,12 +186,23 @@ void VodSimulation::build_world() {
   occupancy_.assign(servers_.size(), TimeWeighted(config_.warmup, config_.duration));
   recompute_state_.assign(servers_.size(), ServerRecomputeState{});
 
+  sharded_ = config_.shards > 1;
+  // Test-only: deliberately mis-scale the shard-metrics merge so the
+  // sharded/single differential harness provably catches a cross-mode
+  // aggregation bug (tests/check_fuzz_test.cpp). Same shape as the
+  // fast-math seeded bug: biased low, caught by the differential.
+  shard_seeded_bug_ = env_long("VODSIM_TEST_SHARD_BUG", 0) != 0;
+
   // Pre-size the hot-path buffers so the steady-state event loop never
   // allocates: up to ~3 predicted events per concurrent stream plus
   // playback-end/arrival bookkeeping, and one rate per stream per server.
+  // Sharded mode partitions the predicted-event share across the shard
+  // queues (build_shards); the root queue keeps the coordinator's share.
   const std::size_t max_streams = static_cast<std::size_t>(
       config_.system.total_bandwidth() / config_.system.view_bandwidth);
-  sim_.reserve_events(4 * max_streams + 64);
+  // Coordinator share: playback-end plus (with interactivity) one pending
+  // pause/resume per stream; shards hold the three predicted events.
+  sim_.reserve_events((sharded_ ? 2 : 4) * max_streams + 64);
   const std::size_t per_server =
       static_cast<std::size_t>(config_.system.server_bandwidth /
                                config_.system.view_bandwidth) + 8;
@@ -183,7 +244,11 @@ void VodSimulation::build_world() {
   // The auditor is a pure observer: it reads state after each event and
   // throws AuditFailure on a violated invariant, never mutating anything,
   // so enabling it cannot perturb results (pinned by determinism_test).
-  if (config_.paranoid || env_long("VODSIM_PARANOID", 0) != 0) {
+  // Sharded runs ignore it (its audits assume the whole cluster quiesces
+  // after every event, which only the coordinator queue provides); the
+  // single-mode half of the sharded/single differential carries the
+  // auditor instead (check/fuzzer.cpp).
+  if (!sharded_ && (config_.paranoid || env_long("VODSIM_PARANOID", 0) != 0)) {
     auditor_ = std::make_unique<InvariantAuditor>(*this);
   }
 
@@ -221,7 +286,10 @@ void VodSimulation::build_world() {
     probe_config.enabled = true;
     probe_config.period = env_probe;
   }
-  if (probe_config.enabled) {
+  // Probes sample on the root post-event hook, which in sharded mode fires
+  // only on coordinator events and would read shard state mid-window-lag;
+  // disabled there (documented in DESIGN.md §12), like the auditor.
+  if (!sharded_ && probe_config.enabled) {
     probes_ = std::make_unique<ProbeSet>(probe_config, servers_.size());
   }
 
@@ -234,6 +302,55 @@ void VodSimulation::build_world() {
       if (auditor_) auditor_->on_event();
     });
   }
+
+  if (sharded_) build_shards(trace_config);
+}
+
+void VodSimulation::build_shards(const TraceConfig& trace_config) {
+  const int num_servers = config_.system.num_servers;
+  const int shards = config_.shards;
+  shard_of_server_.assign(static_cast<std::size_t>(num_servers), 0);
+  const std::size_t per_server =
+      static_cast<std::size_t>(config_.system.server_bandwidth /
+                               config_.system.view_bandwidth) + 8;
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    auto shard = std::make_unique<detail::EngineShard>();
+    shard->index = k;
+    // Contiguous near-even blocks: consecutive servers share a shard, so
+    // the fault subsystem's correlated (rack/zone) groups of consecutive
+    // servers land inside one shard whenever group_size divides the block.
+    shard->first_server = k * num_servers / shards;
+    shard->end_server = (k + 1) * num_servers / shards;
+    for (int s = shard->first_server; s < shard->end_server; ++s) {
+      shard_of_server_[static_cast<std::size_t>(s)] = k;
+    }
+    shard->metrics = std::make_unique<Metrics>(
+        config_.warmup, config_.duration, config_.system.total_bandwidth());
+    // Per-shard scheduler instance: allocate() is const/deterministic, so
+    // replicas produce identical rates; owning one per shard keeps its
+    // trace emission on the shard's own recorder and off shared state.
+    if (config_.scheduler == SchedulerKind::kIntermittent) {
+      shard->scheduler = std::make_unique<IntermittentScheduler>(
+          config_.intermittent_safety_cover);
+    } else {
+      shard->scheduler = make_scheduler(config_.scheduler);
+    }
+    if (trace_config.enabled) {
+      shard->trace = std::make_unique<TraceRecorder>(trace_config, k);
+      shard->scheduler->set_trace(shard->trace.get());
+    }
+    // The shard's share of the predicted events (~3 per concurrent stream
+    // on its servers) and the per-server scratch arenas.
+    const std::size_t block =
+        static_cast<std::size_t>(shard->end_server - shard->first_server);
+    shard->sim.reserve_events(3 * block * per_server + 64);
+    shard->rates_scratch.reserve(per_server);
+    shard->sched_scratch.order.reserve(per_server);
+    shard->sched_scratch.aux.reserve(per_server);
+    shard->underflow_scratch.reserve(per_server);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 const Metrics& VodSimulation::run() {
@@ -245,14 +362,35 @@ const Metrics& VodSimulation::run() {
     sim_.schedule_at(event.time, [this, event](Seconds) { apply_fault(event); });
   }
 
-  sim_.run_until(config_.duration);
+  if (sharded_) {
+    run_sharded_windows();
+  } else {
+    sim_.run_until(config_.duration);
+  }
 
-  // Flush in-flight transmissions into the measurement window.
-  for (Server& server : servers_) {
-    for (Request* request : server.active_requests()) {
-      advance_and_account(*request, config_.duration);
+  // Flush in-flight transmissions into the measurement window. Sharded
+  // runs flush each shard's servers under that shard's context so the
+  // tail transmission lands in the shard's own Metrics (merged below).
+  if (sharded_) {
+    for (auto& shard : shards_) {
+      ScopedShard scoped(*shard);
+      for (int s = shard->first_server; s < shard->end_server; ++s) {
+        for (Request* request : servers_[static_cast<std::size_t>(s)]
+                                    .active_requests()) {
+          advance_and_account(*request, config_.duration);
+        }
+      }
     }
-    occupancy_[static_cast<std::size_t>(server.id())].flush(config_.duration);
+    for (Server& server : servers_) {
+      occupancy_[static_cast<std::size_t>(server.id())].flush(config_.duration);
+    }
+  } else {
+    for (Server& server : servers_) {
+      for (Request* request : server.active_requests()) {
+        advance_and_account(*request, config_.duration);
+      }
+      occupancy_[static_cast<std::size_t>(server.id())].flush(config_.duration);
+    }
   }
   // Close still-open fault episodes into the availability integral.
   for (std::size_t s = 0; s < servers_.size(); ++s) {
@@ -271,7 +409,78 @@ const Metrics& VodSimulation::run() {
                       retry_queue_ ? retry_queue_->size() : 0);
   }
   if (auditor_) auditor_->finalize();
+
+  // Fold the per-shard counters into the published Metrics. Integer counts
+  // add exactly; the fluid sums regroup shard-major, which is the sharded
+  // determinism contract's accepted FP regrouping (the sharded/single
+  // differential bounds it with the PR 6 oracle tolerance).
+  for (const auto& shard : shards_) {
+    metrics_->merge_shard(*shard->metrics, shard_seeded_bug_ ? 0.999 : 1.0);
+  }
   return *metrics_;
+}
+
+void VodSimulation::run_sharded_windows() {
+  // Lazily spawn the drain workers: construct-only call sites (tests
+  // probing configuration, bounds-only runs) never pay for threads.
+  if (!shard_pool_) {
+    shard_pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(config_.shard_threads));
+  }
+  const Seconds horizon = config_.duration;
+  while (true) {
+    // Conservative lookahead: every pending shard event strictly before the
+    // next coordinator event is causally independent of it (shard handlers
+    // never touch another shard or schedule coordinator events), so the
+    // drains below commute with each other and with the waiting
+    // coordinator event. Ties at the window edge go to the coordinator —
+    // the one documented (measure-zero) ordering divergence from the
+    // single-queue engine (DESIGN.md §12).
+    const bool coordinator_has_work =
+        sim_.pending_count() > 0 && sim_.peek_time() <= horizon;
+    const Seconds window_end = coordinator_has_work ? sim_.peek_time() : horizon;
+
+    int busy = 0;
+    detail::EngineShard* last_busy = nullptr;
+    for (const auto& shard : shards_) {
+      if (shard->sim.pending_count() > 0 &&
+          shard->sim.peek_time() < window_end) {
+        ++busy;
+        last_busy = shard.get();
+      }
+    }
+    if (busy == 1) {
+      // Common small-window case: skip the fan-out/join round-trip.
+      ScopedShard scoped(*last_busy);
+      last_busy->sim.run_before(window_end);
+    } else if (busy > 1) {
+      // Each shard drains serially on whichever worker picks it up, and the
+      // parallel_for join gives every drain a happens-before edge to the
+      // coordinator step below — so the result is bit-identical at any
+      // thread count, and TSan-clean.
+      shard_pool_->parallel_for(
+          shards_.size(), [this, window_end](std::size_t i) {
+            detail::EngineShard& shard = *shards_[i];
+            if (shard.sim.pending_count() == 0 ||
+                shard.sim.peek_time() >= window_end) {
+              return;
+            }
+            ScopedShard scoped(shard);
+            shard.sim.run_before(window_end);
+          });
+    }
+
+    if (!coordinator_has_work) break;
+    sim_.step();  // exactly one coupling event per window, serially
+  }
+  // Tail: no coordinator events remain at or before the horizon, so each
+  // shard can run inclusively to it (run_until also clamps the shard
+  // clock there, matching single mode's end-of-run state).
+  shard_pool_->parallel_for(shards_.size(), [this, horizon](std::size_t i) {
+    ScopedShard scoped(*shards_[i]);
+    shards_[i]->sim.run_until(horizon);
+  });
+  sim_.run_until(horizon);
 }
 
 void VodSimulation::schedule_next_arrival() {
@@ -419,7 +628,10 @@ void VodSimulation::finish_migration(Request& request, ServerId target) {
 }
 
 void VodSimulation::on_tx_complete(Request& request) {
-  const Seconds now = sim_.now();
+  // Shard-local event: fires from the owning shard's drain (or from the
+  // root queue in single mode) and touches only the request, its server,
+  // and shard-context accounting — never another shard, never the RNG.
+  const Seconds now = t_shard != nullptr ? t_shard->sim.now() : sim_.now();
   const ServerId server = request.server();
   assert(server != kNoServer);
   advance_and_account(request, now);
@@ -809,7 +1021,14 @@ void VodSimulation::check_repair(ServerId server_id, Seconds down_since) {
 void VodSimulation::recompute_server(ServerId server_id) {
   Server& server = servers_[static_cast<std::size_t>(server_id)];
   ServerRecomputeState& state = recompute_state_[static_cast<std::size_t>(server_id)];
-  const Seconds now = sim_.now();
+  // Executing context: a shard drain recomputes at its own clock with its
+  // own scheduler instance and scratch arenas (it only ever reaches its
+  // own servers); the coordinator — and all of single mode — uses the
+  // root set. Same code, same FP operation order either way.
+  detail::EngineShard* const shard = t_shard;
+  assert(shard == nullptr ||
+         (server_id >= shard->first_server && server_id < shard->end_server));
+  const Seconds now = shard != nullptr ? shard->sim.now() : sim_.now();
   // Memo: several events at one timestamp often recompute the same server.
   // A repeat with unchanged inputs is a pure no-op — advance would see dt=0,
   // allocate is deterministic in its inputs (including the intermittent
@@ -830,19 +1049,25 @@ void VodSimulation::recompute_server(ServerId server_id) {
     for (Request* request : active) advance_and_account(*request, now);
   }
 
-  scheduler_->allocate(now, server.schedulable_bandwidth(), active, rates_scratch_,
-                       sched_scratch_, &state.sched_cache);
+  BandwidthScheduler& scheduler =
+      shard != nullptr ? *shard->scheduler : *scheduler_;
+  std::vector<Mbps>& rates =
+      shard != nullptr ? shard->rates_scratch : rates_scratch_;
+  AllocationScratch& scratch =
+      shard != nullptr ? shard->sched_scratch : sched_scratch_;
+  scheduler.allocate(now, server.schedulable_bandwidth(), active, rates,
+                     scratch, &state.sched_cache);
 
   for (std::size_t i = 0; i < active.size(); ++i) {
     Request& request = *active[i];
     // Exact comparison on purpose: the common case (rate == view bandwidth,
     // assigned from the same double every recomputation) stays bit-identical,
     // so unchanged requests keep their predicted events.
-    if (rates_scratch_[i] != request.allocation()) {
+    if (rates[i] != request.allocation()) {
       note(TraceEventType::kAllocationChange, kTraceAllocation, server_id,
            request.id(), request.video_id(), request.allocation(),
-           rates_scratch_[i]);
-      request.set_allocation(now, rates_scratch_[i]);
+           rates[i]);
+      request.set_allocation(now, rates[i]);
       reschedule_predicted_events(request);
     }
   }
@@ -863,15 +1088,19 @@ void VodSimulation::advance_and_account(Request& request, Seconds now) {
   // eligibility and finish-time ordering on the hosting server.
   mark_server_dirty(request.server());
   const Seconds interval_start = request.last_update();
-  metrics_->record_transmission(interval_start, now, request.allocation());
+  // A shard drain accounts into its own Metrics shard (merged after the
+  // run); the auditor is never active in sharded mode (build_world).
+  detail::EngineShard* const shard = t_shard;
+  Metrics& metrics = shard != nullptr ? *shard->metrics : *metrics_;
+  metrics.record_transmission(interval_start, now, request.allocation());
   if (auditor_) auditor_->on_advance(request, interval_start, now);
   const Megabits underflow = request.advance(now);
   if (underflow > 0.0) {
-    ++continuity_violations_;
-    metrics_->record_underflow(now, underflow);
+    ++(shard != nullptr ? shard->continuity_violations : continuity_violations_);
+    metrics.record_underflow(now, underflow);
     // Viewer-facing resilience accounting: the megabits short translate to
     // seconds of starved playback at the view rate.
-    metrics_->record_glitch(now, underflow / request.view_bandwidth());
+    metrics.record_glitch(now, underflow / request.view_bandwidth());
     note(TraceEventType::kUnderflow, kTraceBuffer, request.server(),
          request.id(), request.video_id(), underflow);
     VODSIM_DEBUG << "continuity violation: request " << request.id() << " short "
@@ -884,7 +1113,11 @@ void VodSimulation::advance_and_account(Request& request, Seconds now) {
 }
 
 void VodSimulation::batch_advance_server(Server& server) {
-  const Seconds now = sim_.now();
+  detail::EngineShard* const shard = t_shard;
+  const Seconds now = shard != nullptr ? shard->sim.now() : sim_.now();
+  Metrics& metrics = shard != nullptr ? *shard->metrics : *metrics_;
+  std::vector<Megabits>& underflow_scratch =
+      shard != nullptr ? shard->underflow_scratch : underflow_scratch_;
   FluidLane& lane = server.lane();
   const std::vector<Request*>& active = server.active_requests();
 
@@ -900,21 +1133,22 @@ void VodSimulation::batch_advance_server(Server& server) {
   }
 
   const FluidLane::BatchResult batch =
-      lane.advance_batch(now, config_.warmup, config_.duration, underflow_scratch_);
+      lane.advance_batch(now, config_.warmup, config_.duration, underflow_scratch);
   if (batch.advanced > 0) mark_server_dirty(server.id());
 
   Megabits metered = batch.transmitted_in_window;
   if (fast_math_seeded_bug_) metered *= 0.999;  // test-only, see build_world
-  metrics_->record_transmitted_sum(metered);
+  metrics.record_transmitted_sum(metered);
 
   if (batch.any_underflow) {
     // Rare path: per-stream accounting identical to advance_and_account's.
     for (Request* request : active) {
-      const Megabits underflow = underflow_scratch_[request->active_index];
+      const Megabits underflow = underflow_scratch[request->active_index];
       if (underflow <= 0.0) continue;
-      ++continuity_violations_;
-      metrics_->record_underflow(now, underflow);
-      metrics_->record_glitch(now, underflow / request->view_bandwidth());
+      ++(shard != nullptr ? shard->continuity_violations
+                          : continuity_violations_);
+      metrics.record_underflow(now, underflow);
+      metrics.record_glitch(now, underflow / request->view_bandwidth());
       note(TraceEventType::kUnderflow, kTraceBuffer, request->server(),
            request->id(), request->video_id(), underflow);
       VODSIM_DEBUG << "continuity violation: request " << request->id()
@@ -1044,16 +1278,20 @@ void VodSimulation::attach_to(ServerId server_id, Request& request) {
   Server& server = servers_[static_cast<std::size_t>(server_id)];
   mark_server_dirty(server_id);
   server.attach(request, /*enforce_capacity=*/!config_.admission.buffer_aware);
+  // Executing-context clock: a shard-drain detach (tx-complete) is ahead of
+  // the stale coordinator clock, and occupancy integrates real intervals.
+  const Seconds now = t_shard != nullptr ? t_shard->sim.now() : sim_.now();
   occupancy_[static_cast<std::size_t>(server_id)].update(
-      sim_.now(), static_cast<double>(server.active_count()));
+      now, static_cast<double>(server.active_count()));
 }
 
 void VodSimulation::detach_from(ServerId server_id, Request& request) {
   Server& server = servers_[static_cast<std::size_t>(server_id)];
   mark_server_dirty(server_id);
   server.detach(request);
+  const Seconds now = t_shard != nullptr ? t_shard->sim.now() : sim_.now();
   occupancy_[static_cast<std::size_t>(server_id)].update(
-      sim_.now(), static_cast<double>(server.active_count()));
+      now, static_cast<double>(server.active_count()));
 }
 
 VodSimulation::OccupancySummary VodSimulation::occupancy() const {
@@ -1077,9 +1315,14 @@ VodSimulation::OccupancySummary VodSimulation::occupancy() const {
 }
 
 void VodSimulation::cancel_predicted_events(Request& request) {
-  sim_.cancel(request.tx_complete_event);
-  sim_.cancel(request.buffer_full_event);
-  sim_.cancel(request.buffer_low_event);
+  // EventIds are queue-local: the handles below always live in the owning
+  // shard's queue (root queue in single mode). Every detach/migration path
+  // cancels *before* reassigning the server, so the id↔queue pairing
+  // cannot dangle across an ownership change.
+  Simulator& psim = predicted_sim(request.server());
+  psim.cancel(request.tx_complete_event);
+  psim.cancel(request.buffer_full_event);
+  psim.cancel(request.buffer_low_event);
   request.tx_complete_event = kInvalidEventId;
   request.buffer_full_event = kInvalidEventId;
   request.buffer_low_event = kInvalidEventId;
@@ -1090,7 +1333,13 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
     cancel_predicted_events(request);
     return;
   }
-  const Seconds now = sim_.now();
+  // Predictions schedule into the owning shard's queue at the executing
+  // context's clock. A coordinator caller targets a shard queue whose own
+  // clock lags (it drained strictly below this event's time), so the
+  // schedule_at clamp-to-now can never fire backwards; a shard caller is
+  // always the owner itself.
+  Simulator& psim = predicted_sim(request.server());
+  const Seconds now = t_shard != nullptr ? t_shard->sim.now() : sim_.now();
   const Mbps rate = request.allocation();
 
   // Each prediction retimes its pending event in place when one is live (the
@@ -1108,9 +1357,9 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
   if (rate > 0.0) {
     tx_at = now + request.remaining() / rate;
     keep_tx = true;
-    if (!sim_.reschedule_at(tx_at, request.tx_complete_event)) {
+    if (!psim.reschedule_at(tx_at, request.tx_complete_event)) {
       request.tx_complete_event =
-          sim_.schedule_at(tx_at, [this, &request](Seconds) {
+          psim.schedule_at(tx_at, [this, &request](Seconds) {
             request.tx_complete_event = kInvalidEventId;
             on_tx_complete(request);
           });
@@ -1124,9 +1373,9 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
     const Seconds full_at = now + request.buffer_headroom() / surplus;
     if (full_at < tx_at) {
       keep_full = true;
-      if (!sim_.reschedule_at(full_at, request.buffer_full_event)) {
+      if (!psim.reschedule_at(full_at, request.buffer_full_event)) {
         request.buffer_full_event =
-            sim_.schedule_at(full_at, [this, &request](Seconds) {
+            psim.schedule_at(full_at, [this, &request](Seconds) {
               request.buffer_full_event = kInvalidEventId;
               on_buffer_full(request);
             });
@@ -1145,9 +1394,9 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
       const Seconds low_at = now + (level - threshold) / -surplus;
       if (low_at < tx_at) {
         keep_low = true;
-        if (!sim_.reschedule_at(low_at, request.buffer_low_event)) {
+        if (!psim.reschedule_at(low_at, request.buffer_low_event)) {
           request.buffer_low_event =
-              sim_.schedule_at(low_at, [this, &request](Seconds) {
+              psim.schedule_at(low_at, [this, &request](Seconds) {
                 request.buffer_low_event = kInvalidEventId;
                 if (request.state() == RequestState::kStreaming) {
                   note(TraceEventType::kBufferLow, kTraceBuffer,
@@ -1162,17 +1411,75 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
   }
 
   if (!keep_tx) {
-    sim_.cancel(request.tx_complete_event);
+    psim.cancel(request.tx_complete_event);
     request.tx_complete_event = kInvalidEventId;
   }
   if (!keep_full) {
-    sim_.cancel(request.buffer_full_event);
+    psim.cancel(request.buffer_full_event);
     request.buffer_full_event = kInvalidEventId;
   }
   if (!keep_low) {
-    sim_.cancel(request.buffer_low_event);
+    psim.cancel(request.buffer_low_event);
     request.buffer_low_event = kInvalidEventId;
   }
+}
+
+Simulator& VodSimulation::predicted_sim(ServerId server) {
+  if (!sharded_ || server == kNoServer) return sim_;
+  return shards_[static_cast<std::size_t>(
+                     shard_of_server_[static_cast<std::size_t>(server)])]
+      ->sim;
+}
+
+void VodSimulation::note(TraceEventType type, std::uint32_t category,
+                         ServerId server, RequestId request, VideoId video,
+                         double a, double b) {
+  detail::EngineShard* const shard = t_shard;
+  TraceRecorder* recorder = shard != nullptr ? shard->trace.get() : trace_.get();
+  if (recorder == nullptr || !recorder->wants(category)) return;
+  const Seconds now = shard != nullptr ? shard->sim.now() : sim_.now();
+  recorder->record(now, type, server, request, video, a, b);
+}
+
+std::uint64_t VodSimulation::continuity_violations() const {
+  std::uint64_t total = continuity_violations_;
+  for (const auto& shard : shards_) total += shard->continuity_violations;
+  return total;
+}
+
+int VodSimulation::shard_of_server(ServerId server) const {
+  if (!sharded_ || server == kNoServer) return 0;
+  return shard_of_server_[static_cast<std::size_t>(server)];
+}
+
+std::uint64_t VodSimulation::coordinator_events() const {
+  return sim_.executed_count();
+}
+
+std::uint64_t VodSimulation::shard_events() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.executed_count();
+  return total;
+}
+
+std::vector<TraceEvent> VodSimulation::merged_trace_events() const {
+  std::vector<TraceEvent> out;
+  if (trace_) out = trace_->snapshot();
+  for (const auto& shard : shards_) {
+    if (!shard->trace) continue;
+    const std::vector<TraceEvent> events = shard->trace->snapshot();
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  // (time, shard, seq): coordinator (-1) first within a timestamp, then
+  // shards in index order, each internally in emission order. A total
+  // deterministic order even though per-recorder seqs are independent.
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.time != y.time) return x.time < y.time;
+              if (x.shard != y.shard) return x.shard < y.shard;
+              return x.seq < y.seq;
+            });
+  return out;
 }
 
 }  // namespace vodsim

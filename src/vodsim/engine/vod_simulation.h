@@ -47,6 +47,14 @@ namespace vodsim {
 
 class InvariantAuditor;
 class SweepContext;
+class ThreadPool;
+
+namespace detail {
+/// One shard of the parallel engine: a contiguous server block with its own
+/// event queue, metrics shard, scheduler instance, trace recorder and
+/// scratch arenas. Defined in vod_simulation.cpp (DESIGN.md §12).
+struct EngineShard;
+}  // namespace detail
 
 class VodSimulation {
  public:
@@ -122,8 +130,35 @@ class VodSimulation {
   const StableVector<Request>& requests() const { return requests_; }
 
   /// Playback continuity violations observed (should be 0 except under
-  /// failure injection or nonzero switch latency).
-  std::uint64_t continuity_violations() const { return continuity_violations_; }
+  /// failure injection or nonzero switch latency). Sums the per-shard
+  /// counters in sharded mode.
+  std::uint64_t continuity_violations() const;
+
+  // --- sharded engine introspection (DESIGN.md §12) ---------------------
+  /// Configured shard count; 1 = the classic single-queue engine.
+  int shard_count() const { return config_.shards; }
+
+  /// Shard owning \p server (0 when shards == 1). Contiguous blocks:
+  /// consecutive servers share a shard, aligning with the fault
+  /// subsystem's correlated (rack/zone) outage groups.
+  int shard_of_server(ServerId server) const;
+
+  /// Events executed on the coordinator queue (arrivals, admission,
+  /// migration, replication, faults, retries, pause/resume, playback
+  /// end). Valid after run(). In single mode this is every event.
+  std::uint64_t coordinator_events() const;
+
+  /// Events executed across all shard queues (the predicted per-stream
+  /// events: tx-complete, buffer-full, buffer-low). 0 in single mode.
+  /// coordinator_events()/shard_events() is the measured serial/parallel
+  /// work split of a sharded run (the Amdahl numbers in BENCH_pr8.json).
+  std::uint64_t shard_events() const;
+
+  /// All trace events from every recorder (coordinator + shards), merged
+  /// in (time, shard, seq) order — each tagged with its executing domain
+  /// (TraceEvent::shard: -1 = coordinator/single engine). Empty when
+  /// tracing is off.
+  std::vector<TraceEvent> merged_trace_events() const;
 
   /// Time-weighted per-server stream occupancy over the measurement window.
   struct OccupancySummary {
@@ -215,14 +250,28 @@ class VodSimulation {
 
   /// Trace emission helper. The null check is the entire disabled-tracing
   /// hot path (one load + branch per emission site); the category mask is
-  /// only consulted once a recorder is attached.
+  /// only consulted once a recorder is attached. Resolves the executing
+  /// context (coordinator vs. shard) for both the timestamp and the
+  /// recorder, so shard-drain events land shard-tagged in the shard's own
+  /// ring (defined in vod_simulation.cpp).
   void note(TraceEventType type, std::uint32_t category,
             ServerId server = kNoServer, RequestId request = -1,
-            VideoId video = -1, double a = 0.0, double b = 0.0) {
-    if (trace_ != nullptr && trace_->wants(category)) {
-      trace_->record(sim_.now(), type, server, request, video, a, b);
-    }
-  }
+            VideoId video = -1, double a = 0.0, double b = 0.0);
+
+  /// The queue a request's predicted events (tx-complete, buffer-full,
+  /// buffer-low) belong to: the owning shard's simulator when sharded,
+  /// the root simulator otherwise. Predicted-event handles are only ever
+  /// scheduled/retimed/cancelled against this queue — EventIds are
+  /// queue-local, and a request's server never changes while its
+  /// predictions are live (every migration/recovery path cancels first).
+  Simulator& predicted_sim(ServerId server);
+
+  /// Builds the shard contexts (shards > 1 only); part of build_world.
+  void build_shards(const TraceConfig& trace_config);
+
+  /// The sharded replacement for run()'s sim_.run_until(duration): the
+  /// conservative-lookahead window loop (DESIGN.md §12).
+  void run_sharded_windows();
 
   /// attach/detach wrappers that keep the occupancy statistics current.
   void attach_to(ServerId server, Request& request);
@@ -277,6 +326,25 @@ class VodSimulation {
   /// batch metering low so the differential harness's negative test can
   /// prove a seeded batching bug is caught. Never set outside tests.
   bool fast_math_seeded_bug_ = false;
+
+  /// True when config.shards > 1. The single-shard path takes the exact
+  /// code the pre-sharding engine ran — its bit-identity to the hexfloat
+  /// goldens holds by construction, not by tolerance.
+  bool sharded_ = false;
+  /// Test-only backdoor (VODSIM_TEST_SHARD_BUG): biases the shard-metrics
+  /// merge low so the sharded/single differential harness's negative test
+  /// can prove a seeded cross-mode bug is caught. Never set outside tests.
+  bool shard_seeded_bug_ = false;
+  /// Shard contexts, in shard-index order (empty when shards == 1). All
+  /// cross-shard coupling happens through coordinator events; between
+  /// coordinator events each shard's queue drains with no shared mutable
+  /// state (see detail::EngineShard in vod_simulation.cpp).
+  std::vector<std::unique_ptr<detail::EngineShard>> shards_;
+  /// server -> owning shard index (contiguous blocks).
+  std::vector<int> shard_of_server_;
+  /// Workers for the parallel drain windows; created lazily in run() so
+  /// construct-only call sites never spawn threads.
+  std::unique_ptr<ThreadPool> shard_pool_;
 
   /// Scratch buffers for scheduler output and working sets (reused across
   /// events; the steady-state loop performs no per-event heap allocations).

@@ -17,6 +17,12 @@
 /// correlated draws happen only when their sub-configs are enabled, and
 /// only *after* all phase-1 draws, so a crash-only config consumes the
 /// identical RNG prefix it always did.
+///
+/// Sharded engine (DESIGN.md §12): fault transitions shed, migrate, or
+/// re-park streams across arbitrary servers, so every transition executes
+/// on the serial coordinator queue. The schedule being pre-generated means
+/// sharding changes nothing about when faults fire — only which queue runs
+/// the handler.
 
 #include <vector>
 

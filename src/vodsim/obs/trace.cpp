@@ -138,8 +138,9 @@ std::uint32_t parse_trace_categories(const std::string& spec) {
   return mask;
 }
 
-TraceRecorder::TraceRecorder(const TraceConfig& config)
+TraceRecorder::TraceRecorder(const TraceConfig& config, std::int32_t shard)
     : mask_(config.categories & kTraceAllCategories),
+      shard_(shard),
       capacity_(config.capacity > 0 ? config.capacity : 1) {
   // reserve, not resize: the slab is addressable without touching (and with
   // a default 1M-event ring, zero-filling) 48 MB up front. Slots are
@@ -151,7 +152,7 @@ void TraceRecorder::record(Seconds time, TraceEventType type, ServerId server,
                            RequestId request, VideoId video, double a, double b) {
   if (ring_.size() < capacity_) {
     ring_.push_back(TraceEvent{next_seq_++, time, type, server, request, video,
-                               a, b});
+                               a, b, shard_});
     return;
   }
   TraceEvent& slot = ring_[start_];  // overwrite the oldest
@@ -164,6 +165,7 @@ void TraceRecorder::record(Seconds time, TraceEventType type, ServerId server,
   slot.video = video;
   slot.a = a;
   slot.b = b;
+  slot.shard = shard_;
 }
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {

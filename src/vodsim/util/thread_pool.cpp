@@ -6,6 +6,15 @@
 
 namespace vodsim {
 
+namespace {
+// Set for the lifetime of every worker thread (workers die with their
+// pool, so no unwinding needed). parallel_for consults it to decide
+// whether submitting helper drains is safe — see the header comment.
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::on_pool_worker() { return t_on_pool_worker; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -46,7 +55,10 @@ void ThreadPool::parallel_for(std::size_t count,
   // O(count). Chunks keep the cursor cold for large counts while staying
   // small enough (>= 8 grabs per strand) that uneven task durations still
   // load-balance.
-  const std::size_t strands = std::min(workers_.size() + 1, count);
+  // Nested call from a pool worker: run caller-only (strands == 1, no
+  // helper submissions). See the header for the deadlock this prevents.
+  const std::size_t strands =
+      t_on_pool_worker ? 1 : std::min(workers_.size() + 1, count);
   const std::size_t chunk = std::max<std::size_t>(1, count / (8 * strands));
   std::atomic<std::size_t> next{0};
 
@@ -91,6 +103,7 @@ void ThreadPool::parallel_for(std::size_t count,
 }
 
 void ThreadPool::worker_loop() {
+  t_on_pool_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {

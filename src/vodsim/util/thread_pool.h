@@ -35,7 +35,22 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
   /// complete. Rethrows the first task exception encountered.
+  ///
+  /// Safe to call from inside a pool task (e.g. a sweep trial that runs a
+  /// sharded simulation, which fans its shard drains out through a pool):
+  /// a nested call detects that it is executing on a pool worker and runs
+  /// caller-only — no helper tasks are submitted, the calling strand
+  /// drains every index itself. Submitting helpers from a worker can
+  /// deadlock a fixed-size pool: when every worker blocks joining helper
+  /// tasks that sit behind the very tasks occupying the workers, nobody
+  /// ever frees up to run them. Semantics (index coverage, exception
+  /// policy) are identical either way; only the parallelism degrades.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool — the flag is per-thread, not per-pool). Exposed so callers
+  /// that would *rather* restructure than serialize can fail loudly.
+  static bool on_pool_worker();
 
   std::size_t size() const { return workers_.size(); }
 

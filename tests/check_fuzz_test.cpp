@@ -17,11 +17,13 @@ namespace {
 TEST(ScenarioFuzz, CorpusAndRandomBatchPass) {
   int oracle_checked = 0;
   int fast_checked = 0;
+  int shard_checked = 0;
 
   for (const SimulationConfig& config : pathology_corpus()) {
     const FuzzResult result = run_scenario(config);
     if (result.oracle_checked) ++oracle_checked;
     if (result.fast_checked) ++fast_checked;
+    if (result.shard_checked) ++shard_checked;
     ASSERT_TRUE(result.passed)
         << "corpus seed=" << config.seed << ": " << result.failure
         << "\n"
@@ -37,6 +39,7 @@ TEST(ScenarioFuzz, CorpusAndRandomBatchPass) {
     const FuzzResult result = run_scenario(config);
     if (result.oracle_checked) ++oracle_checked;
     if (result.fast_checked) ++fast_checked;
+    if (result.shard_checked) ++shard_checked;
     ASSERT_TRUE(result.passed)
         << "scenario " << i << " seed=" << config.seed << ": " << result.failure
         << "\n"
@@ -48,9 +51,11 @@ TEST(ScenarioFuzz, CorpusAndRandomBatchPass) {
   // scenarios stay within its scope.
   EXPECT_GE(oracle_checked, kScenarios / 2);
 
-  // The fast/exact differential has no exclusions: every passing scenario
-  // must have been re-run in fast_math mode and diffed.
+  // The fast/exact and sharded/single differentials have no exclusions:
+  // every passing scenario must have been re-run in fast_math mode AND on
+  // the sharded engine, and diffed against the single-queue baseline.
   EXPECT_EQ(fast_checked, corpus_size + kScenarios);
+  EXPECT_EQ(shard_checked, corpus_size + kScenarios);
 }
 
 // Chaos configs (crashes + brownouts + retry + repair + correlated groups)
@@ -67,6 +72,7 @@ TEST(ScenarioFuzz, ChaosBatchPassesBothModes) {
         << "chaos scenario " << i << " seed=" << config.seed << ": "
         << result.failure;
     EXPECT_TRUE(result.fast_checked) << "chaos scenario " << i;
+    EXPECT_TRUE(result.shard_checked) << "chaos scenario " << i;
   }
 }
 
@@ -89,6 +95,41 @@ TEST(ScenarioFuzz, DifferentialCatchesSeededBatchingBug) {
 
   // And the harness recovers: the same scenario passes with the bug unset.
   EXPECT_TRUE(run_scenario(pathology_corpus().front()).passed);
+}
+
+// Negative control for the sharded/single differential: seed a cross-mode
+// aggregation bug (VODSIM_TEST_SHARD_BUG scales the shard-metrics merge by
+// 0.999 — biased low, invisible to the single-mode auditor because it only
+// exists in the sharded leg) and require the shard/single diff to fire.
+// Uses corpus entry 12 (cross-shard migration chains, shards = 4) so the
+// seeded bug lands on a run with real cross-shard traffic.
+TEST(ScenarioFuzz, DifferentialCatchesSeededShardMergeBug) {
+  const std::vector<SimulationConfig> corpus = pathology_corpus();
+  SimulationConfig sharded;
+  bool found = false;
+  for (const SimulationConfig& config : corpus) {
+    if (config.shards > 1) {
+      sharded = config;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found) << "corpus must seed at least one sharded pathology";
+
+  ASSERT_EQ(setenv("VODSIM_TEST_SHARD_BUG", "1", 1), 0);
+  const FuzzResult result = run_scenario(sharded);
+  ASSERT_EQ(unsetenv("VODSIM_TEST_SHARD_BUG"), 0);
+
+  ASSERT_FALSE(result.passed)
+      << "seeded shard-merge aggregation bug was not detected";
+  EXPECT_NE(result.failure.find("shard/single mismatch"), std::string::npos)
+      << "unexpected failure channel: " << result.failure;
+  EXPECT_NE(result.failure.find("transmitted"), std::string::npos)
+      << "diff should implicate the merged transmission integral: "
+      << result.failure;
+
+  // And the harness recovers: the same scenario passes with the bug unset.
+  EXPECT_TRUE(run_scenario(sharded).passed);
 }
 
 }  // namespace

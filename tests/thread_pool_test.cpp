@@ -104,6 +104,62 @@ TEST(ThreadPoolErrors, SubmitFutureCarriesTaskException) {
   }
 }
 
+TEST(ThreadPoolNesting, NestedParallelForFromWorkerCompletesInline) {
+  // A sharded sweep trial nests pool usage: the sweep's parallel_for runs
+  // trials on workers, and each trial's sharded engine issues its own
+  // parallel_for for shard drains. Before the worker guard this deadlocked
+  // whenever every worker blocked joining helper tasks stuck behind the
+  // outer tasks themselves. The guard makes nested calls caller-only, so
+  // this test both terminates and covers every inner index exactly once.
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 16;
+  ThreadPool pool(2);  // fewer workers than outer tasks forces the hazard
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  std::atomic<int> nested_on_worker{0};
+  pool.parallel_for(kOuter, [&](std::size_t outer) {
+    if (ThreadPool::on_pool_worker()) nested_on_worker.fetch_add(1);
+    pool.parallel_for(kInner, [&](std::size_t inner) {
+      hits[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "inner index " << i;
+  }
+  // The caller strand handles some outer indices on the main thread; the
+  // guard must have engaged for at least the worker-run ones.
+  EXPECT_GE(nested_on_worker.load(), 1);
+}
+
+TEST(ThreadPoolNesting, NestedParallelForKeepsExceptionPolicy) {
+  // The caller-only fallback must preserve the parallel_for contract:
+  // every index runs, and the lowest failing index's exception wins.
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(16, [&](std::size_t i) {
+        if (i == 3 || i == 12) throw TrialError(i);
+        completed.fetch_add(1);
+      });
+    });
+    FAIL() << "nested parallel_for swallowed the exception";
+  } catch (const TrialError& error) {
+    EXPECT_EQ(error.index, 3u);
+  }
+  // Only the first outer task's exception propagates out of the outer
+  // call, but every outer task ran its full inner range (14 survivors
+  // per outer iteration).
+  EXPECT_EQ(completed.load(), 4 * 14);
+}
+
+TEST(ThreadPoolNesting, OnPoolWorkerIsFalseOnCallerThread) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(ThreadPool::on_pool_worker());
+  auto future = pool.submit([] { EXPECT_TRUE(ThreadPool::on_pool_worker()); });
+  future.get();
+  EXPECT_FALSE(ThreadPool::on_pool_worker());
+}
+
 TEST(ThreadPoolLifecycle, DestructorDrainsQueuedTasks) {
   // Queue far more slow-ish tasks than workers, then destroy the pool
   // immediately: shutdown must run every queued task, not abandon the queue.
