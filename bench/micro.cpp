@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <new>
 
@@ -462,6 +463,124 @@ BENCHMARK(BM_FluidAdvanceBatch)
     ->Args({300, 1})
     ->Args({1000, 0})
     ->Args({1000, 1})
+    ->ArgNames({"streams", "batched"});
+
+namespace {
+
+/// Attaches \p n steady-state streams to \p server, for the fill_* kernel
+/// benches below (identical population to BM_FluidAdvanceBatch). The
+/// requests bind to the server's lane, so the server must outlive them in
+/// place — hence populate-in-place rather than return-by-value.
+void populate_server(Server& server, std::size_t n,
+                     std::vector<std::unique_ptr<Request>>& owner) {
+  Rng rng(5);
+  Video video;
+  video.id = 0;
+  video.duration = 2.0 * 3600.0;
+  video.view_bandwidth = 3.0;
+  ClientProfile client{0.2 * video.size(), 30.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    owner.push_back(std::make_unique<Request>(static_cast<RequestId>(i), video,
+                                              0.0, client));
+    Request& request = *owner.back();
+    request.begin_streaming(0.0, 0);
+    server.attach(request);
+    request.set_allocation(0.0, 3.0);
+    request.advance(rng.uniform(1.0, 600.0));
+  }
+}
+
+}  // namespace
+
+void BM_FluidKeyBatch(benchmark::State& state) {
+  // The EFTF/LFTF sort-key pass (PR 9): batched=0 is the scalar
+  // per-candidate projected_finish loop sort_by_projected_finish runs when
+  // the batch threshold is not met; batched=1 is
+  // FluidLane::fill_projected_finish — one division-heavy vector pass over
+  // the lane. Same doubles out either way (pinned by
+  // FluidLane.FillProjectedFinishMatchesScalar).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  std::vector<std::unique_ptr<Request>> owner;
+  Server server(0, 3.0 * static_cast<double>(n) + 60.0, 1e12);
+  populate_server(server, n, owner);
+  std::vector<Seconds> keys(n);
+  const Seconds now = 600.0;
+  for (auto _ : state) {
+    if (batched) {
+      server.lane().fill_projected_finish(now, keys);
+    } else {
+      const auto& active = server.active_requests();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        keys[i] = active[i]->projected_finish(now);
+      }
+    }
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FluidKeyBatch)
+    ->Args({300, 0})
+    ->Args({300, 1})
+    ->Args({3000, 0})
+    ->Args({3000, 1})
+    ->ArgNames({"streams", "batched"});
+
+void BM_FluidRetimeBatch(benchmark::State& state) {
+  // The predicted-event retiming arithmetic (PR 9): batched=1 is
+  // FluidLane::fill_predicted_times — all three event times for every slot
+  // in one pass; batched=0 replays the scalar per-stream arithmetic of
+  // reschedule_predicted_events (three divisions and the gates, per
+  // request). Neither side schedules events; this isolates the arithmetic
+  // the batched recompute_server amortizes.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
+  std::vector<std::unique_ptr<Request>> owner;
+  Server server(0, 3.0 * static_cast<double>(n) + 60.0, 1e12);
+  populate_server(server, n, owner);
+  std::vector<Seconds> tx(n), full(n), low(n);
+  const Seconds now = 600.0;
+  const double safety_cover = 4.0;
+  for (auto _ : state) {
+    if (batched) {
+      server.lane().fill_predicted_times(now, safety_cover, tx, full, low);
+    } else {
+      const auto& active = server.active_requests();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const Request& request = *active[i];
+        const Mbps rate = request.allocation();
+        tx[i] = rate > 0.0 ? now + request.remaining() / rate : kNever;
+        const Mbps surplus = rate - request.drain_rate(now);
+        full[i] = kNever;
+        low[i] = kNever;
+        if (surplus > 1e-12 && !request.buffer_full()) {
+          const Seconds at = now + request.buffer_headroom() / surplus;
+          if (at < tx[i]) full[i] = at;
+        } else if (surplus < -1e-12) {
+          const Megabits threshold = safety_cover * request.view_bandwidth();
+          if (request.buffer_level() >
+              threshold + StagingBuffer::kLevelTolerance) {
+            const Seconds at =
+                now + (request.buffer_level() - threshold) / (0.0 - surplus);
+            if (at < tx[i]) low[i] = at;
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(tx.data());
+    benchmark::DoNotOptimize(full.data());
+    benchmark::DoNotOptimize(low.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FluidRetimeBatch)
+    ->Args({300, 0})
+    ->Args({300, 1})
+    ->Args({3000, 0})
+    ->Args({3000, 1})
     ->ArgNames({"streams", "batched"});
 
 void BM_EndToEndSmallSystemHour(benchmark::State& state) {

@@ -1,0 +1,53 @@
+#!/bin/sh
+# PR9 headline: the PR8 1M-concurrent-stream configuration (100 servers x
+# 15000 Mb/s, 1.5 Mb/s views, intermittent + buffer-aware, fast-math,
+# shards=100), measured as an interleaved A/B comparison between the PR8
+# binary snapshot ($OLD_CLI) and this tree's binary ($NEW_CLI).
+#
+# Protocol (single-core host; per-event cost grows with the live stream
+# count, so wall time rises ~cubically in simulated time — a full-duration
+# leg costs 1-2 h and best-of-3 at full duration would take ~10 h):
+#   1. Interleaved best-of-3 at a 600 s slice of the headline config
+#      (~500k streams admitted, predicted-event churn fully engaged):
+#      A B A B A B, best (minimum) wall per side.
+#   2. One full-duration pair (1200 s, ~1M streams admitted) run
+#      back-to-back, old binary first: the true headline point.
+# Every line streams through tee into $LOG so a killed run keeps all
+# completed output.
+set -e
+cd /root/repo/build
+
+OLD_CLI="${OLD_CLI:-/tmp/vodsim_cli_pr8}"
+NEW_CLI="${NEW_CLI:-./examples/vodsim_cli}"
+LOG="${HEADLINE_LOG:-/root/repo/bench/pr9/headline.log}"
+
+: > "$LOG"
+note() { echo "$@" | tee -a "$LOG"; }
+note "old=$OLD_CLI new=$NEW_CLI"
+
+run() {
+  label="$1"; cli="$2"; hours="$3"; shards="$4"
+  note "=== $label (hours=$hours shards=$shards) ==="
+  start=$(date +%s)
+  "$cli" \
+    --system custom --servers 100 --bandwidth 15000 \
+    --view-bw 1.5 --receive-bw 4.5 --staging 0.25 \
+    --scheduler intermittent --buffer-aware true --fast-math true \
+    --load 1.0 --hours "$hours" --warmup-hours 0 --seed 42 \
+    --shards "$shards" --shard-threads 1 2>&1 | tail -40 | tee -a "$LOG"
+  end=$(date +%s)
+  note "WALL_SECONDS $label $((end - start))"
+  note "=== end $label ==="
+}
+
+# Interleaved best-of-3 at the 600 s slice.
+for rep in 1 2 3; do
+  run "slice-old-$rep" "$OLD_CLI" 0.1667 100
+  run "slice-new-$rep" "$NEW_CLI" 0.1667 100
+done
+
+# Full-duration headline pair (1200 s, ~1M concurrent streams at the end).
+run "full-old" "$OLD_CLI" 0.3333 100
+run "full-new" "$NEW_CLI" 0.3333 100
+
+note ALL_RUNS_DONE

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -20,6 +21,24 @@
 #include "vodsim/obs/exporters.h"
 #include "vodsim/util/cli.h"
 #include "vodsim/util/table.h"
+
+namespace {
+
+/// Mirrors VodSimulation::build_world's engine-mode resolution (flags, env
+/// overrides, sharded fast-by-default) so the banner reports the mode the
+/// engine will actually run, not just the flag values.
+bool resolved_fast_math(const vodsim::SimulationConfig& config) {
+  const auto env_set = [](const char* name) {
+    const char* const value = std::getenv(name);
+    return value != nullptr && std::strtol(value, nullptr, 10) != 0;
+  };
+  const bool exact_requested =
+      config.exact_math || env_set("VODSIM_EXACT_MATH");
+  return !exact_requested && (config.fast_math ||
+                              env_set("VODSIM_FAST_MATH") || config.shards > 1);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vodsim;
@@ -81,7 +100,11 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "42", "master seed");
   cli.add_flag("fast-math", "false",
                "batched SoA fluid advance (reproducible; fluid aggregates "
-               "within 1e-9 of exact mode, counts identical)");
+               "within 1e-9 of exact mode, counts identical); the default "
+               "when --shards > 1");
+  cli.add_flag("exact-math", "false",
+               "opt sharded runs out of the fast-math default (no-op at "
+               "--shards 1, where exact is already the default)");
   cli.add_flag("shards", "1",
                "server-group shards draining predicted events in parallel "
                "(1 = classic single-queue engine; fixed shard count is "
@@ -190,6 +213,7 @@ int main(int argc, char** argv) {
   config.warmup = hours(cli.get_double("warmup-hours"));
   config.seed = static_cast<std::uint64_t>(cli.get_long("seed"));
   config.fast_math = cli.get_bool("fast-math");
+  config.exact_math = cli.get_bool("exact-math");
   config.shards = static_cast<int>(cli.get_long("shards"));
   config.shard_threads = static_cast<int>(cli.get_long("shard-threads"));
 
@@ -209,7 +233,7 @@ int main(int argc, char** argv) {
             << config.system.server_bandwidth << " Mb/s, theta "
             << config.zipf_theta << ", " << trials << " trial(s) x "
             << cli.get_double("hours") << " h"
-            << (config.fast_math ? " [fast-math]" : "");
+            << (resolved_fast_math(config) ? " [fast-math]" : "");
   if (config.shards > 1) std::cout << " [shards=" << config.shards << "]";
   std::cout << "\n\n";
 
@@ -347,7 +371,13 @@ int main(int argc, char** argv) {
       }
     }
     if (!probe_out.empty()) {
-      if (auto out = open(probe_out)) {
+      if (simulation.probes() == nullptr) {
+        // Sharded runs drain per-stream events in parallel shard queues, so
+        // the engine has no global event boundary to sample on and leaves
+        // probes detached (vod_simulation.cpp build_world).
+        std::cout << "note: probes are unavailable with --shards > 1; "
+                     "no probe CSV written\n";
+      } else if (auto out = open(probe_out)) {
         write_probe_csv(out, *simulation.probes());
         std::cout << "wrote probe series to " << probe_out << "\n";
       }

@@ -667,7 +667,9 @@ FuzzResult run_scenario(const SimulationConfig& config) {
       // per server, the maximally hostile partition (every migration,
       // recovery, and replication crosses a shard boundary). Two drain
       // workers exercise the parallel window path even on small worlds —
-      // the thread count cannot change results, only interleaving.
+      // the thread count cannot change results, only interleaving. Sharded
+      // runs default to fast math (build_world), so this leg is also the
+      // sharded+fast differential the production default now takes.
       SimulationConfig shard_config = audited;
       shard_config.paranoid = false;  // ignored when sharded; explicit
       shard_config.shards =
@@ -681,6 +683,21 @@ FuzzResult run_scenario(const SimulationConfig& config) {
       if (!diff.empty()) {
         result.passed = false;
         result.failure = "shard/single mismatch: " + diff;
+      }
+      if (result.passed && config.seed % 4 == 0) {
+        // Exact-math opt-out coverage: a quarter of the scenarios re-run
+        // the sharded leg with exact_math set, keeping the sharded+exact
+        // combination (no longer the default) under the differential too.
+        SimulationConfig exact_shard_config = shard_config;
+        exact_shard_config.exact_math = true;
+        VodSimulation exact_shard_engine(exact_shard_config, trace);
+        exact_shard_engine.run();
+        const std::string exact_diff =
+            diff_runs(engine, exact_shard_engine, "single", "sharded-exact");
+        if (!exact_diff.empty()) {
+          result.passed = false;
+          result.failure = "shard/single mismatch (exact opt-out): " + exact_diff;
+        }
       }
     }
   } catch (const std::exception& error) {

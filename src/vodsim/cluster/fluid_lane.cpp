@@ -1,38 +1,56 @@
 #include "vodsim/cluster/fluid_lane.h"
 
+#include <cassert>
+#include <limits>
+
 #include "vodsim/cluster/request.h"
 
 namespace vodsim {
 
 namespace {
 
-/// The vectorized heart of FluidLane::advance_batch: per-stream state
-/// updates only, no reductions (see the caller for why the metering sum is
-/// a separate pass). A free function because GCC honours __restrict on
-/// function parameters but not on locals initialised from member loads —
-/// without it, ten pointers need more runtime alias checks than the
-/// vectorizer will version (--param vect-max-version-for-alias-checks).
-/// __restrict is sound: every pointer addresses a distinct vector (nine
-/// member arrays plus the engine-owned scratch), so no two can overlap.
-/// noinline keeps the restrict qualifiers from being dropped when the body
-/// is folded into the caller; one call per batch is noise next to the loop.
+/// Shared attribute set for the batch kernels. Free functions because GCC
+/// honours __restrict on function parameters but not on locals initialised
+/// from member loads — without it, the pointer count needs more runtime
+/// alias checks than the vectorizer will version
+/// (--param vect-max-version-for-alias-checks). __restrict is sound: every
+/// pointer addresses a distinct arena array (or the engine-owned scratch),
+/// so no two can overlap. noinline keeps the restrict qualifiers from being
+/// dropped when a body is folded into its caller; one call per batch is
+/// noise next to the loop.
 ///
-/// target_clones emits an SSE2 baseline plus an AVX2 clone picked at load
-/// time, doubling the vector width on hosts that have it. Safe for both
-/// reproducibility and bit-identity: dispatch is fixed per machine, per-lane
-/// vaddpd/vmulpd/vmaxpd semantics equal their scalar counterparts, and this
-/// TU is built with -ffp-contract=off (see src/CMakeLists.txt) so the AVX2
-/// clone cannot fuse multiply-adds into FMAs that round differently from
-/// the scalar path.
+/// target_clones emits an SSE2 baseline plus AVX2 and AVX-512F clones
+/// picked at load time, doubling (and doubling again) the vector width on
+/// hosts that have them. Safe for both reproducibility and bit-identity:
+/// dispatch is fixed per machine, per-lane vaddpd/vmulpd/vmaxpd/vdivpd
+/// semantics equal their scalar counterparts at any width, and this TU is
+/// built with -ffp-contract=off (see src/CMakeLists.txt) so no clone can
+/// fuse multiply-adds into FMAs that round differently from the scalar
+/// path.
 #if defined(__x86_64__) && defined(__has_attribute)
 #if __has_attribute(target_clones)
 #define VODSIM_BATCH_KERNEL_CLONES \
-  __attribute__((target_clones("default", "avx2")))
+  __attribute__((target_clones("default", "avx2", "avx512f")))
 #endif
 #endif
 #ifndef VODSIM_BATCH_KERNEL_CLONES
 #define VODSIM_BATCH_KERNEL_CLONES
 #endif
+
+/// The lane arena guarantees 64-byte alignment for every array it owns
+/// (FluidLane::grow); telling the vectorizer saves the peel/remainder
+/// scalar loops. Alignment hints change codegen only, never FP results.
+inline double* assume_lane_aligned(double* p) {
+  return static_cast<double*>(__builtin_assume_aligned(p, 64));
+}
+inline const double* assume_lane_aligned(const double* p) {
+  return static_cast<const double*>(__builtin_assume_aligned(p, 64));
+}
+
+/// The vectorized heart of FluidLane::advance_batch: per-stream state
+/// updates only, no reductions (see the caller for why the metering sum is
+/// a separate pass). underflow_out is the engine's std::vector scratch and
+/// carries no alignment guarantee.
 VODSIM_BATCH_KERNEL_CLONES
 __attribute__((noinline)) void advance_states(
     std::size_t n, Seconds now, Seconds* __restrict last_update,
@@ -41,6 +59,15 @@ __attribute__((noinline)) void advance_states(
     const Mbps* __restrict allocation, const Mbps* __restrict view_bandwidth,
     const Seconds* __restrict arrival, const Seconds* __restrict playback_end,
     const double* __restrict playing, Megabits* __restrict underflow_out) {
+  last_update = assume_lane_aligned(last_update);
+  remaining = assume_lane_aligned(remaining);
+  buffer_level = assume_lane_aligned(buffer_level);
+  buffer_capacity = assume_lane_aligned(buffer_capacity);
+  allocation = assume_lane_aligned(allocation);
+  view_bandwidth = assume_lane_aligned(view_bandwidth);
+  arrival = assume_lane_aligned(arrival);
+  playback_end = assume_lane_aligned(playback_end);
+  playing = assume_lane_aligned(playing);
   for (std::size_t i = 0; i < n; ++i) {
     const Seconds start = last_update[i];
     const Seconds dt = now - start;
@@ -63,62 +90,190 @@ __attribute__((noinline)) void advance_states(
   }
 }
 
+/// Batched EFTF/LFTF sort keys: Request::projected_finish — exactly
+/// now + remaining / view_bandwidth per slot, so each precomputed key is
+/// bit-identical to what the per-candidate scalar loop would produce.
+VODSIM_BATCH_KERNEL_CLONES
+__attribute__((noinline)) void projected_finish_keys(
+    std::size_t n, Seconds now, const Megabits* __restrict remaining,
+    const Mbps* __restrict view_bandwidth, Seconds* __restrict keys) {
+  remaining = assume_lane_aligned(remaining);
+  view_bandwidth = assume_lane_aligned(view_bandwidth);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = now + remaining[i] / view_bandwidth[i];
+  }
+}
+
+/// Batched predicted-event retiming: the arithmetic of the engine's
+/// reschedule_predicted_events for every slot, with rejected predictions
+/// encoded as +inf (see fill_predicted_times in the header for why the
+/// sentinel is unambiguous). Bit-identity with the scalar path, term by
+/// term:
+///   - tx_at = now + remaining / rate for rate > 0 — same division; a
+///     rate <= 0 slot writes +inf, and the consumer re-derives liveness
+///     from the allocation sign, never from this array.
+///   - drain_rate(now) returns view_bandwidth when playing and inside
+///     [arrival, playback_end), else 0. Here that branch becomes
+///     view_bandwidth · in_window_mask · playing: x·1.0 == x and
+///     x·0.0 == +0.0 bitwise (view bandwidths are nonnegative, never -0),
+///     and surplus = rate - 0.0 == rate bitwise, so surplus matches the
+///     scalar value exactly in every case.
+///   - full_at = now + buffer_headroom / surplus with headroom's
+///     `capacity > level ? capacity - level : 0` ternary verbatim; kept
+///     only under the scalar gate (surplus > 1e-12, not buffer_full,
+///     full_at < tx_at). An unkept slot's division may produce inf/NaN —
+///     discarded by the same gate the scalar path short-circuits on.
+///   - low_at = now + (level - threshold) / (0.0 - surplus); for any slot
+///     the gate keeps, surplus < -1e-12 is strictly negative, where
+///     0.0 - surplus is bit-equal to the scalar path's -surplus (they can
+///     differ only at surplus == ±0, which the gate excludes). Written
+///     without unary negate because that defeats GCC's if-conversion.
+///   - The buffer-low branch is only reachable with surplus < -1e-12,
+///     which excludes the buffer-full branch's surplus > 1e-12, so
+///     evaluating both gates unconditionally preserves the if/else-if.
+VODSIM_BATCH_KERNEL_CLONES
+__attribute__((noinline)) void predicted_event_times(
+    std::size_t n, Seconds now, double safety_cover,
+    const Megabits* __restrict remaining, const Mbps* __restrict allocation,
+    const Megabits* __restrict buffer_level,
+    const Megabits* __restrict buffer_capacity,
+    const Mbps* __restrict view_bandwidth, const Seconds* __restrict arrival,
+    const Seconds* __restrict playback_end, const double* __restrict playing,
+    Seconds* __restrict tx_out, Seconds* __restrict full_out,
+    Seconds* __restrict low_out) {
+  remaining = assume_lane_aligned(remaining);
+  allocation = assume_lane_aligned(allocation);
+  buffer_level = assume_lane_aligned(buffer_level);
+  buffer_capacity = assume_lane_aligned(buffer_capacity);
+  view_bandwidth = assume_lane_aligned(view_bandwidth);
+  arrival = assume_lane_aligned(arrival);
+  playback_end = assume_lane_aligned(playback_end);
+  playing = assume_lane_aligned(playing);
+  constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Mbps rate = allocation[i];
+    const Seconds tx_at = rate > 0.0 ? now + remaining[i] / rate : kNever;
+    tx_out[i] = tx_at;
+
+    const double in_window =
+        (now >= arrival[i]) && (now < playback_end[i]) ? 1.0 : 0.0;
+    const Mbps drain = view_bandwidth[i] * in_window * playing[i];
+    const Mbps surplus = rate - drain;
+
+    const Megabits level = buffer_level[i];
+    const Megabits capacity = buffer_capacity[i];
+    const bool full = level >= capacity - StagingBuffer::kLevelTolerance;
+    const Megabits headroom = capacity > level ? capacity - level : 0.0;
+    const Seconds full_at = now + headroom / surplus;
+    full_out[i] =
+        (surplus > 1e-12 && !full && full_at < tx_at) ? full_at : kNever;
+
+    const Megabits threshold = safety_cover * view_bandwidth[i];
+    const Seconds low_at = now + (level - threshold) / (0.0 - surplus);
+    low_out[i] = (surplus < -1e-12 &&
+                  level > threshold + StagingBuffer::kLevelTolerance &&
+                  low_at < tx_at)
+                     ? low_at
+                     : kNever;
+  }
+}
+
 }  // namespace
 
+FluidLane& FluidLane::operator=(const FluidLane& other) {
+  if (this == &other) return *this;
+  size_ = 0;  // nothing to preserve; grow copies only size_ slots
+  if (other.size_ > capacity_) grow(other.size_);
+  const double* const src[kArrays] = {
+      other.last_update_, other.remaining_,      other.buffer_level_,
+      other.allocation_,  other.buffer_capacity_, other.view_bandwidth_,
+      other.arrival_,     other.playback_end_,    other.playing_,
+      other.receive_bandwidth_};
+  double* const dst[kArrays] = {
+      last_update_, remaining_,      buffer_level_, allocation_,
+      buffer_capacity_, view_bandwidth_, arrival_,  playback_end_,
+      playing_,     receive_bandwidth_};
+  for (std::size_t k = 0; k < kArrays; ++k) {
+    if (other.size_ > 0) std::copy(src[k], src[k] + other.size_, dst[k]);
+  }
+  size_ = other.size_;
+  return *this;
+}
+
+void FluidLane::grow(std::size_t min_capacity) {
+  std::size_t cap = std::max<std::size_t>(capacity_ * 2, 64);
+  while (cap < min_capacity) cap *= 2;
+  // Stride in whole cache lines: every array starts 64-byte aligned.
+  cap = (cap + 7) & ~static_cast<std::size_t>(7);
+
+  double* const raw = static_cast<double*>(::operator new[](
+      kArrays * cap * sizeof(double), std::align_val_t{64}));
+  std::unique_ptr<double[], AlignedFree> fresh(raw);
+
+  double* const old_views[kArrays] = {
+      last_update_, remaining_,    buffer_level_,   allocation_,
+      buffer_capacity_, view_bandwidth_, arrival_,  playback_end_,
+      playing_,     receive_bandwidth_};
+  double* views[kArrays];
+  for (std::size_t k = 0; k < kArrays; ++k) {
+    views[k] = raw + k * cap;
+    if (size_ > 0) std::copy(old_views[k], old_views[k] + size_, views[k]);
+  }
+
+  storage_ = std::move(fresh);
+  capacity_ = cap;
+  last_update_ = views[0];
+  remaining_ = views[1];
+  buffer_level_ = views[2];
+  allocation_ = views[3];
+  buffer_capacity_ = views[4];
+  view_bandwidth_ = views[5];
+  arrival_ = views[6];
+  playback_end_ = views[7];
+  playing_ = views[8];
+  receive_bandwidth_ = views[9];
+}
+
 void FluidLane::reserve(std::size_t n) {
-  remaining_.reserve(n);
-  allocation_.reserve(n);
-  last_update_.reserve(n);
-  buffer_level_.reserve(n);
-  buffer_capacity_.reserve(n);
-  view_bandwidth_.reserve(n);
-  receive_bandwidth_.reserve(n);
-  arrival_.reserve(n);
-  playback_end_.reserve(n);
-  playing_.reserve(n);
+  if (n > capacity_) grow(n);
 }
 
 void FluidLane::append(const Request& request) {
-  remaining_.push_back(request.remaining());
-  allocation_.push_back(request.allocation());
-  last_update_.push_back(request.last_update());
-  buffer_level_.push_back(request.buffer_level());
-  buffer_capacity_.push_back(request.buffer_capacity());
-  view_bandwidth_.push_back(request.view_bandwidth());
-  receive_bandwidth_.push_back(request.receive_bandwidth());
-  arrival_.push_back(request.arrival());
-  playback_end_.push_back(request.playback_end());
-  playing_.push_back(request.viewing_paused() ? 0.0 : 1.0);
+  if (size_ == capacity_) grow(size_ + 1);
+  const std::size_t i = size_;
+  last_update_[i] = request.last_update();
+  remaining_[i] = request.remaining();
+  buffer_level_[i] = request.buffer_level();
+  allocation_[i] = request.allocation();
+  buffer_capacity_[i] = request.buffer_capacity();
+  view_bandwidth_[i] = request.view_bandwidth();
+  arrival_[i] = request.arrival();
+  playback_end_[i] = request.playback_end();
+  playing_[i] = request.viewing_paused() ? 0.0 : 1.0;
+  receive_bandwidth_[i] = request.receive_bandwidth();
+  ++size_;
 }
 
 void FluidLane::swap_remove(std::size_t index) {
-  const std::size_t last = size() - 1;
-  remaining_[index] = remaining_[last];
-  allocation_[index] = allocation_[last];
+  assert(index < size_);
+  const std::size_t last = size_ - 1;
   last_update_[index] = last_update_[last];
+  remaining_[index] = remaining_[last];
   buffer_level_[index] = buffer_level_[last];
+  allocation_[index] = allocation_[last];
   buffer_capacity_[index] = buffer_capacity_[last];
   view_bandwidth_[index] = view_bandwidth_[last];
-  receive_bandwidth_[index] = receive_bandwidth_[last];
   arrival_[index] = arrival_[last];
   playback_end_[index] = playback_end_[last];
   playing_[index] = playing_[last];
-  remaining_.pop_back();
-  allocation_.pop_back();
-  last_update_.pop_back();
-  buffer_level_.pop_back();
-  buffer_capacity_.pop_back();
-  view_bandwidth_.pop_back();
-  receive_bandwidth_.pop_back();
-  arrival_.pop_back();
-  playback_end_.pop_back();
-  playing_.pop_back();
+  receive_bandwidth_[index] = receive_bandwidth_[last];
+  --size_;
 }
 
 FluidLane::BatchResult FluidLane::advance_batch(
     Seconds now, Seconds window_start, Seconds window_end,
     std::vector<Megabits>& underflow_scratch) {
-  const std::size_t n = size();
+  const std::size_t n = size_;
   // resize, not assign: advance_states stores every slot unconditionally,
   // so pre-zeroing would be a wasted O(n) pass.
   underflow_scratch.resize(n);
@@ -129,8 +284,8 @@ FluidLane::BatchResult FluidLane::advance_batch(
   // exactly (rate <= 0 and empty clipped intervals contribute nothing).
   const Seconds meter_hi = std::min(now, window_end);
 
-  const Seconds* const last_update = last_update_.data();
-  const Mbps* const allocation = allocation_.data();
+  const Seconds* const last_update = last_update_;
+  const Mbps* const allocation = allocation_;
   const Megabits* const underflow_out = underflow_scratch.data();
 
   // Branchless re-expression of fluid_detail::advance_stream, bit-identical
@@ -170,11 +325,9 @@ FluidLane::BatchResult FluidLane::advance_batch(
         allocation[i] * std::max(0.0, meter_hi - std::max(start, window_start));
   }
 
-  advance_states(n, now, last_update_.data(), remaining_.data(),
-                 buffer_level_.data(), buffer_capacity_.data(),
-                 allocation_.data(), view_bandwidth_.data(), arrival_.data(),
-                 playback_end_.data(), playing_.data(),
-                 underflow_scratch.data());
+  advance_states(n, now, last_update_, remaining_, buffer_level_,
+                 buffer_capacity_, allocation_, view_bandwidth_, arrival_,
+                 playback_end_, playing_, underflow_scratch.data());
 
   Megabits max_underflow = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -187,7 +340,7 @@ FluidLane::BatchResult FluidLane::advance_batch(
 }
 
 Mbps FluidLane::sum_minimum_rates(std::vector<Mbps>& rates) const {
-  const std::size_t n = size();
+  const std::size_t n = size_;
   rates.assign(n, 0.0);
   Mbps committed = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -203,7 +356,7 @@ Mbps FluidLane::sum_minimum_rates(std::vector<Mbps>& rates) const {
 }
 
 void FluidLane::eligible_slots(std::vector<std::size_t>& out) const {
-  const std::size_t n = size();
+  const std::size_t n = size_;
   for (std::size_t i = 0; i < n; ++i) {
     // sched_detail::workahead_eligible: room in the staging buffer, a
     // receive link faster than playback, and data left to send.
@@ -214,6 +367,26 @@ void FluidLane::eligible_slots(std::vector<std::size_t>& out) const {
       out.push_back(i);
     }
   }
+}
+
+void FluidLane::fill_projected_finish(Seconds now,
+                                      std::vector<Seconds>& keys) const {
+  keys.resize(size_);
+  projected_finish_keys(size_, now, remaining_, view_bandwidth_, keys.data());
+}
+
+void FluidLane::fill_predicted_times(Seconds now, double safety_cover,
+                                     std::vector<Seconds>& tx_at,
+                                     std::vector<Seconds>& full_at,
+                                     std::vector<Seconds>& low_at) const {
+  const std::size_t n = size_;
+  tx_at.resize(n);
+  full_at.resize(n);
+  low_at.resize(n);
+  predicted_event_times(n, now, safety_cover, remaining_, allocation_,
+                        buffer_level_, buffer_capacity_, view_bandwidth_,
+                        arrival_, playback_end_, playing_, tx_at.data(),
+                        full_at.data(), low_at.data());
 }
 
 }  // namespace vodsim

@@ -22,6 +22,15 @@
 ///   - While detached (migrating, draining after TxComplete), the home
 ///     scalars are authoritative and the scalar path integrates them.
 ///
+/// Storage (PR 9): all arrays live in ONE 64-byte-aligned arena, laid out
+/// hot-to-cold at a shared stride so every array starts on a cache-line
+/// boundary. The batch kernels get aligned, peel-free vector loads; the
+/// exact-mode scalar walk touches a compact block of lines instead of ten
+/// scattered heap allocations (the "gather tax" the PR 6 SoA split paid).
+/// The hot block leads with the three kernel-mutated arrays (last-update,
+/// remaining, buffer level), then the six kernel-read parameters; the cold
+/// tail holds the receive bandwidth, read only by workahead eligibility.
+///
 /// Both engine modes use the lane. Exact mode advances streams one at a
 /// time in active order through `advance_one`, which calls the identical
 /// single-stream formulas as the original Request::advance — so the 29
@@ -34,6 +43,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <new>
 #include <vector>
 
 #include "vodsim/cluster/client.h"
@@ -108,7 +119,16 @@ inline Megabits advance_stream(Seconds now, Seconds& last_update,
 /// with active_index == i on the owning server.
 class FluidLane {
  public:
-  std::size_t size() const { return remaining_.size(); }
+  FluidLane() = default;
+  FluidLane(FluidLane&&) = default;
+  FluidLane& operator=(FluidLane&&) = default;
+  // Deep copies of the arena: Server is copied by the reference oracle,
+  // which clones the engine's freshly built world (lanes empty or not, the
+  // copy is an independent arena — no aliasing).
+  FluidLane(const FluidLane& other) { *this = other; }
+  FluidLane& operator=(const FluidLane& other);
+
+  std::size_t size() const { return size_; }
 
   void reserve(std::size_t n);
 
@@ -125,6 +145,7 @@ class FluidLane {
   Mbps allocation(std::size_t i) const { return allocation_[i]; }
   Seconds last_update(std::size_t i) const { return last_update_[i]; }
   Megabits buffer_level(std::size_t i) const { return buffer_level_[i]; }
+  Mbps receive_bandwidth(std::size_t i) const { return receive_bandwidth_[i]; }
 
   // Write-through sinks for the home-authoritative fields (Request-driven).
   void set_allocation(std::size_t i, Mbps rate) { allocation_[i] = rate; }
@@ -156,20 +177,21 @@ class FluidLane {
   /// vectorizable loop free of per-stream call order. Per-stream state
   /// updates are bit-identical to advance_one (see the kernel for the
   /// proof sketch), so trajectories — and therefore all discrete outcomes —
-  /// match exact mode; only the metering summation is regrouped. \p underflow_scratch is resized to size() and receives
+  /// match exact mode; only the metering summation is regrouped.
+  /// \p underflow_scratch is resized to size() and receives
   /// each slot's playback underflow (0 for almost every stream — the
   /// engine walks it only when the result says any_underflow).
   BatchResult advance_batch(Seconds now, Seconds window_start,
                             Seconds window_end,
                             std::vector<Megabits>& underflow_scratch);
 
-  // --- scheduler-facing bulk reads --------------------------------------
-  // The allocation hot loops (sched/scheduler.cpp) evaluate per-stream
-  // predicates on every recompute; walking the arrays beats chasing
-  // Request pointers. Both are exact replicas of the Request predicates
-  // (minimum_rate / workahead_eligible) on the same authoritative values,
-  // so using them changes no result bit in either engine mode — the
-  // determinism goldens pin that.
+  // --- scheduler-facing batch passes ------------------------------------
+  // The allocation hot loops (sched/scheduler.cpp, sched/finish_order.cpp)
+  // and the engine's predicted-event retiming evaluate per-stream formulas
+  // on every recompute; walking the arrays beats chasing Request pointers.
+  // Every pass below is an exact replica of the corresponding Request
+  // formula on the same authoritative values, so using them changes no
+  // result bit in either engine mode — the determinism goldens pin that.
 
   /// Fills \p rates with each slot's minimum rate (Request::minimum_rate
   /// semantics: the view bandwidth, or 0 for a paused client with a full
@@ -180,21 +202,66 @@ class FluidLane {
   /// (sched_detail::workahead_eligible semantics), in slot order.
   void eligible_slots(std::vector<std::size_t>& out) const;
 
+  /// Writes every slot's EFTF/LFTF sort key — Request::projected_finish
+  /// exactly: now + remaining / view_bandwidth — into keys[0..size()).
+  /// \p keys is resized to size(). One vectorized pass replaces the
+  /// per-candidate virtual-free but division-heavy scalar loop in
+  /// sort_by_projected_finish.
+  void fill_projected_finish(Seconds now, std::vector<Seconds>& keys) const;
+
+  /// Batched predicted-event retiming: computes, for every slot, the three
+  /// times the engine's reschedule_predicted_events derives per stream —
+  /// transmission complete, buffer full, buffer low — with op-for-op
+  /// identical arithmetic (the kernel spells out the argument). A
+  /// prediction whose scalar-path gate would reject it is written as +inf,
+  /// which is unambiguous: the scalar gates themselves can never keep a
+  /// +inf buffer-full/low time (the `t < tx_at` comparison fails on inf),
+  /// and transmission-complete liveness is re-derived by the consumer from
+  /// the allocation sign, not from the array. \p safety_cover is
+  /// SimulationConfig::intermittent_safety_cover. All three outputs are
+  /// resized to size().
+  void fill_predicted_times(Seconds now, double safety_cover,
+                            std::vector<Seconds>& tx_at,
+                            std::vector<Seconds>& full_at,
+                            std::vector<Seconds>& low_at) const;
+
  private:
-  std::vector<Megabits> remaining_;
-  std::vector<Mbps> allocation_;
-  std::vector<Seconds> last_update_;
-  std::vector<Megabits> buffer_level_;
-  std::vector<Megabits> buffer_capacity_;
-  std::vector<Mbps> view_bandwidth_;
-  std::vector<Mbps> receive_bandwidth_;
-  std::vector<Seconds> arrival_;
-  std::vector<Seconds> playback_end_;
+  /// Number of parallel arrays in the arena (hot-to-cold order below).
+  static constexpr std::size_t kArrays = 10;
+
+  /// Grows the arena to hold at least \p min_capacity slots per array and
+  /// rebinds the named views. Stride is rounded to 8 doubles so every
+  /// array keeps 64-byte alignment.
+  void grow(std::size_t min_capacity);
+
+  struct AlignedFree {
+    void operator()(double* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;  ///< slots per array == arena stride in doubles
+  std::unique_ptr<double[], AlignedFree> storage_;
+
+  // Named views into storage_ at offsets k * capacity_, in arena order.
+  // Hot, kernel-mutated:
+  double* last_update_ = nullptr;
+  double* remaining_ = nullptr;
+  double* buffer_level_ = nullptr;
+  // Hot, kernel-read:
+  double* allocation_ = nullptr;
+  double* buffer_capacity_ = nullptr;
+  double* view_bandwidth_ = nullptr;
+  double* arrival_ = nullptr;
+  double* playback_end_ = nullptr;
   /// Playback-drain mask: 1.0 while viewing, 0.0 while paused. Stored as a
   /// double so the batch kernel applies it as a multiply (x·1.0 and x·0.0
   /// are bit-exact stand-ins for the scalar path's `if (!paused)`) and the
   /// loop stays free of mixed-width loads that block vectorization.
-  std::vector<double> playing_;
+  double* playing_ = nullptr;
+  // Cold tail: read only by workahead eligibility, never by the kernels.
+  double* receive_bandwidth_ = nullptr;
 };
 
 }  // namespace vodsim

@@ -216,7 +216,19 @@ struct SimulationConfig {
   /// exact mode within the reference-oracle tolerance — check/fuzzer.h
   /// runs every scenario through both modes and diffs them. The
   /// VODSIM_FAST_MATH environment variable (nonzero) forces it on.
+  ///
+  /// Defaults: single-queue runs (shards == 1) are exact unless this flag
+  /// (or the env var) opts in. Sharded runs (shards > 1) default to fast
+  /// math — their aggregates already live under the differential tolerance
+  /// rather than the hexfloat goldens, so exact mode buys them nothing;
+  /// set exact_math to opt back out.
   bool fast_math = false;
+
+  /// Opt sharded runs out of the fast-math default (and rejects a
+  /// contradictory fast_math=true via validate()). The VODSIM_EXACT_MATH
+  /// environment variable (nonzero) forces it on. At shards == 1 this is a
+  /// no-op: single-queue runs are exact by default.
+  bool exact_math = false;
 
   /// Shard count for the parallel sharded engine (DESIGN.md §12). 1 (the
   /// default) runs the classic single-queue engine — that path is pinned

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file request_arena.h
+/// \brief Sharded stable-address storage for Request objects.
+///
+/// PR 8 sharded the event queues, metrics, scheduler replicas and scratch
+/// arenas, but every Request still lived in one StableVector: shard workers
+/// mutating their own streams' predicted-event handles and fluid scalars
+/// were writing into 256-element chunks interleaved across shards — one
+/// shared cache line per ~4 requests of false sharing. The arena fixes
+/// that by giving each shard its own StableVector pool (plus pool 0 for
+/// coordinator-owned requests: rejected arrivals, and everything in
+/// single-queue mode), while keeping the two contracts the engine relies
+/// on:
+///
+///   - **Stable addresses.** Events capture `Request&`; a request never
+///     moves after creation. StableVector guarantees this per pool, and a
+///     request never changes pools — a stream migrated across shards stays
+///     in its birth pool (migration is a coordinator-side event; the
+///     rare cross-shard migrant costs the old sharing pattern, the common
+///     shard-local stream costs nothing).
+///   - **Dense id lookup and id-order iteration.** Request ids are handed
+///     out sequentially at creation, so a flat pointer index maps id →
+///     request in O(1) (the retry queue re-admits by id) and iteration in
+///     id order matches the single-arena StableVector's creation order —
+///     the auditor's and tests' traversal order is unchanged.
+///
+/// All creation happens on the coordinator (arrivals and retry
+/// re-admissions are serial events), so the pools need no synchronization;
+/// shard workers only dereference pointers to requests they own.
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "vodsim/cluster/request.h"
+#include "vodsim/util/stable_vector.h"
+
+namespace vodsim {
+
+class RequestArena {
+ public:
+  RequestArena() { reset(1); }
+
+  /// Drops every request and reconfigures the pool count (build_world:
+  /// one pool per shard plus the coordinator pool; exactly one pool in
+  /// single-queue mode, which makes the arena byte-for-byte the old single
+  /// StableVector layout). Pools are held by unique_ptr — StableVector is
+  /// pinned-address and therefore immovable.
+  void reset(std::size_t pools) {
+    pools_.clear();
+    if (pools == 0) pools = 1;
+    pools_.reserve(pools);
+    for (std::size_t i = 0; i < pools; ++i) {
+      pools_.push_back(std::make_unique<StableVector<Request>>());
+    }
+    by_id_.clear();
+  }
+
+  std::size_t pool_count() const { return pools_.size(); }
+
+  /// Creates a request in \p pool. The caller allocates ids sequentially
+  /// (asserted), which keeps the id → pointer index dense.
+  template <typename... Args>
+  Request& create(std::size_t pool, Args&&... args) {
+    assert(pool < pools_.size());
+    Request& request = pools_[pool]->emplace_back(std::forward<Args>(args)...);
+    assert(request.id() == static_cast<RequestId>(by_id_.size()) &&
+           "request ids must be allocated sequentially");
+    by_id_.push_back(&request);
+    return request;
+  }
+
+  std::size_t size() const { return by_id_.size(); }
+  bool empty() const { return by_id_.empty(); }
+
+  Request& operator[](std::size_t id) {
+    assert(id < by_id_.size());
+    return *by_id_[id];
+  }
+  const Request& operator[](std::size_t id) const {
+    assert(id < by_id_.size());
+    return *by_id_[id];
+  }
+
+  /// Id-order (== creation-order) iteration, same order the single arena
+  /// produced. Dereferences to Request&, so existing range-for call sites
+  /// (auditor, tests) compile unchanged.
+  class const_iterator {
+   public:
+    explicit const_iterator(const Request* const* slot) : slot_(slot) {}
+    const Request& operator*() const { return **slot_; }
+    const Request* operator->() const { return *slot_; }
+    const_iterator& operator++() {
+      ++slot_;
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return slot_ == other.slot_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return slot_ != other.slot_;
+    }
+
+   private:
+    const Request* const* slot_;
+  };
+
+  const_iterator begin() const { return const_iterator(by_id_.data()); }
+  const_iterator end() const {
+    return const_iterator(by_id_.data() + by_id_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<StableVector<Request>>> pools_;
+  std::vector<Request*> by_id_;
+};
+
+}  // namespace vodsim

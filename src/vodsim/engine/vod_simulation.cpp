@@ -41,6 +41,10 @@ struct EngineShard {
   std::vector<Mbps> rates_scratch;
   AllocationScratch sched_scratch;
   std::vector<Megabits> underflow_scratch;
+  std::vector<std::size_t> changed_slots;
+  std::vector<Seconds> retime_tx;
+  std::vector<Seconds> retime_full;
+  std::vector<Seconds> retime_low;
 };
 
 }  // namespace detail
@@ -193,6 +197,12 @@ void VodSimulation::build_world() {
   // fast-math seeded bug: biased low, caught by the differential.
   shard_seeded_bug_ = env_long("VODSIM_TEST_SHARD_BUG", 0) != 0;
 
+  // Request storage: one pool per shard plus the coordinator pool, so shard
+  // workers stop interleaving their streams' cache lines in one shared
+  // StableVector (engine/request_arena.h). Single mode keeps exactly one
+  // pool — the old single-arena layout, byte for byte.
+  requests_.reset(sharded_ ? static_cast<std::size_t>(config_.shards) + 1 : 1);
+
   // Pre-size the hot-path buffers so the steady-state event loop never
   // allocates: up to ~3 predicted events per concurrent stream plus
   // playback-end/arrival bookkeeping, and one rate per stream per server.
@@ -210,11 +220,23 @@ void VodSimulation::build_world() {
   sched_scratch_.order.reserve(per_server);
   sched_scratch_.aux.reserve(per_server);
   underflow_scratch_.reserve(per_server);
+  changed_slots_.reserve(per_server);
+  retime_tx_.reserve(per_server);
+  retime_full_.reserve(per_server);
+  retime_low_.reserve(per_server);
 
   // Engine mode (SimulationConfig::fast_math documents the dual-exactness
-  // contract). The env override mirrors VODSIM_PARANOID; note that forcing
-  // fast mode moves fluid aggregates off the exact-mode hexfloat goldens.
-  fast_math_ = config_.fast_math || env_long("VODSIM_FAST_MATH", 0) != 0;
+  // contract). The env overrides mirror VODSIM_PARANOID. Sharded runs
+  // default to fast math — their aggregates already live under the
+  // differential tolerance, not the hexfloat goldens, so there is nothing
+  // exact mode buys them; config.exact_math (or VODSIM_EXACT_MATH) opts
+  // back out. Single-queue runs stay exact by default, keeping the 29
+  // goldens binding.
+  const bool exact_requested =
+      config_.exact_math || env_long("VODSIM_EXACT_MATH", 0) != 0;
+  fast_math_ = !exact_requested &&
+               (config_.fast_math || env_long("VODSIM_FAST_MATH", 0) != 0 ||
+                sharded_);
   // Test-only: deliberately mis-aggregate the batch metering so the
   // fast-vs-exact differential harness provably catches a batching bug
   // (tests/check_test.cpp). Biased low, not high, so the invariant
@@ -349,6 +371,10 @@ void VodSimulation::build_shards(const TraceConfig& trace_config) {
     shard->sched_scratch.order.reserve(per_server);
     shard->sched_scratch.aux.reserve(per_server);
     shard->underflow_scratch.reserve(per_server);
+    shard->changed_slots.reserve(per_server);
+    shard->retime_tx.reserve(per_server);
+    shard->retime_full.reserve(per_server);
+    shard->retime_low.reserve(per_server);
     shards_.push_back(std::move(shard));
   }
 }
@@ -502,8 +528,12 @@ void VodSimulation::handle_arrival(const Arrival& arrival) {
   const AdmissionDecision decision =
       controller_->decide(now, arrival.video, video.view_bandwidth, servers_, rng_);
 
-  requests_.emplace_back(next_request_id_++, video, now, client_profile_);
-  Request& request = requests_.back();
+  // Pool by destination shard (rejected arrivals stay coordinator-side),
+  // so a stream's Request lands in the arena pool of the shard whose
+  // worker will mutate it (engine/request_arena.h).
+  Request& request =
+      requests_.create(request_pool(decision.accepted ? decision.server : kNoServer),
+                       next_request_id_++, video, now, client_profile_);
 
   if (!decision.accepted) {
     note(TraceEventType::kReject, kTraceAdmission, kNoServer, request.id(),
@@ -939,8 +969,9 @@ void VodSimulation::process_retries(bool force) {
       } else {
         // A rejected arrival returns: fresh stream, fresh playback window.
         const Video& video = (*catalog_)[entry.video];
-        requests_.emplace_back(next_request_id_++, video, now, client_profile_);
-        Request& request = requests_.back();
+        Request& request = requests_.create(request_pool(decision.server),
+                                            next_request_id_++, video, now,
+                                            client_profile_);
         note(TraceEventType::kRetryReadmitted, kTraceFailure, decision.server,
              request.id(), entry.video, static_cast<double>(entry.attempts));
         request.begin_streaming(now, decision.server);
@@ -1058,17 +1089,53 @@ void VodSimulation::recompute_server(ServerId server_id) {
   scheduler.allocate(now, server.schedulable_bandwidth(), active, rates,
                      scratch, &state.sched_cache);
 
+  // Phase 1: write the new allocations (ascending slot order, as the old
+  // fused loop did) and collect the slots whose rate actually moved.
+  // Exact comparison on purpose: the common case (rate == view bandwidth,
+  // assigned from the same double every recomputation) stays bit-identical,
+  // so unchanged requests keep their predicted events.
+  std::vector<std::size_t>& changed =
+      shard != nullptr ? shard->changed_slots : changed_slots_;
+  changed.clear();
   for (std::size_t i = 0; i < active.size(); ++i) {
     Request& request = *active[i];
-    // Exact comparison on purpose: the common case (rate == view bandwidth,
-    // assigned from the same double every recomputation) stays bit-identical,
-    // so unchanged requests keep their predicted events.
     if (rates[i] != request.allocation()) {
       note(TraceEventType::kAllocationChange, kTraceAllocation, server_id,
            request.id(), request.video_id(), request.allocation(),
            rates[i]);
       request.set_allocation(now, rates[i]);
-      reschedule_predicted_events(request);
+      changed.push_back(i);
+    }
+  }
+
+  // Phase 2: retime the predicted events of every changed slot. Splitting
+  // the fused write+retime loop is bit-identical: a retime reads only its
+  // own request's state (which phase 1 finalized), and both the slot order
+  // and the per-request schedule order (tx → full → low) — hence event-seq
+  // consumption — are unchanged. When a mass reallocation moved most of the
+  // lane, one vectorized pass computes all three predicted times (+inf =
+  // no event) and the scalar mechanics consume them; sparse changes (the
+  // single-stream-delta steady state) keep the pure scalar path — filling
+  // the whole lane to retime two slots would waste the divisions the batch
+  // amortizes.
+  if (changed.size() >= 8 && changed.size() * 4 >= active.size()) {
+    std::vector<Seconds>& tx = shard != nullptr ? shard->retime_tx : retime_tx_;
+    std::vector<Seconds>& full =
+        shard != nullptr ? shard->retime_full : retime_full_;
+    std::vector<Seconds>& low = shard != nullptr ? shard->retime_low : retime_low_;
+    server.lane().fill_predicted_times(now, config_.intermittent_safety_cover,
+                                       tx, full, low);
+    for (const std::size_t i : changed) {
+      Request& request = *active[i];
+      if (request.state() != RequestState::kStreaming) {
+        cancel_predicted_events(request);  // mirrors reschedule's early-out
+      } else {
+        apply_predicted_times(request, tx[i], full[i], low[i]);
+      }
+    }
+  } else {
+    for (const std::size_t i : changed) {
+      reschedule_predicted_events(*active[i]);
     }
   }
   // Record *after* the advances above bumped the epoch: the server is clean
@@ -1333,54 +1400,25 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
     cancel_predicted_events(request);
     return;
   }
-  // Predictions schedule into the owning shard's queue at the executing
-  // context's clock. A coordinator caller targets a shard queue whose own
-  // clock lags (it drained strictly below this event's time), so the
-  // schedule_at clamp-to-now can never fire backwards; a shard caller is
-  // always the owner itself.
-  Simulator& psim = predicted_sim(request.server());
   const Seconds now = t_shard != nullptr ? t_shard->sim.now() : sim_.now();
   const Mbps rate = request.allocation();
+  constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
 
-  // Each prediction retimes its pending event in place when one is live (the
-  // common case — every allocation change moves all of them) and only
-  // schedules or cancels on a liveness transition. Sequence-number parity
-  // with the cancel+schedule pairs this replaces is load-bearing: exactly
-  // one seq is consumed per *kept* prediction, in the same order
-  // (transmission-complete, then buffer-full, then buffer-low), so
-  // equal-time events tie-break identically and the simulation stays on the
-  // seed trajectory bit for bit. Cancels consume no seq, on either path.
-  Seconds tx_at = std::numeric_limits<Seconds>::infinity();
-  bool keep_tx = false;
-  bool keep_full = false;
-  bool keep_low = false;
-  if (rate > 0.0) {
-    tx_at = now + request.remaining() / rate;
-    keep_tx = true;
-    if (!psim.reschedule_at(tx_at, request.tx_complete_event)) {
-      request.tx_complete_event =
-          psim.schedule_at(tx_at, [this, &request](Seconds) {
-            request.tx_complete_event = kInvalidEventId;
-            on_tx_complete(request);
-          });
-    }
-  }
+  // Scalar twin of FluidLane::predicted_event_times: same formulas, same
+  // gates, +inf encodes "no event" (see the kernel for why the encoding is
+  // unambiguous). The schedule/cancel mechanics live in
+  // apply_predicted_times, shared with recompute_server's batched path.
+  Seconds tx_at = kNever;
+  if (rate > 0.0) tx_at = now + request.remaining() / rate;
 
   // The buffer fills at (rate - drain); drain is the view bandwidth while
   // playing and 0 while paused.
+  Seconds full_at = kNever;
+  Seconds low_at = kNever;
   const Mbps surplus = rate - request.drain_rate(now);
   if (surplus > 1e-12 && !request.buffer_full()) {
-    const Seconds full_at = now + request.buffer_headroom() / surplus;
-    if (full_at < tx_at) {
-      keep_full = true;
-      if (!psim.reschedule_at(full_at, request.buffer_full_event)) {
-        request.buffer_full_event =
-            psim.schedule_at(full_at, [this, &request](Seconds) {
-              request.buffer_full_event = kInvalidEventId;
-              on_buffer_full(request);
-            });
-      }
-    }
+    const Seconds candidate = now + request.buffer_headroom() / surplus;
+    if (candidate < tx_at) full_at = candidate;
   } else if (surplus < -1e-12) {
     // Intermittent scheduling: the stream is draining faster than it
     // receives. Wake the scheduler when the staged data reaches the safety
@@ -1391,37 +1429,86 @@ void VodSimulation::reschedule_predicted_events(Request& request) {
         config_.intermittent_safety_cover * request.view_bandwidth();
     const Megabits level = request.buffer_level();
     if (level > threshold + StagingBuffer::kLevelTolerance) {
-      const Seconds low_at = now + (level - threshold) / -surplus;
-      if (low_at < tx_at) {
-        keep_low = true;
-        if (!psim.reschedule_at(low_at, request.buffer_low_event)) {
-          request.buffer_low_event =
-              psim.schedule_at(low_at, [this, &request](Seconds) {
-                request.buffer_low_event = kInvalidEventId;
-                if (request.state() == RequestState::kStreaming) {
-                  note(TraceEventType::kBufferLow, kTraceBuffer,
-                       request.server(), request.id(), request.video_id(),
-                       request.buffer_level());
-                  recompute_server(request.server());
-                }
-              });
-        }
-      }
+      const Seconds candidate = now + (level - threshold) / -surplus;
+      if (candidate < tx_at) low_at = candidate;
     }
   }
 
-  if (!keep_tx) {
+  apply_predicted_times(request, tx_at, full_at, low_at);
+}
+
+void VodSimulation::apply_predicted_times(Request& request, Seconds tx_at,
+                                          Seconds full_at, Seconds low_at) {
+  // Predictions schedule into the owning shard's queue at the executing
+  // context's clock. A coordinator caller targets a shard queue whose own
+  // clock lags (it drained strictly below this event's time), so the
+  // schedule_at clamp-to-now can never fire backwards; a shard caller is
+  // always the owner itself.
+  Simulator& psim = predicted_sim(request.server());
+  constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
+
+  // Each prediction retimes its pending event in place when one is live (the
+  // common case — every allocation change moves all of them) and only
+  // schedules or cancels on a liveness transition. Sequence-number parity
+  // with the cancel+schedule pairs this replaces is load-bearing: exactly
+  // one seq is consumed per *kept* prediction, in the same order
+  // (transmission-complete, then buffer-full, then buffer-low), so
+  // equal-time events tie-break identically and the simulation stays on the
+  // seed trajectory bit for bit. Cancels consume no seq, on either path.
+  //
+  // Transmission-complete liveness comes from the allocation sign, not from
+  // tx_at's finiteness: a pathological tiny rate could divide to +inf yet
+  // still mean "transmitting" — the sign test matches the scalar gate
+  // exactly. The full/low times can only be finite when their gates kept
+  // them, so finiteness *is* their liveness.
+  if (request.allocation() > 0.0) {
+    if (!psim.reschedule_at(tx_at, request.tx_complete_event)) {
+      request.tx_complete_event =
+          psim.schedule_at(tx_at, [this, &request](Seconds) {
+            request.tx_complete_event = kInvalidEventId;
+            on_tx_complete(request);
+          });
+    }
+  } else {
     psim.cancel(request.tx_complete_event);
     request.tx_complete_event = kInvalidEventId;
   }
-  if (!keep_full) {
+
+  if (full_at != kNever) {
+    if (!psim.reschedule_at(full_at, request.buffer_full_event)) {
+      request.buffer_full_event =
+          psim.schedule_at(full_at, [this, &request](Seconds) {
+            request.buffer_full_event = kInvalidEventId;
+            on_buffer_full(request);
+          });
+    }
+  } else {
     psim.cancel(request.buffer_full_event);
     request.buffer_full_event = kInvalidEventId;
   }
-  if (!keep_low) {
+
+  if (low_at != kNever) {
+    if (!psim.reschedule_at(low_at, request.buffer_low_event)) {
+      request.buffer_low_event =
+          psim.schedule_at(low_at, [this, &request](Seconds) {
+            request.buffer_low_event = kInvalidEventId;
+            if (request.state() == RequestState::kStreaming) {
+              note(TraceEventType::kBufferLow, kTraceBuffer, request.server(),
+                   request.id(), request.video_id(), request.buffer_level());
+              recompute_server(request.server());
+            }
+          });
+    }
+  } else {
     psim.cancel(request.buffer_low_event);
     request.buffer_low_event = kInvalidEventId;
   }
+}
+
+std::size_t VodSimulation::request_pool(ServerId server) const {
+  if (!sharded_ || server == kNoServer) return 0;
+  return 1 + static_cast<std::size_t>(
+                 shard_of_server_[static_cast<std::size_t>(server)]);
 }
 
 Simulator& VodSimulation::predicted_sim(ServerId server) {

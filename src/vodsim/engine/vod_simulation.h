@@ -28,6 +28,7 @@
 #include "vodsim/des/simulator.h"
 #include "vodsim/engine/config.h"
 #include "vodsim/engine/metrics.h"
+#include "vodsim/engine/request_arena.h"
 #include "vodsim/fault/retry_queue.h"
 #include "vodsim/fault/transition.h"
 #include "vodsim/obs/probes.h"
@@ -125,9 +126,16 @@ class VodSimulation {
   /// VODSIM_PROBE). Observe-only, like the trace recorder.
   const ProbeSet* probes() const { return probes_.get(); }
 
-  /// Every request ever created (terminal states included); audit surface
-  /// for tests.
-  const StableVector<Request>& requests() const { return requests_; }
+  /// Every request ever created (terminal states included), in id order;
+  /// audit surface for tests. Sharded runs store requests in per-shard
+  /// pools (engine/request_arena.h) but iteration order is id order either
+  /// way.
+  const RequestArena& requests() const { return requests_; }
+
+  /// Resolved engine mode after build_world: fast_math config/env/sharded
+  /// default, minus an exact_math opt-out. Exposed for tests pinning the
+  /// fast-by-default policy.
+  bool fast_math_enabled() const { return fast_math_; }
 
   /// Playback continuity violations observed (should be 0 except under
   /// failure injection or nonzero switch latency). Sums the per-shard
@@ -248,6 +256,23 @@ class VodSimulation {
   void cancel_predicted_events(Request& request);
   void reschedule_predicted_events(Request& request);
 
+  /// The mechanics half of reschedule_predicted_events: given the three
+  /// predicted times (+inf = no event), cancels/schedules/retimes the
+  /// request's handles against its owning queue. Split out so
+  /// recompute_server's batched path can compute the times with one
+  /// vectorized lane pass (FluidLane::fill_predicted_times) and feed them
+  /// here — the schedule/cancel sequence (and thus event-seq consumption)
+  /// is identical to the scalar path.
+  void apply_predicted_times(Request& request, Seconds tx_at, Seconds full_at,
+                             Seconds low_at);
+
+  /// The RequestArena pool a request created for \p server lives in:
+  /// pool 0 (coordinator) in single mode or for server-less requests,
+  /// 1 + shard index when sharded — each shard's streams get their own
+  /// StableVector chunks, ending cross-shard false sharing on Request
+  /// cache lines.
+  std::size_t request_pool(ServerId server) const;
+
   /// Trace emission helper. The null check is the entire disabled-tracing
   /// hot path (one load + branch per emission site); the category mask is
   /// only consulted once a recorder is attached. Resolves the executing
@@ -309,7 +334,7 @@ class VodSimulation {
   std::vector<Seconds> brownout_since_;
   std::vector<TimeWeighted> occupancy_;
 
-  StableVector<Request> requests_;
+  RequestArena requests_;
   RequestId next_request_id_ = 0;
   /// Present only in paranoid mode (config.paranoid or VODSIM_PARANOID).
   std::unique_ptr<InvariantAuditor> auditor_;
@@ -353,6 +378,14 @@ class VodSimulation {
   /// Per-slot playback underflow from the last fast-math batch (reused;
   /// written wholesale by FluidLane::advance_batch).
   std::vector<Megabits> underflow_scratch_;
+  /// Slots whose allocation changed in the current recompute pass; decides
+  /// scalar vs. batched predicted-event retiming (reused across events).
+  std::vector<std::size_t> changed_slots_;
+  /// Predicted-time outputs of FluidLane::fill_predicted_times (reused;
+  /// written wholesale per batched retime pass).
+  std::vector<Seconds> retime_tx_;
+  std::vector<Seconds> retime_full_;
+  std::vector<Seconds> retime_low_;
 
   /// Per-server recompute memo. `epoch` counts input changes; a server is
   /// clean iff it was recomputed at exactly the current simulation time

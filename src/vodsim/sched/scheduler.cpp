@@ -54,16 +54,8 @@ std::string to_string(SchedulerKind kind) {
 
 namespace sched_detail {
 
-namespace {
-
-/// The FluidLane backing \p active when the vector is exactly the owning
-/// server's active list (slot i == index i) — the engine always passes
-/// `server.active_requests()`, for which this holds by construction.
-/// Hand-built candidate vectors (reference oracle, microbenchmarks) have
-/// unattached requests or broken endpoint correspondence and fall back to
-/// the per-request path. Reading predicates off the lane arrays evaluates
-/// the same fields the Request accessors would return, so the two paths are
-/// bit-identical — the determinism goldens pin it.
+// Declared in scheduler.h: shared with finish_order.cpp's batched sort-key
+// fill. The doc comment lives on the declaration.
 const FluidLane* lane_view(const std::vector<Request*>& active) {
   if (active.empty()) return nullptr;
   const FluidLane* lane = active.front()->lane();
@@ -80,8 +72,6 @@ const FluidLane* lane_view(const std::vector<Request*>& active) {
 #endif
   return lane;
 }
-
-}  // namespace
 
 Mbps assign_minimum_flow(Mbps capacity, const std::vector<Request*>& active,
                          std::vector<Mbps>& rates) {

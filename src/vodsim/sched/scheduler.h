@@ -126,6 +126,18 @@ std::string to_string(SchedulerKind kind);
 
 namespace sched_detail {
 
+/// The FluidLane backing \p active when the vector is exactly the owning
+/// server's active list (slot i == index i) — the engine always passes
+/// `server.active_requests()`, for which this holds by construction.
+/// Hand-built candidate vectors (reference oracle, microbenchmarks) have
+/// unattached requests or broken endpoint correspondence and get nullptr;
+/// callers fall back to the per-request path. Reading predicates off the
+/// lane arrays evaluates the same fields the Request accessors would
+/// return, so the two paths are bit-identical — the determinism goldens
+/// pin it. Shared by scheduler.cpp's hot loops and finish_order.cpp's
+/// batched sort-key fill.
+const FluidLane* lane_view(const std::vector<Request*>& active);
+
 /// Gives every request its view bandwidth; returns the remaining slack.
 /// Asserts the minimum-flow commitments fit in capacity.
 Mbps assign_minimum_flow(Mbps capacity, const std::vector<Request*>& active,

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "vodsim/cluster/client.h"
@@ -10,6 +11,7 @@
 #include "vodsim/cluster/request.h"
 #include "vodsim/cluster/server.h"
 #include "vodsim/cluster/video.h"
+#include "vodsim/util/stable_vector.h"
 
 namespace vodsim {
 namespace {
@@ -400,6 +402,192 @@ TEST(FluidLane, MutatorsWriteThroughToLane) {
   request.set_allocation(15.0, 0.0);
   server.lane().advance_batch(25.0, 0.0, 1e9, scratch);
   EXPECT_DOUBLE_EQ(request.buffer_level(), 30.0);  // -3*10 out, nothing in
+}
+
+// The batched sort-key pass must produce exactly the doubles the scalar
+// per-candidate loop computes: same division, same add, per slot.
+TEST(FluidLane, FillProjectedFinishMatchesScalar) {
+  ClientProfile client{120.0, 30.0};
+  Server server(0, 1000.0, 1e6);
+  Request r1(1, make_video(0, 600.0), 0.0, client),
+      r2(2, make_video(1, 1000.0), 0.0, client),
+      r3(3, make_video(2, 600.0), 0.0, client);
+  const Mbps rates[] = {15.0, 3.0, 1.0};
+  Request* all[] = {&r1, &r2, &r3};
+  for (int i = 0; i < 3; ++i) {
+    all[i]->begin_streaming(0.0, 0);
+    server.attach(*all[i]);
+    all[i]->set_allocation(0.0, rates[i]);
+    all[i]->advance(10.0);
+  }
+
+  std::vector<Seconds> keys;
+  server.lane().fill_projected_finish(37.5, keys);
+  ASSERT_EQ(keys.size(), 3u);
+  for (Request* request : all) {
+    // Exact double equality on purpose: identical formula, identical inputs.
+    EXPECT_EQ(keys[request->active_index], request->projected_finish(37.5));
+  }
+}
+
+// The batched predicted-event pass must reproduce the engine's scalar
+// retiming arithmetic bit for bit, and its gates decision for decision,
+// with +inf encoding "no event". Four regimes in one lane: a workahead
+// filler (buffer-full kept), a starved drainer with staged data
+// (buffer-low kept), a zero-rate stream (tx-complete never), and a
+// full-buffer filler (buffer-full suppressed by the fullness gate).
+TEST(FluidLane, FillPredictedTimesMatchesScalarGates) {
+  constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
+  ClientProfile client{120.0, 30.0};
+  Server server(0, 1000.0, 1e6);
+  Request filler(1, make_video(0), 0.0, client),
+      drainer(2, make_video(1), 0.0, client),
+      stalled(3, make_video(2), 0.0, client),
+      brimming(4, make_video(3), 0.0, client);
+  Request* all[] = {&filler, &drainer, &stalled, &brimming};
+  const Mbps warm_rates[] = {6.0, 9.0, 9.0, 15.0};
+  for (int i = 0; i < 4; ++i) {
+    all[i]->begin_streaming(0.0, 0);
+    server.attach(*all[i]);
+    all[i]->set_allocation(0.0, warm_rates[i]);
+    all[i]->advance(10.0);  // stage some data; brimming reaches capacity
+  }
+  ASSERT_TRUE(brimming.buffer_full());
+  const Seconds now = 10.0;
+  drainer.set_allocation(now, 1.0);  // below the 3.0 view rate: draining
+  stalled.set_allocation(now, 0.0);  // starved entirely
+
+  const double safety_cover = 4.0;  // threshold = 12 Mb at view 3.0
+  std::vector<Seconds> tx, full, low;
+  server.lane().fill_predicted_times(now, safety_cover, tx, full, low);
+  ASSERT_EQ(tx.size(), 4u);
+
+  // Scalar replicas of reschedule_predicted_events' arithmetic, computed
+  // through the Request accessors. Exact equality on purpose.
+  auto scalar_tx = [&](const Request& r) {
+    return r.allocation() > 0.0 ? now + r.remaining() / r.allocation() : kNever;
+  };
+  for (Request* request : all) {
+    EXPECT_EQ(tx[request->active_index], scalar_tx(*request));
+  }
+
+  {  // filler: surplus 3 > 0, buffer has headroom, fills before tx.
+    const Mbps surplus = filler.allocation() - filler.drain_rate(now);
+    const Seconds expected = now + filler.buffer_headroom() / surplus;
+    ASSERT_LT(expected, scalar_tx(filler));
+    EXPECT_EQ(full[filler.active_index], expected);
+    EXPECT_EQ(low[filler.active_index], kNever);
+  }
+  {  // drainer: surplus -2, level 60 above threshold 12 -> low at +24 s.
+    const Mbps surplus = drainer.allocation() - drainer.drain_rate(now);
+    ASSERT_LT(surplus, 0.0);
+    const Megabits threshold = safety_cover * drainer.view_bandwidth();
+    const Seconds expected =
+        now + (drainer.buffer_level() - threshold) / -surplus;
+    EXPECT_EQ(low[drainer.active_index], expected);
+    EXPECT_EQ(full[drainer.active_index], kNever);
+  }
+  {  // stalled: rate 0 -> no tx-complete; still drains toward the threshold.
+    EXPECT_EQ(tx[stalled.active_index], kNever);
+    const Mbps surplus = 0.0 - stalled.drain_rate(now);
+    const Megabits threshold = safety_cover * stalled.view_bandwidth();
+    const Seconds expected =
+        now + (stalled.buffer_level() - threshold) / -surplus;
+    EXPECT_EQ(low[stalled.active_index], expected);
+  }
+  {  // brimming: surplus 12 > 0 but the buffer is full -> no full event.
+    EXPECT_EQ(full[brimming.active_index], kNever);
+    EXPECT_EQ(low[brimming.active_index], kNever);
+  }
+}
+
+// Churn across the arena's hot/cold split: swap_remove must move every
+// array — including the cold receive-bandwidth tail — as one unit, and the
+// write-through sinks must keep landing in the *moved* slot afterwards.
+TEST(FluidLane, ChurnKeepsColdFieldsAndWriteThroughCoherent) {
+  ClientProfile fast_client{120.0, 30.0};
+  ClientProfile slow_client{120.0, 2.0};  // receive < view: never eligible
+  Server server(0, 1000.0, 1e6);
+  Request r1(1, make_video(0), 0.0, fast_client),
+      r2(2, make_video(1), 0.0, slow_client),
+      r3(3, make_video(2), 0.0, fast_client);
+  Request* all[] = {&r1, &r2, &r3};
+  for (Request* request : all) {
+    request->begin_streaming(0.0, 0);
+    server.attach(*request);
+    request->set_allocation(0.0, 6.0);
+    request->advance(10.0);
+  }
+
+  server.detach(r1);  // r3's slots (all ten arrays) swap into slot 0
+  const FluidLane& lane = server.lane();
+  ASSERT_EQ(lane.size(), 2u);
+  EXPECT_EQ(lane.receive_bandwidth(r3.active_index), 30.0);
+  EXPECT_EQ(lane.receive_bandwidth(r2.active_index), 2.0);
+
+  // Eligibility reads the cold array: only r3 can absorb workahead.
+  std::vector<std::size_t> eligible;
+  lane.eligible_slots(eligible);
+  ASSERT_EQ(eligible.size(), 1u);
+  EXPECT_EQ(eligible[0], r3.active_index);
+
+  // Write-through after the swap targets the moved slot: pausing r3 must
+  // stop the batched drain of r3's buffer, not r2's.
+  r3.pause_viewing(10.0);
+  std::vector<Megabits> scratch;
+  server.lane().advance_batch(20.0, 0.0, 1e9, scratch);
+  EXPECT_DOUBLE_EQ(r3.buffer_level(), 30.0 + 6.0 * 10.0);  // inflow only
+  EXPECT_DOUBLE_EQ(r2.buffer_level(), 30.0 + (6.0 - 3.0) * 10.0);
+}
+
+// AVX-512 smoke: on hosts with avx512f the ifunc resolver dispatches the
+// widest clone of every batch kernel; a lane wider than one zmm register
+// must still be bit-identical to the scalar path. Compile coverage of the
+// clone is unconditional; runtime coverage skips on older hardware.
+TEST(FluidLaneAvx512, WideLaneBatchesMatchScalar) {
+#if defined(__x86_64__)
+  if (!__builtin_cpu_supports("avx512f")) {
+    GTEST_SKIP() << "host lacks avx512f; clone compiled but not dispatchable";
+  }
+  ClientProfile client{120.0, 30.0};
+  Server scalar_server(0, 1000.0, 1e8);
+  Server batched_server(1, 1000.0, 1e8);
+  constexpr int kStreams = 19;  // 2 full zmm lanes + remainder
+  StableVector<Request> scalar_requests, batched_requests;
+  for (int i = 0; i < kStreams; ++i) {
+    const Mbps rate = 0.5 + 1.25 * static_cast<double>(i % 7);
+    scalar_requests.emplace_back(i, make_video(i), 0.0, client);
+    batched_requests.emplace_back(i, make_video(i), 0.0, client);
+    scalar_requests.back().begin_streaming(0.0, 0);
+    batched_requests.back().begin_streaming(0.0, 1);
+    scalar_server.attach(scalar_requests.back());
+    batched_server.attach(batched_requests.back());
+    scalar_requests.back().set_allocation(0.0, rate);
+    batched_requests.back().set_allocation(0.0, rate);
+  }
+
+  for (Request& request : scalar_requests) request.advance(10.0);
+  std::vector<Megabits> scratch;
+  batched_server.lane().advance_batch(10.0, 0.0, 1e9, scratch);
+
+  std::vector<Seconds> keys, tx, full, low;
+  batched_server.lane().fill_projected_finish(10.0, keys);
+  batched_server.lane().fill_predicted_times(10.0, 4.0, tx, full, low);
+  for (int i = 0; i < kStreams; ++i) {
+    SCOPED_TRACE(i);
+    const Request& scalar = scalar_requests[static_cast<std::size_t>(i)];
+    const Request& batched = batched_requests[static_cast<std::size_t>(i)];
+    EXPECT_EQ(batched.remaining(), scalar.remaining());
+    EXPECT_EQ(batched.buffer_level(), scalar.buffer_level());
+    EXPECT_EQ(keys[batched.active_index], scalar.projected_finish(10.0));
+    EXPECT_EQ(tx[batched.active_index],
+              scalar.allocation() > 0.0
+                  ? 10.0 + scalar.remaining() / scalar.allocation()
+                  : std::numeric_limits<Seconds>::infinity());
+  }
+#else
+  GTEST_SKIP() << "x86-64 only";
+#endif
 }
 
 // ---------------------------------------------------------------- catalog

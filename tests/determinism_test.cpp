@@ -250,6 +250,58 @@ TEST(GoldenDeterminism, ShardedIsReproducibleAcrossThreadCounts) {
   }
 }
 
+TEST(GoldenDeterminism, ShardedRunsDefaultToFastMath) {
+  // PR 9 policy: sharding already opts out of bit-identity with the
+  // single-queue run, so sharded runs take the batched engine unless the
+  // user explicitly opts back out; single-queue runs stay exact unless
+  // fast-math is explicitly requested (the hexfloat goldens depend on it).
+  SimulationConfig config = golden_config(figure6_policies().front(), 7);
+  EXPECT_FALSE(VodSimulation(config).fast_math_enabled());
+
+  config.shards = 4;
+  EXPECT_TRUE(VodSimulation(config).fast_math_enabled());
+
+  config.exact_math = true;
+  EXPECT_FALSE(VodSimulation(config).fast_math_enabled());
+
+  config.exact_math = false;
+  config.shards = 1;
+  config.fast_math = true;
+  EXPECT_TRUE(VodSimulation(config).fast_math_enabled());
+}
+
+TEST(GoldenDeterminism, ShardedArenaMatchesSingleArenaExactly) {
+  // The request arena's pool split is pure storage: with exact_math opting
+  // the sharded run out of the fast-math default, the only remaining
+  // difference from the single-queue run is shard scheduling — so counters
+  // must match exactly and fluid aggregates within merge-order tolerance,
+  // same contract the fuzzer's shard differential enforces.
+  for (const PolicySpec& policy :
+       {figure6_policies().front(), figure6_policies()[3]}) {
+    SCOPED_TRACE(policy.label);
+    SimulationConfig config = golden_config(policy, 17);
+    const TrialResult single = run_once(config);
+    ASSERT_GT(single.arrivals, 0u);
+
+    config.shards = 4;
+    config.shard_threads = 2;
+    config.exact_math = true;
+    const TrialResult sharded = run_once(config);
+
+    EXPECT_EQ(single.arrivals, sharded.arrivals);
+    EXPECT_EQ(single.accepts, sharded.accepts);
+    EXPECT_EQ(single.rejects, sharded.rejects);
+    EXPECT_EQ(single.migration_steps, sharded.migration_steps);
+    EXPECT_EQ(single.drops, sharded.drops);
+    EXPECT_EQ(single.underflow_events, sharded.underflow_events);
+    EXPECT_EQ(single.continuity_violations, sharded.continuity_violations);
+    EXPECT_NEAR(single.utilization, sharded.utilization,
+                1e-9 + 1e-9 * std::abs(single.utilization));
+    EXPECT_NEAR(single.rejection_ratio, sharded.rejection_ratio,
+                1e-9 + 1e-9 * std::abs(single.rejection_ratio));
+  }
+}
+
 TEST(GoldenDeterminism, TracedRunIsBitIdentical) {
   // The trace recorder and probe samplers observe only: they read state on
   // the way past, schedule no simulator events and touch no RNG, so turning

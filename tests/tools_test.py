@@ -113,6 +113,54 @@ class BenchDiffTest(unittest.TestCase):
                           "--threshold", "10")
         self.assertEqual(result.returncode, 0, result.stdout)
 
+    def test_filter_restricts_comparison(self):
+        bench_json(self.before, [
+            {"name": "BM_FluidKeyBatch/300", "items_per_second": 100.0},
+            {"name": "BM_EndToEnd", "items_per_second": 100.0},
+        ])
+        bench_json(self.after, [
+            {"name": "BM_FluidKeyBatch/300", "items_per_second": 300.0},
+            {"name": "BM_EndToEnd", "items_per_second": 50.0},
+        ])
+        result = run_tool(BENCH_DIFF, self.before, self.after,
+                          "--filter", "BM_Fluid")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("BM_FluidKeyBatch/300", result.stdout)
+        self.assertNotIn("BM_EndToEnd", result.stdout)
+        self.assertIn("3.00x", result.stdout)
+        # The filtered-out regression must not trip the threshold either.
+        result = run_tool(BENCH_DIFF, self.before, self.after,
+                          "--filter", "BM_Fluid", "--threshold", "10")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_snapshot_format_diffs_across_prs(self):
+        # bench/BENCH_prN.json shape: "benchmarks" is a dict of hand-measured
+        # rows. Kernel rows are ns (time/op); end-to-end rows are events/sec
+        # (throughput). Speedup must stay oriented so > 1.0 means better.
+        with open(self.before, "w", encoding="utf-8") as handle:
+            json.dump({"benchmarks": {
+                "BM_FluidAdvanceBatch/streams:300": {
+                    "unit": "ns per advance", "exact": 2000, "fast": 1000},
+                "end_to_end": {
+                    "unit": "simulator events/sec", "exact": 100.0,
+                    "fast": None},
+            }}, handle)
+        with open(self.after, "w", encoding="utf-8") as handle:
+            json.dump({"benchmarks": {
+                "BM_FluidAdvanceBatch/streams:300": {
+                    "unit": "ns per advance", "exact": 1000, "fast": 500},
+                "end_to_end": {
+                    "unit": "simulator events/sec", "exact": 200.0,
+                    "fast": 300.0},
+            }}, handle)
+        result = run_tool(BENCH_DIFF, self.before, self.after,
+                          "--filter", "BM_Fluid")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("BM_FluidAdvanceBatch/streams:300[exact]", result.stdout)
+        self.assertIn("BM_FluidAdvanceBatch/streams:300[fast]", result.stdout)
+        self.assertNotIn("end_to_end", result.stdout)
+        self.assertIn("2.00x", result.stdout)  # halved time = 2x speedup
+
     def test_markdown_table(self):
         bench_json(self.before, [{"name": "BM_A", "items_per_second": 1e6}])
         bench_json(self.after, [{"name": "BM_A", "items_per_second": 2e6}])

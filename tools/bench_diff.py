@@ -5,7 +5,13 @@ Usage:
   bench_micro --benchmark_out=before.json --benchmark_out_format=json ...
   bench_micro --benchmark_out=after.json  --benchmark_out_format=json ...
   python3 tools/bench_diff.py before.json after.json [--markdown]
-                              [--threshold PCT]
+                              [--threshold PCT] [--filter REGEX]
+
+--filter restricts the comparison to benchmark names matching REGEX
+(re.search semantics, same spirit as --benchmark_filter). Useful for
+diffing one kernel family across PR baselines whose full suites diverge —
+e.g. `--filter 'BM_Fluid'` against BENCH_pr6.json, where only the fluid
+kernel rows are comparable.
 
 Speedup is reported so that > 1.0 always means "after is better": for
 throughput counters (items_per_second) it is after/before, for wall time it
@@ -23,16 +29,40 @@ Stdlib only; no third-party imports.
 import argparse
 import json
 import math
+import re
 import sys
 
 
 def load_benchmarks(path):
     """name -> record, aggregates (median/mean/stddev rows) preferred over
-    raw repetition rows when present."""
+    raw repetition rows when present.
+
+    Accepts two shapes: native google-benchmark JSON ("benchmarks" is a
+    list of records), and the repo's per-PR snapshot files
+    (bench/BENCH_prN.json, where "benchmarks" is a dict of hand-measured
+    rows carrying "exact"/"fast" numbers and a human unit string). Snapshot
+    rows expand to one synthetic record per mode — "NAME[exact]",
+    "NAME[fast]" — classified as throughput when the unit mentions "/sec",
+    time-per-op otherwise, so snapshots from different PRs diff with the
+    same speedup orientation as live runs."""
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
+    raw = data.get("benchmarks", [])
+    if isinstance(raw, dict):
+        out = {}
+        for name, row in raw.items():
+            if not isinstance(row, dict):
+                continue
+            throughput = "/sec" in str(row.get("unit", ""))
+            for mode in ("exact", "fast"):
+                value = row.get(mode)
+                if not isinstance(value, (int, float)) or not value:
+                    continue
+                key = "items_per_second" if throughput else "real_time"
+                out["%s[%s]" % (name, mode)] = {key: float(value)}
+        return out
     out = {}
-    for record in data.get("benchmarks", []):
+    for record in raw:
         if record.get("run_type") == "aggregate" and record.get("aggregate_name") != "median":
             continue
         # Tolerate rows with no name at all (e.g. malformed or future
@@ -77,10 +107,17 @@ def main(argv):
                         help="emit a GitHub-flavored markdown table")
     parser.add_argument("--threshold", type=float, default=None, metavar="PCT",
                         help="exit 1 if any common benchmark regressed > PCT%%")
+    parser.add_argument("--filter", default=None, metavar="REGEX",
+                        help="only compare benchmarks matching REGEX "
+                             "(re.search)")
     args = parser.parse_args(argv)
 
     before = load_benchmarks(args.before)
     after = load_benchmarks(args.after)
+    if args.filter is not None:
+        pattern = re.compile(args.filter)
+        before = {n: r for n, r in before.items() if pattern.search(n)}
+        after = {n: r for n, r in after.items() if pattern.search(n)}
     common = [name for name in after if name in before]
     only_before = sorted(name for name in before if name not in after)
     only_after = sorted(name for name in after if name not in before)
