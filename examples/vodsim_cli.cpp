@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
   cli.add_flag("staging", "0.2", "client staging buffer (fraction of avg video)");
   cli.add_flag("receive-bw", "30", "client receive cap, Mb/s (0 = unlimited)");
   // Policies.
-  cli.add_flag("placement", "even", "even | partial | predictive | bsr");
+  cli.add_flag("placement", "even",
+               "even | partial | predictive | bsr | domain_spread");
   cli.add_flag("assignment", "least-loaded",
                "least-loaded | random | first-fit | most-loaded");
   cli.add_flag("scheduler", "eftf",
@@ -90,6 +91,25 @@ int main(int argc, char** argv) {
   cli.add_flag("retry-backoff", "5", "base retry backoff, seconds (doubles)");
   cli.add_flag("repair-hours", "0",
                "re-replicate servers down longer than this (0 = off)");
+  // Failure-domain topology (server -> rack -> zone tree).
+  cli.add_flag("racks", "0", "failure-domain racks (0 = no topology)");
+  cli.add_flag("zones", "1", "failure-domain zones (needs --racks)");
+  cli.add_flag("rack-outage-hours", "0",
+               "mean hours between whole-rack outages, per rack (0 = off)");
+  cli.add_flag("rack-outage-minutes", "30", "mean rack outage length, minutes");
+  cli.add_flag("zone-brownout-hours", "0",
+               "mean hours between zone-wide brownouts, per zone (0 = off)");
+  cli.add_flag("zone-brownout-minutes", "15",
+               "mean zone brownout length, minutes");
+  cli.add_flag("zone-brownout-factor", "0.5",
+               "surviving capacity fraction during a zone brownout, (0,1)");
+  cli.add_flag("partition-hours", "0",
+               "mean hours between rack network partitions, per rack (0 = "
+               "off; servers stay up but unreachable)");
+  cli.add_flag("partition-minutes", "5", "mean partition length, minutes");
+  cli.add_flag("glitch-dedupe", "1",
+               "per-stream glitch dedupe window, seconds (0 = count every "
+               "underflow as its own interruption)");
   cli.add_flag("drift-hours", "0", "popularity drift period (0 = static)");
   // Workload.
   cli.add_flag("theta", "0.271", "Zipf skew (1 uniform .. -1.5 extreme)");
@@ -201,6 +221,45 @@ int main(int argc, char** argv) {
     config.failure.repair.enabled = true;
     config.failure.repair.down_threshold = hours(cli.get_double("repair-hours"));
   }
+  if (cli.get_long("racks") > 0) {
+    config.topology.enabled = true;
+    config.topology.racks = static_cast<int>(cli.get_long("racks"));
+    config.topology.zones = static_cast<int>(cli.get_long("zones"));
+    const bool domain_faults = cli.get_double("rack-outage-hours") > 0.0 ||
+                               cli.get_double("zone-brownout-hours") > 0.0 ||
+                               cli.get_double("partition-hours") > 0.0;
+    if (domain_faults && !config.failure.enabled) {
+      // Domain faults ride on the fault subsystem; arm it with per-server
+      // crashes pushed past any realistic horizon so only the requested
+      // domain episodes fire.
+      config.failure.enabled = true;
+      config.failure.mean_time_between_failures = hours(1e9);
+    }
+    if (cli.get_double("rack-outage-hours") > 0.0) {
+      config.failure.domains.rack_outage.enabled = true;
+      config.failure.domains.rack_outage.mean_time_between =
+          hours(cli.get_double("rack-outage-hours"));
+      config.failure.domains.rack_outage.mean_duration =
+          minutes(cli.get_double("rack-outage-minutes"));
+    }
+    if (cli.get_double("zone-brownout-hours") > 0.0) {
+      config.failure.domains.zone_brownout.enabled = true;
+      config.failure.domains.zone_brownout.mean_time_between =
+          hours(cli.get_double("zone-brownout-hours"));
+      config.failure.domains.zone_brownout.mean_duration =
+          minutes(cli.get_double("zone-brownout-minutes"));
+      config.failure.domains.zone_brownout.capacity_factor =
+          cli.get_double("zone-brownout-factor");
+    }
+    if (cli.get_double("partition-hours") > 0.0) {
+      config.failure.domains.partition.enabled = true;
+      config.failure.domains.partition.mean_time_between =
+          hours(cli.get_double("partition-hours"));
+      config.failure.domains.partition.mean_duration =
+          minutes(cli.get_double("partition-minutes"));
+    }
+  }
+  config.failure.glitch_dedupe_window = cli.get_double("glitch-dedupe");
   if (cli.get_double("drift-hours") > 0.0) {
     config.drift.enabled = true;
     config.drift.period = hours(cli.get_double("drift-hours"));
@@ -297,6 +356,56 @@ int main(int argc, char** argv) {
     table.add_row({"repair replications", std::to_string(repairs)});
     if (recovery.count() > 0) {
       table.add_row({"mean recovery time (s)", format_mean_ci(recovery)});
+    }
+
+    // Failure-domain block: per-rack/zone availability and glitch budget,
+    // plus the partition episode counters. Trials share a topology shape,
+    // so per-domain values aggregate across trials index by index.
+    if (config.topology.enabled) {
+      std::uint64_t partitions = 0, heals = 0;
+      Accumulator partition_time;
+      for (const TrialResult& trial : point.trials) {
+        partitions += trial.partitions;
+        heals += trial.partition_heals;
+        if (trial.partition_heals > 0) partition_time.add(trial.mean_partition_time);
+      }
+      table.add_row({"partition episodes", std::to_string(partitions)});
+      table.add_row({"partition heals", std::to_string(heals)});
+      if (partition_time.count() > 0) {
+        table.add_row(
+            {"mean partition time (s)", format_mean_ci(partition_time)});
+      }
+      const std::size_t racks =
+          point.trials.empty() ? 0 : point.trials.front().rack_availability.size();
+      for (std::size_t r = 0; r < racks; ++r) {
+        Accumulator avail;
+        double glitch = 0.0;
+        for (const TrialResult& trial : point.trials) {
+          if (r < trial.rack_availability.size()) {
+            avail.add(trial.rack_availability[r]);
+            glitch += trial.rack_glitch_seconds[r];
+          }
+        }
+        char label[48];
+        std::snprintf(label, sizeof(label), "rack %zu availability", r);
+        table.add_row({label, format_mean_ci(avail)});
+        std::snprintf(label, sizeof(label), "rack %zu glitch seconds", r);
+        table.add_row({label, std::to_string(glitch)});
+      }
+      const std::size_t zones =
+          point.trials.empty() ? 0 : point.trials.front().zone_availability.size();
+      // A single zone repeats the whole-cluster row; only print a real split.
+      for (std::size_t z = 0; zones > 1 && z < zones; ++z) {
+        Accumulator avail;
+        for (const TrialResult& trial : point.trials) {
+          if (z < trial.zone_availability.size()) {
+            avail.add(trial.zone_availability[z]);
+          }
+        }
+        char label[48];
+        std::snprintf(label, sizeof(label), "zone %zu availability", z);
+        table.add_row({label, format_mean_ci(avail)});
+      }
     }
   }
 

@@ -33,7 +33,7 @@ AdmissionController::AdmissionController(AdmissionConfig config,
 bool AdmissionController::feasible(const Server& server,
                                    Mbps view_bandwidth) const {
   if (!config_.buffer_aware) return server.can_admit(view_bandwidth);
-  if (!server.available()) return false;
+  if (!server.serviceable()) return false;
   // Near-term need: streams coasting on more than `horizon` seconds of
   // staged data are ignored (buffer levels are as of each stream's last
   // fluid update — a slightly stale but cheap estimate).

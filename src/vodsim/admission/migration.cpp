@@ -51,7 +51,7 @@ struct SearchContext {
 
 bool hypothetically_admits(const SearchContext& ctx, ServerId server, Mbps rate) {
   const Server& s = ctx.servers[static_cast<std::size_t>(server)];
-  if (!s.available()) return false;
+  if (!s.serviceable()) return false;
   return s.committed_bandwidth() + s.reserved_bandwidth() +
              ctx.delta[static_cast<std::size_t>(server)] + rate <=
          s.effective_bandwidth() + 1e-9;
@@ -167,7 +167,7 @@ std::optional<MigrationPlan> find_migration_plan(
     scratch.victims.resize(static_cast<std::size_t>(config.max_chain_length));
   }
   for (ServerId holder : holders) {
-    if (!servers[static_cast<std::size_t>(holder)].available()) continue;
+    if (!servers[static_cast<std::size_t>(holder)].serviceable()) continue;
     scratch.delta.assign(servers.size(), 0.0);
     scratch.used.clear();
     scratch.steps.clear();

@@ -33,6 +33,8 @@ const char* qualified(PlacementKind kind) {
     case PlacementKind::kPartialPredictive:
       return "vodsim::PlacementKind::kPartialPredictive";
     case PlacementKind::kBsr: return "vodsim::PlacementKind::kBsr";
+    case PlacementKind::kDomainSpread:
+      return "vodsim::PlacementKind::kDomainSpread";
   }
   return "vodsim::PlacementKind::kEven";
 }
@@ -57,6 +59,10 @@ const char* qualified(FaultTransitionKind kind) {
       return "vodsim::FaultTransitionKind::kBrownoutBegin";
     case FaultTransitionKind::kBrownoutEnd:
       return "vodsim::FaultTransitionKind::kBrownoutEnd";
+    case FaultTransitionKind::kPartitionBegin:
+      return "vodsim::FaultTransitionKind::kPartitionBegin";
+    case FaultTransitionKind::kPartitionEnd:
+      return "vodsim::FaultTransitionKind::kPartitionEnd";
   }
   return "vodsim::FaultTransitionKind::kDown";
 }
@@ -150,10 +156,26 @@ SimulationConfig random_scenario(Rng& rng) {
     default: config.client.receive_bandwidth = kInf; break;
   }
 
+  // Failure-domain topology: a quarter of the scenarios build a rack/zone
+  // tree. Domain faults (below) and domain_spread placement ride on it;
+  // all topology-enabled scenarios are auditor-only (outside
+  // oracle_supports), so the probability stays low enough that the oracle
+  // still covers the majority of the batch.
+  if (rng.uniform() < 0.25) {
+    config.topology.enabled = true;
+    config.topology.racks = 1 + static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(config.system.num_servers)));
+    config.topology.zones = 1 + static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(config.topology.racks)));
+  }
+
   constexpr PlacementKind kPlacements[] = {
       PlacementKind::kEven, PlacementKind::kPredictive,
       PlacementKind::kPartialPredictive, PlacementKind::kBsr};
   config.placement.kind = kPlacements[rng.uniform_int(4)];
+  if (config.topology.enabled && rng.uniform() < 0.4) {
+    config.placement.kind = PlacementKind::kDomainSpread;
+  }
 
   constexpr AssignmentKind kAssignments[] = {
       AssignmentKind::kLeastLoaded, AssignmentKind::kRandom,
@@ -219,6 +241,37 @@ SimulationConfig random_scenario(Rng& rng) {
     if (rng.uniform() < 0.25) {
       config.failure.repair.enabled = true;
       config.failure.repair.down_threshold = rng.uniform(30.0, 120.0);
+    }
+    // Domain-scoped faults need the topology tree drawn above.
+    if (config.topology.enabled) {
+      if (rng.uniform() < 0.35) {
+        config.failure.domains.rack_outage.enabled = true;
+        config.failure.domains.rack_outage.mean_time_between =
+            rng.uniform(200.0, 900.0);
+        config.failure.domains.rack_outage.mean_duration =
+            rng.uniform(20.0, 120.0);
+      }
+      if (rng.uniform() < 0.3) {
+        config.failure.domains.zone_brownout.enabled = true;
+        config.failure.domains.zone_brownout.mean_time_between =
+            rng.uniform(150.0, 600.0);
+        config.failure.domains.zone_brownout.mean_duration =
+            rng.uniform(20.0, 120.0);
+        config.failure.domains.zone_brownout.capacity_factor =
+            rng.uniform(0.2, 0.9);
+      }
+      if (rng.uniform() < 0.35) {
+        config.failure.domains.partition.enabled = true;
+        config.failure.domains.partition.mean_time_between =
+            rng.uniform(150.0, 600.0);
+        config.failure.domains.partition.mean_duration = rng.uniform(10.0, 60.0);
+      }
+    }
+    // Glitch dedupe: mostly the 1 s default, sometimes disabled, sometimes
+    // a wide window — the fast/sharded differentials must agree under all.
+    if (rng.uniform() < 0.25) {
+      config.failure.glitch_dedupe_window =
+          rng.uniform() < 0.5 ? 0.0 : rng.uniform(0.5, 5.0);
     }
   }
   if (rng.uniform() < 0.3) {
@@ -302,6 +355,36 @@ SimulationConfig random_fault_scenario(Rng& rng) {
   // Guarantee at least one partial-fault feature beyond plain crashes.
   if (!config.failure.brownout.enabled && !config.failure.retry.enabled) {
     config.failure.brownout.enabled = true;
+  }
+
+  // Domain-scoped chaos: half the chaos scenarios (re)build a topology and
+  // arm at least one domain fault class, so rack outages, zone brownouts,
+  // and partitions all flow through the sanitizer smoke and the fast/
+  // sharded differentials routinely, not only when random_scenario happened
+  // to draw them.
+  if (rng.uniform() < 0.5) {
+    config.topology.enabled = true;
+    config.topology.racks = 1 + static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(config.system.num_servers)));
+    config.topology.zones = 1 + static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(config.topology.racks)));
+    config.failure.domains.rack_outage.enabled = rng.uniform() < 0.6;
+    config.failure.domains.rack_outage.mean_time_between =
+        rng.uniform(150.0, 500.0);
+    config.failure.domains.rack_outage.mean_duration = rng.uniform(20.0, 90.0);
+    config.failure.domains.zone_brownout.enabled = rng.uniform() < 0.4;
+    config.failure.domains.zone_brownout.mean_time_between =
+        rng.uniform(120.0, 400.0);
+    config.failure.domains.zone_brownout.mean_duration = rng.uniform(20.0, 90.0);
+    config.failure.domains.zone_brownout.capacity_factor = rng.uniform(0.2, 0.9);
+    config.failure.domains.partition.enabled = rng.uniform() < 0.6;
+    config.failure.domains.partition.mean_time_between =
+        rng.uniform(120.0, 400.0);
+    config.failure.domains.partition.mean_duration = rng.uniform(10.0, 60.0);
+    if (!config.failure.domains.rack_outage.enabled &&
+        !config.failure.domains.partition.enabled) {
+      config.failure.domains.partition.enabled = true;
+    }
   }
   return config;
 }
@@ -558,6 +641,105 @@ std::vector<SimulationConfig> pathology_corpus() {
     corpus.push_back(config);
   }
 
+  // 14. Rack partition storm: four servers in two racks, partitions every
+  // couple of minutes with retry parking and migration recovery — every
+  // partition-begin sheds a whole rack's streams without marking a single
+  // server down, and every heal force-drains the retry queue into servers
+  // whose capacity the outage never touched. Shrunk from a domain-chaos
+  // run that granted onto an unreachable server before admission gated on
+  // serviceable().
+  {
+    SimulationConfig config = base;
+    config.system.num_servers = 4;
+    config.topology.enabled = true;
+    config.topology.racks = 2;
+    config.topology.zones = 2;
+    config.client.staging_fraction = 0.2;
+    config.admission.migration.enabled = true;
+    config.failure.enabled = true;
+    config.failure.mean_time_between_failures = hours(100);  // crashes rare
+    config.failure.mean_time_to_repair = 60.0;
+    config.failure.domains.partition.enabled = true;
+    config.failure.domains.partition.mean_time_between = 120.0;
+    config.failure.domains.partition.mean_duration = 30.0;
+    config.failure.retry.enabled = true;
+    config.failure.retry.max_queue = 8;
+    config.failure.retry.max_attempts = 4;
+    config.failure.retry.backoff_base = 2.0;
+    config.failure.retry.backoff_cap = 16.0;
+    config.seed = 114;
+    corpus.push_back(config);
+  }
+
+  // 15. Rack outage vs. domain-spread repair: a near-single-copy catalog
+  // placed with rack anti-affinity, whole racks crashing together, and
+  // repair re-replication racing the outage — destinations must be chosen
+  // among *serviceable* survivors, preferring under-represented domains.
+  // Shrunk from a domain-chaos run where a repair copy targeted a server
+  // inside the rack that was about to fail again.
+  {
+    SimulationConfig config = base;
+    config.system.num_servers = 4;
+    config.system.avg_copies = 1.2;
+    config.topology.enabled = true;
+    config.topology.racks = 2;
+    config.topology.zones = 2;
+    config.placement.kind = PlacementKind::kDomainSpread;
+    config.client.staging_fraction = 0.2;
+    config.admission.migration.enabled = true;
+    config.failure.enabled = true;
+    config.failure.mean_time_between_failures = hours(100);
+    config.failure.mean_time_to_repair = 60.0;
+    config.failure.domains.rack_outage.enabled = true;
+    config.failure.domains.rack_outage.mean_time_between = 180.0;
+    config.failure.domains.rack_outage.mean_duration = 60.0;
+    config.failure.repair.enabled = true;
+    config.failure.repair.down_threshold = 25.0;
+    config.replication.enabled = true;
+    config.replication.rejection_threshold = 2;
+    config.replication.window = 300.0;
+    config.replication.transfer_bandwidth = 6.0;
+    config.seed = 115;
+    corpus.push_back(config);
+  }
+
+  // 16. Overlapping domain faults on rack-aligned shards: zone brownouts,
+  // rack partitions, *and* binary crashes interleave on a sharded engine
+  // whose shard boundaries coincide with the racks — the capacity-loss
+  // interval handoffs (down <-> brownout <-> partition are mutually
+  // exclusive per server) and the glitch-dedupe window all under the
+  // sharded/single and fast/exact differentials at once. Shrunk from a
+  // domain-chaos run that double-charged capacity loss when a partition
+  // began during a zone brownout.
+  {
+    SimulationConfig config = base;
+    config.system.num_servers = 4;
+    config.topology.enabled = true;
+    config.topology.racks = 2;
+    config.topology.zones = 2;
+    config.client.staging_fraction = 0.2;
+    config.failure.enabled = true;
+    config.failure.mean_time_between_failures = 240.0;
+    config.failure.mean_time_to_repair = 50.0;
+    config.failure.domains.zone_brownout.enabled = true;
+    config.failure.domains.zone_brownout.mean_time_between = 150.0;
+    config.failure.domains.zone_brownout.mean_duration = 50.0;
+    config.failure.domains.zone_brownout.capacity_factor = 0.4;
+    config.failure.domains.partition.enabled = true;
+    config.failure.domains.partition.mean_time_between = 150.0;
+    config.failure.domains.partition.mean_duration = 25.0;
+    config.failure.retry.enabled = true;
+    config.failure.retry.max_queue = 8;
+    config.failure.retry.backoff_base = 2.0;
+    config.failure.retry.backoff_cap = 16.0;
+    config.failure.glitch_dedupe_window = 2.0;
+    config.load_factor = 1.3;
+    config.shards = 2;
+    config.shard_threads = 2;
+    config.seed = 116;
+    corpus.push_back(config);
+  }
+
   return corpus;
 }
 
@@ -715,6 +897,21 @@ std::string compare_fast_vs_exact(const VodSimulation& exact,
   return diff_runs(exact, fast, "exact", "fast");
 }
 
+void clamp_to_servers(SimulationConfig& config) {
+  if (config.shards > config.system.num_servers) {
+    config.shards = config.system.num_servers;
+  }
+  if (config.failure.correlated.group_size > config.system.num_servers) {
+    config.failure.correlated.group_size = config.system.num_servers;
+  }
+  if (config.topology.racks > config.system.num_servers) {
+    config.topology.racks = config.system.num_servers;
+  }
+  if (config.topology.zones > config.topology.racks) {
+    config.topology.zones = config.topology.racks;
+  }
+}
+
 SimulationConfig shrink_scenario(SimulationConfig config) {
   if (run_scenario(config).passed) return config;
 
@@ -729,6 +926,35 @@ SimulationConfig shrink_scenario(SimulationConfig config) {
       [](SimulationConfig& c) { c.failure.retry.enabled = false; },
       [](SimulationConfig& c) { c.failure.repair.enabled = false; },
       [](SimulationConfig& c) { c.failure.correlated.enabled = false; },
+      [](SimulationConfig& c) { c.failure.domains.partition.enabled = false; },
+      [](SimulationConfig& c) { c.failure.domains.rack_outage.enabled = false; },
+      [](SimulationConfig& c) {
+        c.failure.domains.zone_brownout.enabled = false;
+      },
+      [](SimulationConfig& c) {
+        // Dropping the topology drops everything that rides on it; the
+        // domain faults would otherwise fail validation for the wrong
+        // reason, and domain_spread would degrade silently.
+        c.topology.enabled = false;
+        c.topology.racks = 1;
+        c.topology.zones = 1;
+        c.failure.domains.rack_outage.enabled = false;
+        c.failure.domains.zone_brownout.enabled = false;
+        c.failure.domains.partition.enabled = false;
+        if (c.placement.kind == PlacementKind::kDomainSpread) {
+          c.placement.kind = PlacementKind::kEven;
+        }
+      },
+      [](SimulationConfig& c) {
+        if (c.topology.racks > 1) c.topology.racks = (c.topology.racks + 1) / 2;
+        if (c.topology.zones > c.topology.racks) {
+          c.topology.zones = c.topology.racks;
+        }
+      },
+      [](SimulationConfig& c) {
+        if (c.topology.zones > 1) c.topology.zones = (c.topology.zones + 1) / 2;
+      },
+      [](SimulationConfig& c) { c.failure.glitch_dedupe_window = 0.0; },
       [](SimulationConfig& c) { c.failure.min_dwell = 0.0; },
       [](SimulationConfig& c) { c.replication.enabled = false; },
       [](SimulationConfig& c) { c.drift.enabled = false; },
@@ -774,8 +1000,10 @@ SimulationConfig shrink_scenario(SimulationConfig config) {
           c.system.num_servers = (c.system.num_servers + 1) / 2;
           c.system.bandwidth_profile.clear();
           c.system.storage_profile.clear();
-          // A shard owns >= 1 server; keep the shrunk config valid.
-          if (c.shards > c.system.num_servers) c.shards = c.system.num_servers;
+          // Every server-indexed knob must keep referencing real servers:
+          // shards (a shard owns >= 1 server), correlated group size, and
+          // the topology tree all re-clamp together.
+          clamp_to_servers(c);
         }
       },
       [](SimulationConfig& c) {
@@ -841,6 +1069,10 @@ std::string to_gtest_case(const SimulationConfig& config,
     out << "  config.system.storage_profile = "
         << profile_literal(config.system.storage_profile) << ";\n";
   }
+  out << "  config.topology.enabled = "
+      << (config.topology.enabled ? "true" : "false") << ";\n";
+  out << "  config.topology.racks = " << config.topology.racks << ";\n";
+  out << "  config.topology.zones = " << config.topology.zones << ";\n";
   out << "  config.client.staging_fraction = "
       << literal(config.client.staging_fraction) << ";\n";
   out << "  config.client.receive_bandwidth = "
@@ -914,6 +1146,31 @@ std::string to_gtest_case(const SimulationConfig& config,
       << (config.failure.repair.enabled ? "true" : "false") << ";\n";
   out << "  config.failure.repair.down_threshold = "
       << literal(config.failure.repair.down_threshold) << ";\n";
+  const RackOutageConfig& rack_outage = config.failure.domains.rack_outage;
+  out << "  config.failure.domains.rack_outage.enabled = "
+      << (rack_outage.enabled ? "true" : "false") << ";\n";
+  out << "  config.failure.domains.rack_outage.mean_time_between = "
+      << literal(rack_outage.mean_time_between) << ";\n";
+  out << "  config.failure.domains.rack_outage.mean_duration = "
+      << literal(rack_outage.mean_duration) << ";\n";
+  const ZoneBrownoutConfig& zone_brownout = config.failure.domains.zone_brownout;
+  out << "  config.failure.domains.zone_brownout.enabled = "
+      << (zone_brownout.enabled ? "true" : "false") << ";\n";
+  out << "  config.failure.domains.zone_brownout.mean_time_between = "
+      << literal(zone_brownout.mean_time_between) << ";\n";
+  out << "  config.failure.domains.zone_brownout.mean_duration = "
+      << literal(zone_brownout.mean_duration) << ";\n";
+  out << "  config.failure.domains.zone_brownout.capacity_factor = "
+      << literal(zone_brownout.capacity_factor) << ";\n";
+  const PartitionConfig& partition = config.failure.domains.partition;
+  out << "  config.failure.domains.partition.enabled = "
+      << (partition.enabled ? "true" : "false") << ";\n";
+  out << "  config.failure.domains.partition.mean_time_between = "
+      << literal(partition.mean_time_between) << ";\n";
+  out << "  config.failure.domains.partition.mean_duration = "
+      << literal(partition.mean_duration) << ";\n";
+  out << "  config.failure.glitch_dedupe_window = "
+      << literal(config.failure.glitch_dedupe_window) << ";\n";
   for (const FaultTransition& fault : config.scripted_faults) {
     out << "  config.scripted_faults.push_back({" << literal(fault.time) << ", "
         << fault.server << ", " << qualified(fault.kind) << ", "

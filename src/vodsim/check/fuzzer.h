@@ -101,6 +101,15 @@ std::string compare_fast_vs_exact(const VodSimulation& exact,
 /// \p config unchanged if it does not fail in the first place.
 SimulationConfig shrink_scenario(SimulationConfig config);
 
+/// Re-clamps every server-indexed knob to the current num_servers: the
+/// shard count, the correlated group size, and the topology tree (racks <=
+/// num_servers, zones <= racks). The shrinker's num_servers-halving
+/// transform calls this so a shrunk reproducer never references servers
+/// beyond the cluster it declares — without the clamp a halved chaos
+/// scenario could emit correlated groups or rack spans past server_count.
+/// Exposed so the clamp itself is regression-testable.
+void clamp_to_servers(SimulationConfig& config);
+
 /// Renders \p config as a complete gtest TEST(FuzzRegression, <name>) case
 /// that rebuilds the exact configuration (every field, %.17g doubles) and
 /// asserts run_scenario passes. Paste into tests/check_fuzz_test.cpp.

@@ -22,6 +22,7 @@ namespace {
 InvariantAuditor::InvariantAuditor(const VodSimulation& simulation)
     : sim_(simulation) {
   last_epochs_.assign(sim_.servers().size(), 0);
+  last_reachable_.assign(sim_.servers().size(), 1);
 }
 
 void InvariantAuditor::check_request(const Request& request, const Server& server,
@@ -74,6 +75,21 @@ void InvariantAuditor::check_server(const Server& server,
     std::ostringstream d;
     d << "server " << server.id() << ": " << active.size() << " active streams";
     fail("failed servers host no streams", d);
+  }
+  // A partitioned server is up but unreachable: the partition-begin event
+  // must have shed every stream (recover / park / drop), and no admission
+  // or migration path may grant onto it while serviceable() is false.
+  if (!server.reachable() && !active.empty()) {
+    std::ostringstream d;
+    d << "server " << server.id() << ": " << active.size()
+      << " active streams while partitioned";
+    fail("unreachable servers host no streams", d);
+  }
+  if (!server.reachable() && server.committed_bandwidth() > kTolerance) {
+    std::ostringstream d;
+    d << "server " << server.id() << ": committed "
+      << server.committed_bandwidth() << " Mb/s while partitioned";
+    fail("no grants on an unreachable server", d);
   }
 
   Mbps allocated = 0.0;
@@ -164,6 +180,7 @@ void InvariantAuditor::on_event() {
       }
     }
     checks_run_ += 1 + server.active_requests().size();
+    last_reachable_[i] = server.reachable() ? 1 : 0;
   }
   ++events_audited_;
 }
@@ -173,6 +190,19 @@ void InvariantAuditor::on_advance(const Request& request, Seconds t0, Seconds t1
     std::ostringstream d;
     d << "request " << request.id() << ": [" << t0 << ", " << t1 << "]";
     fail("transmission intervals run forward", d);
+  }
+  // No bits cross a partition: the interval streamed under the reachability
+  // recorded at the last audited event (zero-length intervals never get
+  // here; advance_and_account early-returns when now <= last_update).
+  const auto server_index = static_cast<std::size_t>(request.server());
+  if (t1 > t0 && server_index < last_reachable_.size() &&
+      last_reachable_[server_index] == 0 &&
+      request.allocation() * (t1 - t0) > kTolerance) {
+    std::ostringstream d;
+    d << "request " << request.id() << " on server " << request.server()
+      << ": " << request.allocation() * (t1 - t0) << " Mb over [" << t0 << ", "
+      << t1 << "] while partitioned";
+    fail("no bits flow across a partition", d);
   }
   observed_flow_ += request.allocation() * (t1 - t0);
   ++intervals_observed_;

@@ -101,6 +101,12 @@ class InvariantAuditor {
   mutable std::uint64_t checks_run_ = 0;
   Seconds last_event_time_ = 0.0;
   std::vector<std::uint64_t> last_epochs_;
+  /// Per-server reachability as of the last audited event. on_advance runs
+  /// *before* the current event mutates state, so an interval's flow is
+  /// judged against the reachability that held while it was streaming —
+  /// this is how "no bits cross a partition" is enforced without racing the
+  /// partition-begin event that sheds the victims.
+  std::vector<std::uint8_t> last_reachable_;
   /// Integral of allocation * dt over every advanced interval (megabits) —
   /// the auditor's own account of delivered flow.
   double observed_flow_ = 0.0;

@@ -577,9 +577,13 @@ bool oracle_supports(const SimulationConfig& config) {
   // Fault-taxonomy extensions (brownout shedding, retry re-admission,
   // repair replication, scripted schedules) drive engine-private state the
   // oracle does not model; binary crash/repair stays in scope.
+  // Failure-domain topology: domain fault schedules, the partition
+  // transition class, and domain_spread's topology-aware install are all
+  // engine-side — any topology-enabled config is auditor/differential-only.
   return !config.interactivity.enabled && !config.admission.buffer_aware &&
          !config.failure.brownout.enabled && !config.failure.retry.enabled &&
-         !config.failure.repair.enabled && config.scripted_faults.empty();
+         !config.failure.repair.enabled && config.scripted_faults.empty() &&
+         !config.topology.enabled;
 }
 
 RequestTrace engine_trace(const SimulationConfig& config) {

@@ -85,6 +85,7 @@ void Request::begin_streaming(Seconds now, ServerId server) {
   assert(lane_ == nullptr && "attach_lane follows begin_streaming");
   state_ = RequestState::kStreaming;
   server_ = server;
+  last_server = server;
   last_update_ = std::max(last_update_, now);
 }
 
@@ -102,6 +103,7 @@ void Request::complete_migration(Seconds now, ServerId new_server) {
   assert(state_ == RequestState::kMigrating);
   state_ = RequestState::kStreaming;
   server_ = new_server;
+  last_server = new_server;
   last_update_ = std::max(last_update_, now);
 }
 

@@ -178,6 +178,18 @@ class Request {
   /// (scheduler-managed, like active_index).
   bool workahead_urgent = false;
 
+  /// Interruption-dedupe key (FailureConfig::glitch_dedupe_window): index
+  /// of the last dedupe window in which this stream logged a counted
+  /// interruption, -1 = never (engine-managed, like active_index). Lives
+  /// on the request so single/sharded/fast-math modes dedupe identically.
+  std::int64_t last_glitch_window = -1;
+
+  /// Last server that hosted this stream. Unlike server(), it survives
+  /// parking and mid-migration (where server_ resets to kNoServer), so
+  /// glitches of a parked orphan still attribute to the failure domain
+  /// that orphaned it. Maintained by begin_streaming/complete_migration.
+  ServerId last_server = kNoServer;
+
   /// Fluid-model tolerance on remaining data (megabits).
   static constexpr Megabits kRemainingTolerance = 1e-6;
 

@@ -35,8 +35,8 @@ bool Server::holds(VideoId video) const {
 }
 
 bool Server::can_admit(Mbps view_bandwidth) const {
-  return available_ && committed_ + reserved_ + view_bandwidth <=
-                           effective_bandwidth() + kBandwidthTolerance;
+  return serviceable() && committed_ + reserved_ + view_bandwidth <=
+                              effective_bandwidth() + kBandwidthTolerance;
 }
 
 void Server::reserve_bandwidth(Mbps amount) {

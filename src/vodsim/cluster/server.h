@@ -97,6 +97,20 @@ class Server {
   bool available() const { return available_; }
   void set_available(bool available) { available_ = available; }
 
+  /// Network reachability from the controller (partition injection,
+  /// cluster/topology.h). A partitioned server is up — its hardware and
+  /// link are healthy — but the controller cannot place, migrate, or
+  /// deliver anything through it. Defaults true; only kPartitionBegin/
+  /// kPartitionEnd transitions flip it, so topology-free runs never
+  /// branch differently.
+  bool reachable() const { return reachable_; }
+  void set_reachable(bool reachable) { reachable_ = reachable; }
+
+  /// The one predicate every placement/admission/migration/replication
+  /// decision must gate on: the server is up *and* the controller can
+  /// reach it. Liveness alone is not enough under partitions.
+  bool serviceable() const { return available_ && reachable_; }
+
   /// Brownout state: fraction of nominal bandwidth currently usable.
   /// 1.0 = healthy. Set by the engine when executing fault transitions.
   double capacity_factor() const { return capacity_factor_; }
@@ -116,6 +130,7 @@ class Server {
   Mbps committed_ = 0.0;
   Mbps reserved_ = 0.0;
   bool available_ = true;
+  bool reachable_ = true;
   double capacity_factor_ = 1.0;
   std::vector<VideoId> replicas_;
   std::vector<bool> replica_bitmap_;

@@ -150,6 +150,50 @@ void SimulationConfig::validate() const {
         fail("correlated mean_duration must be > 0");
       }
     }
+    if (failure.domains.rack_outage.enabled) {
+      if (!topology.enabled) fail("rack outages require topology.enabled");
+      if (failure.domains.rack_outage.mean_time_between <= 0.0) {
+        fail("rack outage mean_time_between must be > 0");
+      }
+      if (failure.domains.rack_outage.mean_duration <= 0.0) {
+        fail("rack outage mean_duration must be > 0");
+      }
+    }
+    if (failure.domains.zone_brownout.enabled) {
+      if (!topology.enabled) fail("zone brownouts require topology.enabled");
+      if (failure.domains.zone_brownout.mean_time_between <= 0.0) {
+        fail("zone brownout mean_time_between must be > 0");
+      }
+      if (failure.domains.zone_brownout.mean_duration <= 0.0) {
+        fail("zone brownout mean_duration must be > 0");
+      }
+      if (failure.domains.zone_brownout.capacity_factor <= 0.0 ||
+          failure.domains.zone_brownout.capacity_factor >= 1.0) {
+        fail("zone brownout capacity_factor must be in (0, 1)");
+      }
+    }
+    if (failure.domains.partition.enabled) {
+      if (!topology.enabled) fail("partitions require topology.enabled");
+      if (failure.domains.partition.mean_time_between <= 0.0) {
+        fail("partition mean_time_between must be > 0");
+      }
+      if (failure.domains.partition.mean_duration <= 0.0) {
+        fail("partition mean_duration must be > 0");
+      }
+    }
+  }
+  if (failure.glitch_dedupe_window < 0.0) {
+    fail("glitch_dedupe_window must be >= 0");
+  }
+  if (topology.enabled) {
+    if (topology.racks < 1) fail("topology.racks must be >= 1");
+    if (topology.racks > system.num_servers) {
+      fail("topology.racks must not exceed num_servers (a rack owns >= 1 server)");
+    }
+    if (topology.zones < 1) fail("topology.zones must be >= 1");
+    if (topology.zones > topology.racks) {
+      fail("topology.zones must not exceed racks (a zone owns >= 1 rack)");
+    }
   }
   if (failure.retry.enabled) {
     if (failure.retry.max_queue < 1) fail("retry max_queue must be >= 1");

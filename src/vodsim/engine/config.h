@@ -15,6 +15,7 @@
 
 #include "vodsim/admission/controller.h"
 #include "vodsim/cluster/server.h"
+#include "vodsim/cluster/topology.h"
 #include "vodsim/fault/transition.h"
 #include "vodsim/obs/probes.h"
 #include "vodsim/obs/trace.h"
@@ -116,6 +117,50 @@ struct RetryConfig {
   Seconds backoff_cap = 300.0;  ///< backoff ceiling
 };
 
+/// Domain-scoped correlated outages: whole racks crash and repair together
+/// (shared power/switch), per-rack exponential episode process. Requires
+/// topology.enabled; the rack membership comes from the Topology tree
+/// rather than the ad-hoc consecutive groups of CorrelatedFailureConfig.
+struct RackOutageConfig {
+  bool enabled = false;
+  Seconds mean_time_between = hours(200);  ///< per rack, between episodes
+  Seconds mean_duration = minutes(30);
+};
+
+/// Domain-scoped brownouts: a whole zone's servers degrade to
+/// `capacity_factor` together (shared uplink congestion). Requires
+/// topology.enabled.
+struct ZoneBrownoutConfig {
+  bool enabled = false;
+  Seconds mean_time_between = hours(100);  ///< per zone, between episodes
+  Seconds mean_duration = minutes(15);
+  double capacity_factor = 0.5;  ///< surviving fraction of bandwidth, (0,1)
+};
+
+/// Network partitions: a rack's servers stay *up* but become unreachable
+/// from the controller (switch/uplink loss). Unlike a crash, the hardware
+/// is healthy — but admission, migration, and replication must treat
+/// reachability, not liveness, as the gate: no grants land on a
+/// partitioned server and no bits cross the partition. On heal the
+/// RetryQueue is force-drained so parked streams re-admit immediately.
+/// Requires topology.enabled.
+struct PartitionConfig {
+  bool enabled = false;
+  Seconds mean_time_between = hours(100);  ///< per rack, between episodes
+  Seconds mean_duration = minutes(5);
+};
+
+/// The topology-scoped fault taxonomy (FailureConfig::domains). All three
+/// draw on the failure RNG stream *after* every legacy phase (binary,
+/// brownout, correlated), each only when enabled — so enabling topology
+/// without domain faults, or neither, leaves legacy schedules
+/// bit-identical (fault/schedule.h documents the draw-order contract).
+struct DomainFaultConfig {
+  RackOutageConfig rack_outage;
+  ZoneBrownoutConfig zone_brownout;
+  PartitionConfig partition;
+};
+
 /// Repair replication: a server down longer than `down_threshold` gets the
 /// videos it left with zero available holders re-replicated onto healthy
 /// servers via the replication/ machinery (bypassing the rejection
@@ -142,8 +187,19 @@ struct FailureConfig {
   Seconds min_dwell = 0.0;
   BrownoutConfig brownout;
   CorrelatedFailureConfig correlated;
+  DomainFaultConfig domains;
   RetryConfig retry;
   RepairConfig repair;
+
+  /// Resilience-accounting interruption dedupe: a stream that glitches
+  /// more than once inside one window of this length counts as *one*
+  /// interruption (its starved seconds still all accrue to
+  /// glitch_seconds). Without it, a shed-then-readmitted stream whose
+  /// retry fires inside the same window double-counts the same
+  /// viewer-facing gap (one glitch at shed, another at readmission).
+  /// 0 disables dedupe. Engine-mode neutral: the window key lives on the
+  /// Request, so exact/fast/sharded runs count identically.
+  Seconds glitch_dedupe_window = 1.0;
 };
 
 /// Client VCR interactivity (pause/resume — §6 future-work extension).
@@ -170,6 +226,14 @@ struct DriftConfig {
 struct SimulationConfig {
   SystemConfig system;
   ClientPolicy client;
+
+  /// Failure-domain tree (cluster/topology.h): server → rack → zone.
+  /// Disabled (the default) is the trivial one-rack tree; every
+  /// topology-aware feature (failure.domains, domain_spread placement,
+  /// rack-aligned shards, per-domain metrics) degrades to its legacy
+  /// behavior bit-for-bit.
+  TopologyConfig topology;
+
   PlacementConfig placement;
   AdmissionConfig admission;
   SchedulerKind scheduler = SchedulerKind::kEftf;

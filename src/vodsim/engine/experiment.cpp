@@ -37,6 +37,23 @@ TrialResult TrialResult::from(const VodSimulation& simulation) {
   result.retry_abandoned = metrics.retry_abandoned();
   result.repairs = metrics.repairs();
   result.mean_recovery_time = metrics.recovery_time().mean();
+  result.partitions = metrics.partitions();
+  result.partition_heals = metrics.partition_heals();
+  result.mean_partition_time = metrics.partition_time().mean();
+  result.rack_availability.reserve(static_cast<std::size_t>(metrics.metric_racks()));
+  result.rack_glitch_seconds.reserve(
+      static_cast<std::size_t>(metrics.metric_racks()));
+  for (int r = 0; r < metrics.metric_racks(); ++r) {
+    result.rack_availability.push_back(metrics.rack_availability(r));
+    result.rack_glitch_seconds.push_back(metrics.rack_glitch_seconds(r));
+  }
+  result.zone_availability.reserve(static_cast<std::size_t>(metrics.metric_zones()));
+  result.zone_glitch_seconds.reserve(
+      static_cast<std::size_t>(metrics.metric_zones()));
+  for (int z = 0; z < metrics.metric_zones(); ++z) {
+    result.zone_availability.push_back(metrics.zone_availability(z));
+    result.zone_glitch_seconds.push_back(metrics.zone_glitch_seconds(z));
+  }
   result.coordinator_events = simulation.coordinator_events();
   result.shard_events = simulation.shard_events();
   return result;

@@ -55,6 +55,18 @@ struct TrialResult {
   std::uint64_t repairs = 0;
   double mean_recovery_time = 0.0;  ///< mean seconds down per episode
 
+  // Failure-domain block (empty / zero unless config.topology.enabled).
+  // Per-domain vectors are indexed by rack/zone id; availability is the
+  // bandwidth-weighted fraction of the window the domain's servers were
+  // serviceable, glitch seconds are attributed to the victim's domain.
+  std::uint64_t partitions = 0;       ///< partition episodes begun
+  std::uint64_t partition_heals = 0;  ///< partition episodes healed
+  double mean_partition_time = 0.0;   ///< mean seconds per healed episode
+  std::vector<double> rack_availability;
+  std::vector<double> zone_availability;
+  std::vector<double> rack_glitch_seconds;
+  std::vector<double> zone_glitch_seconds;
+
   // Sharded-engine block (DESIGN.md §12; shard_events is 0 when shards=1).
   // coordinator / (coordinator + shard) is the run's measured serial
   // fraction — the Amdahl ceiling for parallel speedup on this workload.

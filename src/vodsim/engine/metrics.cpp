@@ -77,12 +77,39 @@ void Metrics::record_server_recovery(Seconds t, Seconds downtime) {
   recovery_time_.add(downtime);
 }
 
-void Metrics::record_capacity_loss(Seconds t0, Seconds t1, Mbps lost_mbps) {
+void Metrics::set_topology(const Topology* topology,
+                           const std::vector<Mbps>& server_bandwidth) {
+  topology_ = topology;
+  if (topology == nullptr) return;
+  rack_bandwidth_.assign(static_cast<std::size_t>(topology->racks()), 0.0);
+  zone_bandwidth_.assign(static_cast<std::size_t>(topology->zones()), 0.0);
+  rack_capacity_lost_.assign(rack_bandwidth_.size(), 0.0);
+  zone_capacity_lost_.assign(zone_bandwidth_.size(), 0.0);
+  rack_glitch_seconds_.assign(rack_bandwidth_.size(), 0.0);
+  zone_glitch_seconds_.assign(zone_bandwidth_.size(), 0.0);
+  for (std::size_t s = 0; s < server_bandwidth.size(); ++s) {
+    const auto id = static_cast<ServerId>(s);
+    rack_bandwidth_[static_cast<std::size_t>(topology->rack_of(id))] +=
+        server_bandwidth[s];
+    zone_bandwidth_[static_cast<std::size_t>(topology->zone_of(id))] +=
+        server_bandwidth[s];
+  }
+}
+
+void Metrics::record_capacity_loss(Seconds t0, Seconds t1, Mbps lost_mbps,
+                                   ServerId server) {
   if (lost_mbps <= 0.0) return;
   const Seconds lo = std::max(t0, window_start_);
   const Seconds hi = std::min(t1, window_end_);
   if (hi <= lo) return;
   capacity_lost_ += lost_mbps * (hi - lo);
+  if (topology_ != nullptr && server != kNoServer) {
+    const Megabits loss = lost_mbps * (hi - lo);
+    rack_capacity_lost_[static_cast<std::size_t>(topology_->rack_of(server))] +=
+        loss;
+    zone_capacity_lost_[static_cast<std::size_t>(topology_->zone_of(server))] +=
+        loss;
+  }
 }
 
 void Metrics::record_shed(Seconds t, bool migrated) {
@@ -91,10 +118,38 @@ void Metrics::record_shed(Seconds t, bool migrated) {
   if (migrated) ++sheds_migrated_;
 }
 
-void Metrics::record_glitch(Seconds t, Seconds seconds) {
+void Metrics::record_glitch(Seconds t, Seconds seconds, ServerId server) {
   if (!in_window(t)) return;
   ++interruptions_;
   glitch_seconds_ += seconds;
+  if (topology_ != nullptr && server != kNoServer) {
+    rack_glitch_seconds_[static_cast<std::size_t>(topology_->rack_of(server))] +=
+        seconds;
+    zone_glitch_seconds_[static_cast<std::size_t>(topology_->zone_of(server))] +=
+        seconds;
+  }
+}
+
+void Metrics::record_glitch_seconds(Seconds t, Seconds seconds, ServerId server) {
+  if (!in_window(t)) return;
+  glitch_seconds_ += seconds;
+  if (topology_ != nullptr && server != kNoServer) {
+    rack_glitch_seconds_[static_cast<std::size_t>(topology_->rack_of(server))] +=
+        seconds;
+    zone_glitch_seconds_[static_cast<std::size_t>(topology_->zone_of(server))] +=
+        seconds;
+  }
+}
+
+void Metrics::record_partition_begin(Seconds t) {
+  (void)t;
+  ++partitions_;
+}
+
+void Metrics::record_partition_heal(Seconds t, Seconds duration) {
+  (void)t;
+  ++partition_heals_;
+  partition_time_.add(duration);
 }
 
 void Metrics::merge_shard(const Metrics& shard, double transmitted_scale) {
@@ -103,6 +158,18 @@ void Metrics::merge_shard(const Metrics& shard, double transmitted_scale) {
   underflow_megabits_ += shard.underflow_megabits_;
   interruptions_ += shard.interruptions_;
   glitch_seconds_ += shard.glitch_seconds_;
+  // Per-domain glitch attribution follows the cluster-wide sum (shards
+  // record client starvation; capacity loss stays coordinator-only).
+  for (std::size_t r = 0;
+       r < rack_glitch_seconds_.size() && r < shard.rack_glitch_seconds_.size();
+       ++r) {
+    rack_glitch_seconds_[r] += shard.rack_glitch_seconds_[r];
+  }
+  for (std::size_t z = 0;
+       z < zone_glitch_seconds_.size() && z < shard.zone_glitch_seconds_.size();
+       ++z) {
+    zone_glitch_seconds_[z] += shard.zone_glitch_seconds_[z];
+  }
 }
 
 void Metrics::record_retry_enqueued(Seconds t) {

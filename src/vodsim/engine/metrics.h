@@ -10,7 +10,9 @@
 /// horizon edges cannot bias the ratio.
 
 #include <cstdint>
+#include <vector>
 
+#include "vodsim/cluster/topology.h"
 #include "vodsim/stats/accumulator.h"
 #include "vodsim/util/units.h"
 
@@ -59,10 +61,22 @@ class Metrics {
   /// A server came back at \p t after \p downtime seconds down.
   void record_server_recovery(Seconds t, Seconds downtime);
 
+  /// Attaches the failure-domain tree so capacity loss and glitches are
+  /// additionally attributed per rack and per zone. \p server_bandwidth
+  /// gives each server's nominal link capacity (indexed by ServerId) for
+  /// the per-domain availability denominators. Observe-only: attribution
+  /// never changes the cluster-wide meters. The topology must outlive this.
+  void set_topology(const Topology* topology,
+                    const std::vector<Mbps>& server_bandwidth);
+
   /// Capacity lost to a fault: \p lost_mbps unusable during [t0, t1]
   /// (clipped to the window). Crashes lose the whole link; brownouts lose
-  /// bandwidth * (1 - capacity_factor). Feeds availability().
-  void record_capacity_loss(Seconds t0, Seconds t1, Mbps lost_mbps);
+  /// bandwidth * (1 - capacity_factor); partitions lose the whole link
+  /// while the server stays up. Feeds availability(). When \p server is a
+  /// real id and a topology is attached, the loss is also charged to the
+  /// server's rack and zone.
+  void record_capacity_loss(Seconds t0, Seconds t1, Mbps lost_mbps,
+                            ServerId server = kNoServer);
 
   /// A stream evicted by brownout load shedding; \p migrated tells whether
   /// it moved to another holder (true) or left the server entirely (false:
@@ -70,8 +84,21 @@ class Metrics {
   void record_shed(Seconds t, bool migrated);
 
   /// Playback interruption: the client starved for \p seconds of playback
-  /// (glitch-seconds, the viewer-facing face of an underflow).
-  void record_glitch(Seconds t, Seconds seconds);
+  /// (glitch-seconds, the viewer-facing face of an underflow). \p server
+  /// attributes the glitch to a failure domain when a topology is attached.
+  void record_glitch(Seconds t, Seconds seconds, ServerId server = kNoServer);
+
+  /// Dedupe variant (FailureConfig::glitch_dedupe_window): accrues
+  /// glitch-seconds without counting a new interruption — the stream
+  /// already logged one inside the current dedupe window.
+  void record_glitch_seconds(Seconds t, Seconds seconds,
+                             ServerId server = kNoServer);
+
+  /// Network-partition bookkeeping: a rack (or scripted server set) became
+  /// unreachable / healed after \p duration seconds. Infrastructure events,
+  /// counted regardless of the window like server downs.
+  void record_partition_begin(Seconds t);
+  void record_partition_heal(Seconds t, Seconds duration);
 
   /// Retry-queue bookkeeping.
   void record_retry_enqueued(Seconds t);
@@ -150,6 +177,37 @@ class Metrics {
   /// Time-to-recover distribution (per server-down episode, seconds).
   const Accumulator& recovery_time() const { return recovery_time_; }
 
+  // --- failure-domain results (set_topology runs) -----------------------
+  /// Racks/zones the attached topology reports (0 when none attached).
+  int metric_racks() const { return static_cast<int>(rack_bandwidth_.size()); }
+  int metric_zones() const { return static_cast<int>(zone_bandwidth_.size()); }
+
+  /// Per-domain availability: 1 - (domain capacity lost) / (domain
+  /// capacity integral). 1.0 for a fault-free domain.
+  double rack_availability(int rack) const {
+    return 1.0 - rack_capacity_lost_[static_cast<std::size_t>(rack)] /
+                     (rack_bandwidth_[static_cast<std::size_t>(rack)] * window());
+  }
+  double zone_availability(int zone) const {
+    return 1.0 - zone_capacity_lost_[static_cast<std::size_t>(zone)] /
+                     (zone_bandwidth_[static_cast<std::size_t>(zone)] * window());
+  }
+
+  /// Per-domain glitch-seconds (attributed by the glitching stream's
+  /// server at record time).
+  Seconds rack_glitch_seconds(int rack) const {
+    return rack_glitch_seconds_[static_cast<std::size_t>(rack)];
+  }
+  Seconds zone_glitch_seconds(int zone) const {
+    return zone_glitch_seconds_[static_cast<std::size_t>(zone)];
+  }
+
+  std::uint64_t partitions() const { return partitions_; }
+  std::uint64_t partition_heals() const { return partition_heals_; }
+
+  /// Partition duration distribution (per healed episode, seconds).
+  const Accumulator& partition_time() const { return partition_time_; }
+
   // --- measured-vs-bound gaps ------------------------------------------
   bool has_bounds() const { return has_bounds_; }
   double bound_utilization() const { return bound_utilization_; }
@@ -201,6 +259,18 @@ class Metrics {
   std::uint64_t retry_abandoned_ = 0;
   std::uint64_t repairs_ = 0;
   Accumulator recovery_time_;
+
+  /// Failure-domain attribution (empty until set_topology).
+  const Topology* topology_ = nullptr;
+  std::vector<Mbps> rack_bandwidth_;
+  std::vector<Mbps> zone_bandwidth_;
+  std::vector<Megabits> rack_capacity_lost_;
+  std::vector<Megabits> zone_capacity_lost_;
+  std::vector<Seconds> rack_glitch_seconds_;
+  std::vector<Seconds> zone_glitch_seconds_;
+  std::uint64_t partitions_ = 0;
+  std::uint64_t partition_heals_ = 0;
+  Accumulator partition_time_;
 
   bool has_bounds_ = false;
   double bound_utilization_ = 1.0;

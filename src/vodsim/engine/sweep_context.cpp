@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "vodsim/engine/experiment.h"
+#include "vodsim/placement/domain_spread.h"
 #include "vodsim/placement/partial_predictive.h"
 #include "vodsim/util/rng.h"
 #include "vodsim/workload/catalog.h"
@@ -69,6 +70,12 @@ std::string SweepContext::placement_key(const SimulationConfig& config) {
   if (config.placement.kind == PlacementKind::kPartialPredictive) {
     append_f(key, config.placement.partial_head_fraction);
     append_f(key, config.placement.partial_tail_shift);
+  }
+  if (config.placement.kind == PlacementKind::kDomainSpread) {
+    // The install depends on the failure-domain tree shape.
+    append_u(key, config.topology.enabled ? 1 : 0);
+    append_u(key, static_cast<std::uint64_t>(config.topology.racks));
+    append_u(key, static_cast<std::uint64_t>(config.topology.zones));
   }
   append_f(key, config.system.avg_copies);
   append_u(key, static_cast<std::uint64_t>(config.system.num_servers));
@@ -139,6 +146,9 @@ void SweepContext::prepare(const std::vector<SimulationConfig>& configs,
           placement = std::make_unique<PartialPredictivePlacement>(
               config.placement.partial_head_fraction,
               config.placement.partial_tail_shift);
+        } else if (config.placement.kind == PlacementKind::kDomainSpread) {
+          placement = std::make_unique<DomainSpreadPlacement>(
+              Topology(config.topology, config.system.num_servers));
         } else {
           placement = make_placement(config.placement.kind);
         }

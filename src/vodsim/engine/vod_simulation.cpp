@@ -8,6 +8,7 @@
 #include "vodsim/check/invariant_auditor.h"
 #include "vodsim/engine/sweep_context.h"
 #include "vodsim/fault/schedule.h"
+#include "vodsim/placement/domain_spread.h"
 #include "vodsim/placement/partial_predictive.h"
 #include "vodsim/sched/intermittent.h"
 #include "vodsim/util/env.h"
@@ -131,6 +132,10 @@ void VodSimulation::build_world() {
   }
 
   servers_ = make_servers(config_.system);
+  // The failure-domain tree. Trivial (1 rack, 1 zone) unless
+  // config.topology.enabled; every consumer degrades bit-identically on
+  // the trivial tree, so topology-free runs keep their goldens.
+  topology_ = Topology(config_.topology, config_.system.num_servers);
   if (blueprint) {
     // Replay the recorded placement: add_replica per server in install
     // order reproduces the original free-storage FP subtraction sequence.
@@ -146,6 +151,8 @@ void VodSimulation::build_world() {
       placement = std::make_unique<PartialPredictivePlacement>(
           config_.placement.partial_head_fraction,
           config_.placement.partial_tail_shift);
+    } else if (config_.placement.kind == PlacementKind::kDomainSpread) {
+      placement = std::make_unique<DomainSpreadPlacement>(topology_);
     } else {
       placement = make_placement(config_.placement.kind);
     }
@@ -180,6 +187,7 @@ void VodSimulation::build_world() {
     scheduler_ = make_scheduler(config_.scheduler);
   }
   replication_ = std::make_unique<ReplicationManager>(config_.replication);
+  replication_->set_topology(&topology_);
 
   client_profile_.buffer_capacity = config_.staging_capacity();
   client_profile_.receive_bandwidth = config_.client.receive_bandwidth;
@@ -187,6 +195,14 @@ void VodSimulation::build_world() {
   metrics_ = std::make_unique<Metrics>(config_.warmup, config_.duration,
                                        config_.system.total_bandwidth());
   metrics_->set_bounds(bounds_.utilization_upper, bounds_.rejection_lower);
+  if (topology_.enabled()) {
+    std::vector<Mbps> server_bandwidth;
+    server_bandwidth.reserve(servers_.size());
+    for (const Server& server : servers_) {
+      server_bandwidth.push_back(server.bandwidth());
+    }
+    metrics_->set_topology(&topology_, server_bandwidth);
+  }
   occupancy_.assign(servers_.size(), TimeWeighted(config_.warmup, config_.duration));
   recompute_state_.assign(servers_.size(), ServerRecomputeState{});
 
@@ -254,11 +270,13 @@ void VodSimulation::build_world() {
     failure_timeline_ = config_.scripted_faults;
     sort_fault_schedule(failure_timeline_);
   } else {
-    failure_timeline_ = generate_fault_schedule(
-        config_.failure, config_.system.num_servers, config_.duration, failure_rng);
+    failure_timeline_ = generate_fault_schedule(config_.failure, topology_,
+                                                config_.duration, failure_rng);
   }
   fault_down_since_.assign(servers_.size(), -1.0);
   brownout_since_.assign(servers_.size(), -1.0);
+  partition_since_.assign(servers_.size(), -1.0);
+  partition_began_.assign(servers_.size(), -1.0);
   if (config_.failure.retry.enabled) {
     retry_queue_ = std::make_unique<RetryQueue>(config_.failure.retry);
   }
@@ -342,13 +360,34 @@ void VodSimulation::build_shards(const TraceConfig& trace_config) {
     // Contiguous near-even blocks: consecutive servers share a shard, so
     // the fault subsystem's correlated (rack/zone) groups of consecutive
     // servers land inside one shard whenever group_size divides the block.
-    shard->first_server = k * num_servers / shards;
-    shard->end_server = (k + 1) * num_servers / shards;
+    // With a failure-domain tree and shards <= racks, blocks snap to rack
+    // boundaries: each shard owns a whole rack range, so a rack outage or
+    // partition perturbs exactly one shard's servers and the shard
+    // protocol's coupling set matches the fault-group topology. shards == 1
+    // yields [0, N) either way, keeping the single-shard equivalence exact.
+    if (topology_.enabled() && shards <= topology_.racks()) {
+      shard->first_server = topology_.rack_first(k * topology_.racks() / shards);
+      shard->end_server =
+          topology_.rack_end((k + 1) * topology_.racks() / shards - 1);
+    } else {
+      shard->first_server = k * num_servers / shards;
+      shard->end_server = (k + 1) * num_servers / shards;
+    }
     for (int s = shard->first_server; s < shard->end_server; ++s) {
       shard_of_server_[static_cast<std::size_t>(s)] = k;
     }
     shard->metrics = std::make_unique<Metrics>(
         config_.warmup, config_.duration, config_.system.total_bandwidth());
+    if (topology_.enabled()) {
+      // Shards attribute their glitches per domain too; merge_shard folds
+      // the vectors into the root instance after the run.
+      std::vector<Mbps> server_bandwidth;
+      server_bandwidth.reserve(servers_.size());
+      for (const Server& server : servers_) {
+        server_bandwidth.push_back(server.bandwidth());
+      }
+      shard->metrics->set_topology(&topology_, server_bandwidth);
+    }
     // Per-shard scheduler instance: allocate() is const/deterministic, so
     // replicas produce identical rates; owning one per shard keeps its
     // trace emission on the shard's own recorder and off shared state.
@@ -420,14 +459,19 @@ const Metrics& VodSimulation::run() {
   }
   // Close still-open fault episodes into the availability integral.
   for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const auto id = static_cast<ServerId>(s);
     if (fault_down_since_[s] >= 0.0) {
       metrics_->record_capacity_loss(fault_down_since_[s], config_.duration,
-                                     servers_[s].bandwidth());
+                                     servers_[s].bandwidth(), id);
     }
     if (brownout_since_[s] >= 0.0) {
       metrics_->record_capacity_loss(
           brownout_since_[s], config_.duration,
-          servers_[s].bandwidth() * (1.0 - servers_[s].capacity_factor()));
+          servers_[s].bandwidth() * (1.0 - servers_[s].capacity_factor()), id);
+    }
+    if (partition_since_[s] >= 0.0) {
+      metrics_->record_capacity_loss(partition_since_[s], config_.duration,
+                                     servers_[s].bandwidth(), id);
     }
   }
   if (probes_) {
@@ -610,11 +654,12 @@ void VodSimulation::execute_migration(const MigrationStep& step) {
           request.view_bandwidth());
       mark_server_dirty(target);
       if (request.state() != RequestState::kMigrating) return;
-      if (servers_[static_cast<std::size_t>(target)].available()) {
+      if (servers_[static_cast<std::size_t>(target)].serviceable()) {
         finish_migration(request, target);
         return;
       }
-      // The destination crashed during the switch. The stream never reached
+      // The destination crashed (or became unreachable) during the switch.
+      // The stream never reached
       // its active list, so the crash-recovery sweep could not have seen
       // it; handle it here like any other crash victim — another replica
       // holder, else park for retry, else drop.
@@ -756,8 +801,16 @@ void VodSimulation::apply_fault(const FaultTransition& event) {
         // bandwidth) takes over.
         metrics_->record_capacity_loss(
             brownout_since_[s], now,
-            server.bandwidth() * (1.0 - server.capacity_factor()));
+            server.bandwidth() * (1.0 - server.capacity_factor()),
+            event.server);
         brownout_since_[s] = -1.0;
+      }
+      if (partition_since_[s] >= 0.0) {
+        // Partition loss interval hands over to the crash interval too —
+        // never both at once (both charge the full link).
+        metrics_->record_capacity_loss(partition_since_[s], now,
+                                       server.bandwidth(), event.server);
+        partition_since_[s] = -1.0;
       }
       fault_down_since_[s] = now;
       metrics_->record_server_down(now);
@@ -777,13 +830,20 @@ void VodSimulation::apply_fault(const FaultTransition& event) {
       server.set_available(true);
       const Seconds down_since = fault_down_since_[s];
       if (down_since >= 0.0) {
-        metrics_->record_capacity_loss(down_since, now, server.bandwidth());
+        metrics_->record_capacity_loss(down_since, now, server.bandwidth(),
+                                       event.server);
         metrics_->record_server_recovery(now, now - down_since);
         fault_down_since_[s] = -1.0;
       }
-      // A brownout that began (or persisted) while down starts costing
-      // capacity again now that the server is back in service.
-      if (server.capacity_factor() < 1.0) brownout_since_[s] = now;
+      if (!server.reachable()) {
+        // Repaired into a live partition: the full link stays lost, now
+        // charged to the partition interval.
+        partition_since_[s] = now;
+      } else if (server.capacity_factor() < 1.0) {
+        // A brownout that began (or persisted) while down starts costing
+        // capacity again now that the server is back in service.
+        brownout_since_[s] = now;
+      }
       note(TraceEventType::kServerUp, kTraceFailure, event.server);
       process_retries(/*force=*/true);
       break;
@@ -791,11 +851,15 @@ void VodSimulation::apply_fault(const FaultTransition& event) {
     case FaultTransitionKind::kBrownoutBegin: {
       if (server.capacity_factor() == event.capacity_factor) return;
       mark_server_dirty(event.server);
-      if (server.available()) {
+      // A partitioned server's whole link is already charged to the
+      // partition interval, so the brownout interval only accrues while
+      // serviceable.
+      if (server.serviceable()) {
         if (brownout_since_[s] >= 0.0) {
           metrics_->record_capacity_loss(
               brownout_since_[s], now,
-              server.bandwidth() * (1.0 - server.capacity_factor()));
+              server.bandwidth() * (1.0 - server.capacity_factor()),
+              event.server);
         }
         brownout_since_[s] = now;
       }
@@ -814,11 +878,59 @@ void VodSimulation::apply_fault(const FaultTransition& event) {
       if (brownout_since_[s] >= 0.0) {
         metrics_->record_capacity_loss(
             brownout_since_[s], now,
-            server.bandwidth() * (1.0 - server.capacity_factor()));
+            server.bandwidth() * (1.0 - server.capacity_factor()),
+            event.server);
         brownout_since_[s] = -1.0;
       }
       server.set_capacity_factor(1.0);
       note(TraceEventType::kBrownoutEnd, kTraceFailure, event.server);
+      if (server.available()) recompute_server(event.server);
+      process_retries(/*force=*/true);
+      break;
+    }
+    case FaultTransitionKind::kPartitionBegin: {
+      if (!server.reachable()) return;  // idempotent: already partitioned
+      mark_server_dirty(event.server);
+      server.set_reachable(false);
+      partition_began_[s] = now;
+      metrics_->record_partition_begin(now);
+      note(TraceEventType::kPartitionBegin, kTraceFailure, event.server);
+      if (server.available()) {
+        // The server is up but the controller lost it: the open brownout
+        // interval (partial loss) hands over to the partition interval
+        // (full link), and every active stream is cut off from its client
+        // — recover elsewhere, park, or drop, exactly like a crash.
+        if (brownout_since_[s] >= 0.0) {
+          metrics_->record_capacity_loss(
+              brownout_since_[s], now,
+              server.bandwidth() * (1.0 - server.capacity_factor()),
+              event.server);
+          brownout_since_[s] = -1.0;
+        }
+        partition_since_[s] = now;
+        recover_streams_of_failed_server(server);
+      }
+      break;
+    }
+    case FaultTransitionKind::kPartitionEnd: {
+      if (server.reachable()) return;  // idempotent: already healed
+      mark_server_dirty(event.server);
+      server.set_reachable(true);
+      if (partition_since_[s] >= 0.0) {
+        metrics_->record_capacity_loss(partition_since_[s], now,
+                                       server.bandwidth(), event.server);
+        partition_since_[s] = -1.0;
+      }
+      if (partition_began_[s] >= 0.0) {
+        metrics_->record_partition_heal(now, now - partition_began_[s]);
+        partition_began_[s] = -1.0;
+      }
+      // A brownout that persisted through the partition starts costing
+      // capacity again now that the controller can use the link.
+      if (server.available() && server.capacity_factor() < 1.0) {
+        brownout_since_[s] = now;
+      }
+      note(TraceEventType::kPartitionEnd, kTraceFailure, event.server);
       if (server.available()) recompute_server(event.server);
       process_retries(/*force=*/true);
       break;
@@ -1034,7 +1146,7 @@ void VodSimulation::check_repair(ServerId server_id, Seconds down_since) {
     bool reachable = false;
     for (ServerId holder : directory_.holders(video)) {
       if (holder == server_id) continue;
-      if (servers_[static_cast<std::size_t>(holder)].available()) {
+      if (servers_[static_cast<std::size_t>(holder)].serviceable()) {
         reachable = true;
         break;
       }
@@ -1166,8 +1278,24 @@ void VodSimulation::advance_and_account(Request& request, Seconds now) {
     ++(shard != nullptr ? shard->continuity_violations : continuity_violations_);
     metrics.record_underflow(now, underflow);
     // Viewer-facing resilience accounting: the megabits short translate to
-    // seconds of starved playback at the view rate.
-    metrics.record_glitch(now, underflow / request.view_bandwidth());
+    // seconds of starved playback at the view rate. One counted
+    // interruption per stream per dedupe window: a shed-then-readmitted
+    // stream whose retry glitch lands in the same window as its shed
+    // glitch reads as one viewer-visible interruption, not two (the
+    // glitch-seconds still accrue in full).
+    const Seconds dedupe = config_.failure.glitch_dedupe_window;
+    const std::int64_t window_idx =
+        dedupe > 0.0 ? static_cast<std::int64_t>(now / dedupe) : -1;
+    // Attribution uses last_server, not server(): a parked orphan (server()
+    // == kNoServer) still charges its glitch to the domain that lost it.
+    if (dedupe > 0.0 && request.last_glitch_window == window_idx) {
+      metrics.record_glitch_seconds(now, underflow / request.view_bandwidth(),
+                                    request.last_server);
+    } else {
+      metrics.record_glitch(now, underflow / request.view_bandwidth(),
+                            request.last_server);
+      request.last_glitch_window = window_idx;
+    }
     note(TraceEventType::kUnderflow, kTraceBuffer, request.server(),
          request.id(), request.video_id(), underflow);
     VODSIM_DEBUG << "continuity violation: request " << request.id() << " short "
@@ -1215,7 +1343,20 @@ void VodSimulation::batch_advance_server(Server& server) {
       ++(shard != nullptr ? shard->continuity_violations
                           : continuity_violations_);
       metrics.record_underflow(now, underflow);
-      metrics.record_glitch(now, underflow / request->view_bandwidth());
+      // Same per-stream interruption dedupe as advance_and_account: the
+      // window key lives on the Request, so both engine modes (and every
+      // shard) count identically.
+      const Seconds dedupe = config_.failure.glitch_dedupe_window;
+      const std::int64_t window_idx =
+          dedupe > 0.0 ? static_cast<std::int64_t>(now / dedupe) : -1;
+      if (dedupe > 0.0 && request->last_glitch_window == window_idx) {
+        metrics.record_glitch_seconds(
+            now, underflow / request->view_bandwidth(), request->last_server);
+      } else {
+        metrics.record_glitch(now, underflow / request->view_bandwidth(),
+                              request->last_server);
+        request->last_glitch_window = window_idx;
+      }
       note(TraceEventType::kUnderflow, kTraceBuffer, request->server(),
            request->id(), request->video_id(), underflow);
       VODSIM_DEBUG << "continuity violation: request " << request->id()

@@ -24,6 +24,7 @@
 #include "vodsim/analysis/bounds.h"
 #include "vodsim/cluster/request.h"
 #include "vodsim/cluster/server.h"
+#include "vodsim/cluster/topology.h"
 #include "vodsim/cluster/video.h"
 #include "vodsim/des/simulator.h"
 #include "vodsim/engine/config.h"
@@ -88,6 +89,10 @@ class VodSimulation {
   const PlacementResult& placement_result() const { return placement_result_; }
   const ReplicaDirectory& directory() const { return directory_; }
   const Metrics& metrics() const { return *metrics_; }
+
+  /// The failure-domain tree (cluster/topology.h). Trivial (1 rack, 1 zone)
+  /// unless config.topology.enabled.
+  const Topology& topology() const { return topology_; }
 
   /// Analytic achievability envelope for this configuration, computed from
   /// the realized catalog/placement at world construction (analysis/
@@ -311,6 +316,7 @@ class VodSimulation {
   /// constructed (sole owner). Immutable either way.
   std::shared_ptr<const VideoCatalog> catalog_;
   std::vector<Server> servers_;
+  Topology topology_;
   PlacementResult placement_result_;
   ReplicaDirectory directory_;
   BoundsReport bounds_;
@@ -332,6 +338,17 @@ class VodSimulation {
   /// Per server: sim time capacity loss accounting for the current brownout
   /// began (only advances while the server is up), -1 when at full factor.
   std::vector<Seconds> brownout_since_;
+  /// Per server: sim time capacity loss accounting for the current network
+  /// partition began (only advances while the server is up — a down,
+  /// partitioned server's loss is charged to the down episode), -1 when
+  /// reachable. A partitioned-but-up server loses its whole effective
+  /// bandwidth to the cluster: the hardware runs, the controller can't use
+  /// it.
+  std::vector<Seconds> partition_since_;
+  /// Per server: sim time the current partition episode began regardless of
+  /// up/down state (feeds the partition-duration distribution), -1 when
+  /// reachable.
+  std::vector<Seconds> partition_began_;
   std::vector<TimeWeighted> occupancy_;
 
   RequestArena requests_;

@@ -16,7 +16,10 @@
 /// Exp(1/MTBF) / Exp(1/MTTR) gaps until the horizon. Brownout and
 /// correlated draws happen only when their sub-configs are enabled, and
 /// only *after* all phase-1 draws, so a crash-only config consumes the
-/// identical RNG prefix it always did.
+/// identical RNG prefix it always did. The topology-scoped phases (rack
+/// outages, zone brownouts, rack partitions — FailureConfig::domains) draw
+/// after all three legacy phases, each only when enabled, extending the
+/// same contract.
 ///
 /// Sharded engine (DESIGN.md §12): fault transitions shed, migrate, or
 /// re-park streams across arbitrary servers, so every transition executes
@@ -34,9 +37,19 @@
 namespace vodsim {
 
 /// Generates the full fault schedule up to \p horizon, sorted by
-/// (time, server, kind). Empty when `config.enabled` is false.
+/// (time, server, kind). Empty when `config.enabled` is false. This legacy
+/// entry point delegates to the topology overload with the trivial
+/// single-rack tree, so no domain phase ever draws.
 std::vector<FaultTransition> generate_fault_schedule(const FailureConfig& config,
                                                      int num_servers,
+                                                     Seconds horizon, Rng& rng);
+
+/// As above, with a failure-domain tree: the domain phases (rack outages,
+/// zone brownouts, rack partitions) scope their episodes to \p topology's
+/// racks and zones. With a disabled topology (or no domain sub-config
+/// enabled) the output is bit-identical to the legacy overload.
+std::vector<FaultTransition> generate_fault_schedule(const FailureConfig& config,
+                                                     const Topology& topology,
                                                      Seconds horizon, Rng& rng);
 
 /// Sorts \p schedule into the canonical (time, server, kind) order used by

@@ -12,11 +12,19 @@
 namespace vodsim {
 
 /// What happens to a server at a scheduled fault time.
+///
+/// New kinds append at the end: sort_fault_schedule tie-breaks equal
+/// (time, server) pairs by the enum's integer value, so appending keeps
+/// every legacy schedule's order bit-identical.
 enum class FaultTransitionKind {
-  kDown,           ///< Total crash: server unavailable, streams orphaned.
-  kUp,             ///< Repair complete: server available at full capacity.
-  kBrownoutBegin,  ///< Link degrades to `capacity_factor` of nominal.
-  kBrownoutEnd,    ///< Link restored to full capacity.
+  kDown,            ///< Total crash: server unavailable, streams orphaned.
+  kUp,              ///< Repair complete: server available at full capacity.
+  kBrownoutBegin,   ///< Link degrades to `capacity_factor` of nominal.
+  kBrownoutEnd,     ///< Link restored to full capacity.
+  kPartitionBegin,  ///< Network partition: server up but unreachable from
+                    ///< the controller — no admission, migration,
+                    ///< replication, or delivery may touch it.
+  kPartitionEnd,    ///< Partition heals: server reachable again.
 };
 
 /// One scheduled health transition. Schedules are sorted by

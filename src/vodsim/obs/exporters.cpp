@@ -184,7 +184,7 @@ void write_probe_csv(std::ostream& out, const ProbeSet& probes) {
   CsvWriter writer(out);
   writer.write_row({"time", "server", "committed_mbps", "reserved_mbps",
                     "active_streams", "mean_buffer_fill", "pending_events",
-                    "capacity_factor", "retry_queue"});
+                    "capacity_factor", "retry_queue", "reachable"});
   for (const ProbeRow& row : probes.rows()) {
     writer.write_row({CsvWriter::field(row.time),
                       CsvWriter::field(static_cast<std::int64_t>(row.server)),
@@ -194,7 +194,8 @@ void write_probe_csv(std::ostream& out, const ProbeSet& probes) {
                       CsvWriter::field(row.mean_buffer_fill),
                       CsvWriter::field(row.pending_events),
                       CsvWriter::field(row.capacity_factor),
-                      CsvWriter::field(row.retry_queue)});
+                      CsvWriter::field(row.retry_queue),
+                      CsvWriter::field(row.reachable)});
   }
 }
 

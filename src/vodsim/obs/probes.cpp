@@ -37,6 +37,7 @@ void ProbeSet::sample(Seconds grid_time, const std::vector<Server>& servers,
   double total_active = 0.0;
   double total_factor = 0.0;
   double total_fill = 0.0;
+  double total_reachable = 0.0;
   std::uint64_t total_streams = 0;
 
   for (const Server& server : servers) {
@@ -47,6 +48,7 @@ void ProbeSet::sample(Seconds grid_time, const std::vector<Server>& servers,
     row.reserved_mbps = server.reserved_bandwidth();
     row.active_streams = static_cast<double>(server.active_count());
     row.capacity_factor = server.capacity_factor();
+    row.reachable = server.reachable() ? 1.0 : 0.0;
 
     double fill_sum = 0.0;
     std::uint64_t with_buffer = 0;
@@ -70,6 +72,7 @@ void ProbeSet::sample(Seconds grid_time, const std::vector<Server>& servers,
     total_active += row.active_streams;
     total_factor += row.capacity_factor;
     total_fill += fill_sum;
+    total_reachable += row.reachable;
     total_streams += with_buffer;
   }
 
@@ -85,6 +88,9 @@ void ProbeSet::sample(Seconds grid_time, const std::vector<Server>& servers,
   aggregate.capacity_factor =
       servers.empty() ? 1.0 : total_factor / static_cast<double>(servers.size());
   aggregate.retry_queue = static_cast<double>(retry_depth);
+  aggregate.reachable = servers.empty()
+                            ? 1.0
+                            : total_reachable / static_cast<double>(servers.size());
   rows_.push_back(aggregate);
 }
 

@@ -45,6 +45,8 @@ struct ProbeRow {
   double pending_events = 0.0;    ///< DES queue depth (aggregate row only)
   double capacity_factor = 1.0;   ///< brownout state (aggregate: mean)
   double retry_queue = 0.0;       ///< retry-queue depth (aggregate row only)
+  double reachable = 1.0;         ///< 1 = controller can reach the server
+                                  ///< (aggregate: fraction reachable)
 };
 
 class ProbeSet {

@@ -33,6 +33,8 @@ TraceCategory trace_event_category(TraceEventType type) {
     case TraceEventType::kRetryReadmitted:
     case TraceEventType::kRetryAbandoned:
     case TraceEventType::kRepairPlanned:
+    case TraceEventType::kPartitionBegin:
+    case TraceEventType::kPartitionEnd:
       return kTraceFailure;
     case TraceEventType::kReplicationBegin:
     case TraceEventType::kReplicationEnd:
@@ -74,6 +76,8 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kRetryReadmitted: return "retry_readmit";
     case TraceEventType::kRetryAbandoned: return "retry_abandoned";
     case TraceEventType::kRepairPlanned: return "repair_planned";
+    case TraceEventType::kPartitionBegin: return "partition_begin";
+    case TraceEventType::kPartitionEnd: return "partition_end";
     case TraceEventType::kReplicationBegin: return "replication_begin";
     case TraceEventType::kReplicationEnd: return "replication_end";
     case TraceEventType::kBufferFull: return "buffer_full";

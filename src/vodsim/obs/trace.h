@@ -73,6 +73,8 @@ enum class TraceEventType : std::uint8_t {
   kRetryReadmitted,  ///< request, video, server = new home; a = attempts used
   kRetryAbandoned,   ///< request (-1 = rejected arrival), video; a = attempts used
   kRepairPlanned,    ///< video, server = destination; a = long-down server
+  kPartitionBegin,   ///< server (up but unreachable from the controller)
+  kPartitionEnd,     ///< server (reachable again)
   // kTraceReplication
   kReplicationBegin, ///< video, server = destination; a = source (-2 = tertiary), b = rate
   kReplicationEnd,   ///< video, server = destination

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "vodsim/placement/bsr.h"
+#include "vodsim/placement/domain_spread.h"
 #include "vodsim/placement/even.h"
 #include "vodsim/placement/partial_predictive.h"
 #include "vodsim/placement/predictive.h"
@@ -23,6 +24,8 @@ std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind) {
       return std::make_unique<PartialPredictivePlacement>();
     case PlacementKind::kBsr:
       return std::make_unique<BsrPlacement>();
+    case PlacementKind::kDomainSpread:
+      return std::make_unique<DomainSpreadPlacement>(Topology{});
   }
   throw std::invalid_argument("unknown PlacementKind");
 }
@@ -32,6 +35,7 @@ PlacementKind placement_kind_from_string(const std::string& name) {
   if (name == "predictive") return PlacementKind::kPredictive;
   if (name == "partial") return PlacementKind::kPartialPredictive;
   if (name == "bsr") return PlacementKind::kBsr;
+  if (name == "domain_spread") return PlacementKind::kDomainSpread;
   throw std::invalid_argument("unknown placement: " + name);
 }
 
@@ -45,6 +49,8 @@ std::string to_string(PlacementKind kind) {
       return "partial";
     case PlacementKind::kBsr:
       return "bsr";
+    case PlacementKind::kDomainSpread:
+      return "domain_spread";
   }
   return "?";
 }

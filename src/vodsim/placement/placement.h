@@ -59,13 +59,23 @@ class PlacementPolicy {
   virtual std::string name() const = 0;
 };
 
-enum class PlacementKind { kEven, kPredictive, kPartialPredictive, kBsr };
+enum class PlacementKind {
+  kEven,
+  kPredictive,
+  kPartialPredictive,
+  kBsr,
+  /// Even copy counts, failure-domain anti-affinity install
+  /// (placement/domain_spread.h). The factory builds it with a trivial
+  /// topology; construct DomainSpreadPlacement directly to supply the real
+  /// tree (the engine does).
+  kDomainSpread,
+};
 
 /// Factory. PartialPredictive uses its default top-fraction; construct
 /// PartialPredictivePlacement directly to tune it.
 std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind);
 
-/// Parses "even" | "predictive" | "partial" | "bsr".
+/// Parses "even" | "predictive" | "partial" | "bsr" | "domain_spread".
 PlacementKind placement_kind_from_string(const std::string& name);
 std::string to_string(PlacementKind kind);
 

@@ -62,7 +62,7 @@ std::optional<ReplicationJob> ReplicationManager::plan_copy(
   ServerId source = kNoServer;
   for (ServerId holder : directory.holders(video)) {
     const Server& s = servers[static_cast<std::size_t>(holder)];
-    if (!s.available()) continue;
+    if (!s.serviceable()) continue;
     if (s.slack() < config_.transfer_bandwidth) continue;
     if (source == kNoServer ||
         s.slack() > servers[static_cast<std::size_t>(source)].slack()) {
@@ -71,15 +71,47 @@ std::optional<ReplicationJob> ReplicationManager::plan_copy(
   }
   if (source == kNoServer && !config_.allow_tertiary_source) return std::nullopt;
 
-  // Destination: best-slack non-holder with storage for the object.
+  // Destination: best non-holder with storage for the object. Without a
+  // topology the sole criterion is slack; with one, domain spread comes
+  // first — fewest existing *serviceable* copies in the candidate's zone,
+  // then rack, then slack — so a repair copy lands in a surviving domain
+  // instead of refilling the damaged one.
+  const bool spread = topology_ != nullptr && topology_->enabled();
   ServerId destination = kNoServer;
+  int dest_zone_copies = 0;
+  int dest_rack_copies = 0;
   for (const Server& s : servers) {
-    if (!s.available() || s.holds(video)) continue;
+    if (!s.serviceable() || s.holds(video)) continue;
     if (s.storage_free() < object.size()) continue;
     if (s.slack() < config_.transfer_bandwidth) continue;
-    if (destination == kNoServer ||
-        s.slack() > servers[static_cast<std::size_t>(destination)].slack()) {
+    int zone_copies = 0;
+    int rack_copies = 0;
+    if (spread) {
+      for (ServerId holder : directory.holders(video)) {
+        const Server& h = servers[static_cast<std::size_t>(holder)];
+        if (!h.serviceable()) continue;
+        if (topology_->zone_of(holder) == topology_->zone_of(s.id())) {
+          ++zone_copies;
+        }
+        if (topology_->rack_of(holder) == topology_->rack_of(s.id())) {
+          ++rack_copies;
+        }
+      }
+    }
+    bool better;
+    if (destination == kNoServer) {
+      better = true;
+    } else if (spread && zone_copies != dest_zone_copies) {
+      better = zone_copies < dest_zone_copies;
+    } else if (spread && rack_copies != dest_rack_copies) {
+      better = rack_copies < dest_rack_copies;
+    } else {
+      better = s.slack() > servers[static_cast<std::size_t>(destination)].slack();
+    }
+    if (better) {
       destination = s.id();
+      dest_zone_copies = zone_copies;
+      dest_rack_copies = rack_copies;
     }
   }
   if (destination == kNoServer) return std::nullopt;

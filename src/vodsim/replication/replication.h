@@ -34,6 +34,7 @@
 
 #include "vodsim/admission/controller.h"
 #include "vodsim/cluster/server.h"
+#include "vodsim/cluster/topology.h"
 #include "vodsim/cluster/video.h"
 #include "vodsim/util/units.h"
 
@@ -85,6 +86,14 @@ class ReplicationManager {
 
   const ReplicationConfig& config() const { return config_; }
 
+  /// Makes destination selection failure-domain aware: among candidates,
+  /// prefer servers in zones (then racks) holding the fewest existing
+  /// copies of the title, so repair re-replication rebuilds spread rather
+  /// than piling copies back into the surviving half of a damaged rack.
+  /// With a null or disabled topology the legacy best-slack rule applies
+  /// unchanged (bit-identical selection). Non-owning; must outlive this.
+  void set_topology(const Topology* topology) { topology_ = topology; }
+
   /// Records a rejection of \p video at time \p now and, if the trigger
   /// fires and resources exist, returns the job to start. The caller must
   /// then invoke on_job_started() (reserving link bandwidth itself).
@@ -127,6 +136,7 @@ class ReplicationManager {
                                           const ReplicaDirectory& directory);
 
   ReplicationConfig config_;
+  const Topology* topology_ = nullptr;
   struct Rejection {
     Seconds time;
     VideoId video;

@@ -472,5 +472,141 @@ TEST(RetryAcceptance, BrownoutWithRetryBeatsRetryDisabled) {
   EXPECT_LT(metrics_on.drops(), metrics_off.drops());
 }
 
+// ------------------------------------------------- flapping-domain retries
+
+// A rack that flaps down/up (and partitions/heals) faster than any backoff
+// can drain is the retry queue's worst case: every heal force-drains the
+// queue, every new outage re-parks the survivors. The accounting must stay
+// exact — no parked stream leaks (every kMigrating request at the end is
+// still queued), no entry exceeds max_attempts, and every parked orphan is
+// eventually readmitted, abandoned, or still waiting.
+TEST(RetryAcceptance, FlappingRackKeepsRetryAccountingExact) {
+  SimulationConfig config = scripted_world(1.0);  // victims cannot migrate
+  config.system.num_servers = 4;
+  config.topology.enabled = true;
+  config.topology.racks = 2;
+  config.topology.zones = 2;
+  config.load_factor = 1.3;
+  config.failure.retry.enabled = true;
+  config.failure.retry.max_queue = 64;
+  config.failure.retry.max_attempts = 3;
+  config.failure.retry.backoff_base = 5.0;
+  config.failure.retry.backoff_cap = 40.0;
+  // Rack 0 flaps: crash/repair cycles interleaved with partition episodes,
+  // each dwell far shorter than a queued entry's worst-case backoff.
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    const Seconds base = 200.0 + 120.0 * cycle;
+    for (ServerId s = 0; s < 2; ++s) {
+      config.scripted_faults.push_back({base, s, FaultTransitionKind::kDown, 1.0});
+      config.scripted_faults.push_back({base + 40.0, s, FaultTransitionKind::kUp, 1.0});
+      config.scripted_faults.push_back(
+          {base + 60.0, s, FaultTransitionKind::kPartitionBegin, 1.0});
+      config.scripted_faults.push_back(
+          {base + 90.0, s, FaultTransitionKind::kPartitionEnd, 1.0});
+    }
+  }
+  VodSimulation simulation(config);  // paranoid via scripted_world
+  const Metrics& metrics = simulation.run();
+
+  EXPECT_GT(metrics.retry_enqueued(), 0u);
+  EXPECT_GT(metrics.readmissions(), 0u);
+
+  const TraceRecorder* trace = simulation.trace();
+  ASSERT_NE(trace, nullptr);
+  // Attempts accounting: an abandoned entry used exactly max_attempts.
+  for (const TraceEvent& event : trace->snapshot()) {
+    if (event.type == TraceEventType::kRetryAbandoned) {
+      EXPECT_EQ(event.a, static_cast<double>(config.failure.retry.max_attempts));
+    }
+  }
+  // No leaked kMigrating streams: every request still parked at the end is
+  // backed by a live retry-queue entry.
+  std::size_t migrating = 0;
+  for (const Request& request : simulation.requests()) {
+    if (request.state() == RequestState::kMigrating) ++migrating;
+  }
+  ASSERT_NE(simulation.retry_queue(), nullptr);
+  EXPECT_LE(migrating, simulation.retry_queue()->size());
+  // Per-orphan conservation: every stream that was ever parked ends the run
+  // readmitted (streaming/finished), abandoned (kDone via the drop path),
+  // or still legitimately queued (kMigrating, bounded by the queue above).
+  std::set<RequestId> parked;
+  for (const TraceEvent& event : trace->snapshot()) {
+    if (event.type == TraceEventType::kRetryEnqueued && event.request >= 0) {
+      parked.insert(event.request);
+    }
+  }
+  EXPECT_FALSE(parked.empty());
+  for (RequestId id : parked) {
+    const Request& request =
+        simulation.requests()[static_cast<std::size_t>(id)];
+    const RequestState state = request.state();
+    EXPECT_TRUE(state == RequestState::kMigrating ||
+                state == RequestState::kStreaming ||
+                state == RequestState::kTxComplete ||
+                state == RequestState::kDone)
+        << "parked request " << id << " leaked in state "
+        << static_cast<int>(state);
+  }
+}
+
+// --------------------------------------------------- glitch dedupe window
+
+// Interruption dedupe must change only the *count*, never the starved
+// seconds: a stream glitching twice inside one window is one viewer-facing
+// interruption with its full glitch-seconds. Window 0 disables dedupe, and
+// a run-length window collapses each stream to at most one interruption.
+TEST(GlitchDedupe, WindowDedupesCountsButNeverSeconds) {
+  SimulationConfig config = scripted_world(1.0);
+  config.load_factor = 1.2;
+  config.client.staging_fraction = 0.02;  // ~12 s cover: every park glitches
+  config.failure.retry.enabled = true;
+  config.failure.retry.max_queue = 64;
+  config.failure.retry.backoff_base = 5.0;
+  config.failure.retry.backoff_cap = 20.0;
+  // Repeated short outages: re-admitted streams re-glitch near their shed.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const Seconds base = 150.0 + 200.0 * cycle;
+    config.scripted_faults.push_back({base, 0, FaultTransitionKind::kDown, 1.0});
+    config.scripted_faults.push_back(
+        {base + 60.0, 0, FaultTransitionKind::kUp, 1.0});
+  }
+
+  auto run_with_window = [&](Seconds window) {
+    SimulationConfig c = config;
+    c.failure.glitch_dedupe_window = window;
+    VodSimulation simulation(c);
+    const Metrics& metrics = simulation.run();
+    std::set<RequestId> glitched;
+    for (const TraceEvent& event : simulation.trace()->snapshot()) {
+      if (event.type == TraceEventType::kUnderflow) glitched.insert(event.request);
+    }
+    struct Out {
+      std::uint64_t interruptions;
+      Seconds glitch_seconds;
+      std::size_t glitched_streams;
+    };
+    return Out{metrics.interruptions(), metrics.glitch_seconds(),
+               glitched.size()};
+  };
+
+  const auto off = run_with_window(0.0);
+  const auto window1 = run_with_window(1.0);
+  const auto whole_run = run_with_window(1e9);
+
+  ASSERT_GT(off.interruptions, 0u);
+  // Seconds are dedupe-invariant.
+  EXPECT_DOUBLE_EQ(off.glitch_seconds, window1.glitch_seconds);
+  EXPECT_DOUBLE_EQ(off.glitch_seconds, whole_run.glitch_seconds);
+  // Counts only ever shrink as the window grows.
+  EXPECT_GE(off.interruptions, window1.interruptions);
+  EXPECT_GE(window1.interruptions, whole_run.interruptions);
+  // A run-length window counts each glitching stream exactly once.
+  EXPECT_EQ(whole_run.interruptions, whole_run.glitched_streams);
+  // And without dedupe, some stream glitched more than once, so dedupe
+  // actually removed double counting in this scenario.
+  EXPECT_GT(off.interruptions, whole_run.interruptions);
+}
+
 }  // namespace
 }  // namespace vodsim

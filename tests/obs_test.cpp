@@ -501,11 +501,11 @@ TEST(Probes, CsvRoundTrips) {
   EXPECT_EQ(fields, (std::vector<std::string>{
                         "time", "server", "committed_mbps", "reserved_mbps",
                         "active_streams", "mean_buffer_fill", "pending_events",
-                        "capacity_factor", "retry_queue"}));
+                        "capacity_factor", "retry_queue", "reachable"}));
   std::size_t rows = 0;
   double last_time = 0.0;
   while (read_csv_record(in, fields)) {
-    ASSERT_EQ(fields.size(), 9u);
+    ASSERT_EQ(fields.size(), 10u);
     const double time = std::stod(fields[0]);
     EXPECT_GE(time, last_time);
     last_time = time;

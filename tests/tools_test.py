@@ -239,10 +239,11 @@ class ValidateTraceTest(unittest.TestCase):
 
     def probe_rows(self):
         header = ("time,server,committed_mbps,reserved_mbps,active_streams,"
-                  "mean_buffer_fill,pending_events,capacity_factor,retry_queue")
+                  "mean_buffer_fill,pending_events,capacity_factor,retry_queue,"
+                  "reachable")
         return [header,
-                "0.0,0,12.0,0.0,4,0.5,7,1.0,0",
-                "60.0,0,15.0,3.0,5,0.55,8,1.0,0"]
+                "0.0,0,12.0,0.0,4,0.5,7,1.0,0,1.0",
+                "60.0,0,15.0,3.0,5,0.55,8,1.0,0,1.0"]
 
     def test_valid_probes_pass(self):
         probes = self.write("p.csv", "\n".join(self.probe_rows()) + "\n")

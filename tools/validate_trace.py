@@ -34,6 +34,7 @@ PROBE_HEADER = [
     "pending_events",
     "capacity_factor",
     "retry_queue",
+    "reachable",
 ]
 
 JSONL_EVENT_KEYS = {"seq", "t", "type", "cat", "server", "request", "video", "a", "b"}
@@ -48,6 +49,7 @@ KNOWN_EVENT_TYPES = {
     "server_down", "server_up", "stream_dropped", "stream_recovered",
     "brownout_begin", "brownout_end", "stream_shed",
     "retry_enqueued", "retry_readmit", "retry_abandoned", "repair_planned",
+    "partition_begin", "partition_end",
     "replication_begin", "replication_end",
     "buffer_full", "buffer_low", "underflow",
     "tx_complete", "playback_end", "pause", "resume",
